@@ -1,0 +1,39 @@
+/**
+ * Ablation (DESIGN.md): Trans-FW decomposed into its two mechanisms.
+ * Speedup over the baseline with only the GMMU short circuit (PRT),
+ * only the host MMU remote forwarding (FT), and both — quantifying
+ * what each contributes to the Fig. 11 result.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Ablation: short circuit vs remote forwarding",
+                  sys::transFwConfig());
+
+    cfg::SystemConfig prt_only = sys::transFwConfig();
+    prt_only.transFw.enableForwarding = false;
+    cfg::SystemConfig ft_only = sys::transFwConfig();
+    ft_only.transFw.enableShortCircuit = false;
+    cfg::SystemConfig full = sys::transFwConfig();
+
+    bench::columns("app", {"prt-only", "ft-only", "full"});
+    std::vector<double> prt_s, ft_s, full_s;
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults base = sys::runApp(app, baseline);
+        double s1 = sys::speedup(base, sys::runApp(app, prt_only));
+        double s2 = sys::speedup(base, sys::runApp(app, ft_only));
+        double s3 = sys::speedup(base, sys::runApp(app, full));
+        prt_s.push_back(s1);
+        ft_s.push_back(s2);
+        full_s.push_back(s3);
+        bench::row(app, {s1, s2, s3});
+    }
+    bench::row("geomean", {bench::geomean(prt_s), bench::geomean(ft_s),
+                           bench::geomean(full_s)});
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * Model ablation: is the headline Fig. 11 conclusion robust to the
+ * data-side memory model? Trans-FW speedups under the flat Table II
+ * data latency (the calibrated default) versus the detailed per-CU
+ * L1 / shared L2 / banked-DRAM hierarchy.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    bench::header("Model ablation: simple vs detailed data memory",
+                  sys::baselineConfig());
+
+    bench::columns("app", {"fw.simple", "fw.hier"});
+    std::vector<double> simple_s, hier_s;
+    for (const auto &app : bench::allApps()) {
+        cfg::SystemConfig base_simple = sys::baselineConfig();
+        cfg::SystemConfig fw_simple = sys::transFwConfig();
+        double s1 = sys::speedup(sys::runApp(app, base_simple),
+                                 sys::runApp(app, fw_simple));
+
+        cfg::SystemConfig base_hier = sys::baselineConfig();
+        base_hier.memModel = cfg::MemModel::Hierarchy;
+        cfg::SystemConfig fw_hier = sys::transFwConfig();
+        fw_hier.memModel = cfg::MemModel::Hierarchy;
+        double s2 = sys::speedup(sys::runApp(app, base_hier),
+                                 sys::runApp(app, fw_hier));
+
+        simple_s.push_back(s1);
+        hier_s.push_back(s2);
+        bench::row(app, {s1, s2});
+    }
+    bench::row("geomean",
+               {bench::geomean(simple_s), bench::geomean(hier_s)});
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * Fig. 2: software (UVM driver) versus hardware (host MMU) far-fault
+ * handling.
+ *  (a) Scalability: execution time when the GPU count grows from 4 to
+ *      32 with a fixed input size, normalized to hardware at 4 GPUs
+ *      (averaged over a representative high-sharing subset).
+ *  (b) Hardware speedup over software per application at 4 GPUs.
+ *
+ * The synthetic applications compress time versus the paper's real
+ * kernels; the driver's software costs in cfg::SystemConfig are scaled
+ * down proportionally so the software-vs-hardware ratio stays in the
+ * paper's regime (see DESIGN.md).
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+namespace {
+
+constexpr std::uint32_t kComputePad = 1;
+
+sys::SimResults
+runPadded(const std::string &app, const cfg::SystemConfig &config)
+{
+    wl::SyntheticSpec spec = wl::appSpec(app, sys::effectiveScale(0.0));
+    spec.computePerOp *= kComputePad;
+    wl::SyntheticWorkload workload(spec);
+    return sys::runWorkload(workload, config);
+}
+
+} // namespace
+
+int
+main()
+{
+    cfg::SystemConfig hw = sys::baselineConfig();
+    bench::header("Fig. 2a: SW vs HW far-fault handling, GPU scaling", hw);
+
+    const std::vector<std::string> subset = {"KM", "PR", "MT", "SC"};
+    const std::vector<int> gpu_counts = {4, 8, 16, 32};
+
+    std::vector<double> hw_avg, sw_avg;
+    for (int gpus : gpu_counts) {
+        double hw_sum = 0, sw_sum = 0;
+        for (const auto &app : subset) {
+            cfg::SystemConfig hw_cfg = sys::baselineConfig();
+            hw_cfg.numGpus = gpus;
+            cfg::SystemConfig sw_cfg = hw_cfg;
+            sw_cfg.faultMode = cfg::FaultMode::UvmDriver;
+            hw_sum += static_cast<double>(runPadded(app, hw_cfg).execTime);
+            sw_sum += static_cast<double>(runPadded(app, sw_cfg).execTime);
+        }
+        hw_avg.push_back(hw_sum / subset.size());
+        sw_avg.push_back(sw_sum / subset.size());
+    }
+    bench::columns("gpus", {"hardware", "software", "sw/hw"});
+    for (std::size_t i = 0; i < gpu_counts.size(); ++i) {
+        bench::row(std::to_string(gpu_counts[i]),
+                   {hw_avg[i] / hw_avg[0], sw_avg[i] / hw_avg[0],
+                    sw_avg[i] / hw_avg[i]});
+    }
+
+    std::printf("\n");
+    bench::header("Fig. 2b: HW speedup over SW per app, 4 GPUs", hw);
+    bench::columns("app", {"hw/sw"});
+    std::vector<double> speedups;
+    for (const auto &app : bench::allApps()) {
+        cfg::SystemConfig sw = sys::baselineConfig();
+        sw.faultMode = cfg::FaultMode::UvmDriver;
+        // speedup(sw, hw) = exec_sw / exec_hw: hardware's gain over
+        // software.
+        double s = sys::speedup(runPadded(app, sw), runPadded(app, hw));
+        speedups.push_back(s);
+        bench::row(app, {s});
+    }
+    bench::row("geomean", {bench::geomean(speedups)});
+    return 0;
+}

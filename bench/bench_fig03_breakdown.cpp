@@ -1,0 +1,37 @@
+/**
+ * Fig. 3: breakdown of GPU L2 TLB miss latency on the baseline into
+ * GMMU PW-queue wait, GMMU walk memory, host PW-queue wait, host walk
+ * memory, page migration, interconnect+replay, and other (fixed
+ * lookups, fault bookkeeping). Printed as percent of total.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Fig. 3: L2 TLB miss latency breakdown (%)", baseline);
+
+    bench::columns("app", {"gmmuQ", "gmmuMem", "hostQ", "hostMem", "migr",
+                           "net", "other", "avgLat"});
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults r = sys::runApp(app, baseline);
+        double total = r.xlat.total();
+        if (total <= 0)
+            total = 1;
+        bench::row(app,
+                   {100.0 * r.xlat.gmmuQueue / total,
+                    100.0 * r.xlat.gmmuMem / total,
+                    100.0 * r.xlat.hostQueue / total,
+                    100.0 * r.xlat.hostMem / total,
+                    100.0 * r.xlat.migration / total,
+                    100.0 * r.xlat.network / total,
+                    100.0 * r.xlat.other / total, r.avgXlatLatency},
+                   1);
+    }
+    return 0;
+}

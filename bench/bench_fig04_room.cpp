@@ -1,0 +1,45 @@
+/**
+ * Fig. 4: room-for-improvement study. Per application, the speedup of
+ * four impractical oracles over the baseline: infinite PW-caches,
+ * infinite PT-walk threads, free page-data migration, and the complete
+ * elimination of GPU local page faults.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Fig. 4: oracle speedups over baseline", baseline);
+
+    bench::columns("app", {"infPWC", "infWalk", "freeMig", "noFault"});
+    std::vector<double> pwc_s, walk_s, mig_s, fault_s;
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults base = sys::runApp(app, baseline);
+
+        cfg::SystemConfig inf_pwc = baseline;
+        inf_pwc.oracle.infinitePwc = true;
+        cfg::SystemConfig inf_walk = baseline;
+        inf_walk.oracle.infiniteWalkers = true;
+        cfg::SystemConfig free_mig = baseline;
+        free_mig.oracle.zeroMigrationCost = true;
+        cfg::SystemConfig no_fault = baseline;
+        no_fault.oracle.noLocalFaults = true;
+
+        double s1 = sys::speedup(base, sys::runApp(app, inf_pwc));
+        double s2 = sys::speedup(base, sys::runApp(app, inf_walk));
+        double s3 = sys::speedup(base, sys::runApp(app, free_mig));
+        double s4 = sys::speedup(base, sys::runApp(app, no_fault));
+        pwc_s.push_back(s1);
+        walk_s.push_back(s2);
+        mig_s.push_back(s3);
+        fault_s.push_back(s4);
+        bench::row(app, {s1, s2, s3, s4});
+    }
+    bench::row("geomean", {bench::geomean(pwc_s), bench::geomean(walk_s),
+                           bench::geomean(mig_s),
+                           bench::geomean(fault_s)});
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * Fig. 5: GMMU PW-cache hit level distribution on the baseline. A hit
+ * at entry level Lk leaves (k-1) memory accesses; "miss" walks all
+ * five levels.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Fig. 5: GMMU PW-cache hit levels (%)", baseline);
+
+    bench::columns("app", {"L2", "L3", "L4", "L5", "miss"});
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults r = sys::runApp(app, baseline);
+        const stats::BucketHistogram &hist = r.gmmuPwcLevels;
+        bench::row(app, {100.0 * hist.fraction(2), 100.0 * hist.fraction(3),
+                         100.0 * hist.fraction(4), 100.0 * hist.fraction(5),
+                         100.0 * hist.fraction(0)},
+                   1);
+    }
+    return 0;
+}

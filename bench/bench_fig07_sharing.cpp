@@ -1,0 +1,26 @@
+/**
+ * Fig. 7: page-sharing characterization. Percentage of page accesses
+ * going to pages touched by exactly 1/2/3/4 GPUs during execution.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Fig. 7: page sharing (% of accesses by sharer count)",
+                  baseline);
+
+    bench::columns("app", {"1gpu", "2gpus", "3gpus", "4gpus"});
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults r = sys::runApp(app, baseline);
+        bench::row(app, {100.0 * r.sharingAccesses.fraction(1),
+                         100.0 * r.sharingAccesses.fraction(2),
+                         100.0 * r.sharingAccesses.fraction(3),
+                         100.0 * r.sharingAccesses.fraction(4)},
+                   1);
+    }
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * Fig. 8: remote PW-cache hit characterization. For every local page
+ * fault on the baseline, the owner GPU's PW-cache is probed: which
+ * prefix level could the remote GPU have supplied?
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Fig. 8: remote PW-cache hit levels on faults (%)",
+                  baseline);
+
+    bench::columns("app", {"L2", "L3", "L4", "L5", "miss", "hitAll"});
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults r = sys::runApp(app, baseline);
+        const stats::BucketHistogram &hist = r.remoteProbeLevels;
+        double hit = 100.0 * (1.0 - hist.fraction(0));
+        if (hist.total() == 0)
+            hit = 0.0;
+        bench::row(app, {100.0 * hist.fraction(2), 100.0 * hist.fraction(3),
+                         100.0 * hist.fraction(4), 100.0 * hist.fraction(5),
+                         100.0 * hist.fraction(0), hit},
+                   1);
+    }
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * Fig. 11: overall performance of Trans-FW normalized to the baseline
+ * (paper: 53.8% average improvement, MT the largest, AES/FIR marginal).
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    cfg::SystemConfig fw = sys::transFwConfig();
+    bench::header("Fig. 11: Trans-FW speedup over baseline", fw);
+    bench::speedupSeries(baseline, fw);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * Fig. 12: percentage reduction of each L2-TLB-miss latency component
+ * under Trans-FW (paper: GMMU PW-queue wait -95.8%, host PW-queue wait
+ * -79.8%, fault translation parts -43.4% on average).
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+namespace {
+
+double
+reduction(double before, double after)
+{
+    return before > 0 ? 100.0 * (before - after) / before : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    cfg::SystemConfig fw = sys::transFwConfig();
+    bench::header("Fig. 12: latency component reduction (%)", fw);
+
+    bench::columns("app", {"gmmuQ", "gmmuMem", "hostQ", "hostMem",
+                           "xlatPart", "total"});
+    std::vector<double> gq, gm, hq, hm, xp, tot;
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults a = sys::runApp(app, baseline);
+        sys::SimResults b = sys::runApp(app, fw);
+        // Normalize sums per L2 miss so request-count changes between
+        // the runs do not distort the comparison.
+        double na = static_cast<double>(std::max<std::uint64_t>(
+            1, a.l2TlbMisses));
+        double nb = static_cast<double>(std::max<std::uint64_t>(
+            1, b.l2TlbMisses));
+        auto cmp = [&](double x, double y) {
+            return reduction(x / na, y / nb);
+        };
+        double xlat_a = (a.xlat.gmmuQueue + a.xlat.gmmuMem +
+                         a.xlat.hostQueue + a.xlat.hostMem +
+                         a.xlat.network + a.xlat.other) /
+                        na;
+        double xlat_b = (b.xlat.gmmuQueue + b.xlat.gmmuMem +
+                         b.xlat.hostQueue + b.xlat.hostMem +
+                         b.xlat.network + b.xlat.other) /
+                        nb;
+        double r1 = cmp(a.xlat.gmmuQueue, b.xlat.gmmuQueue);
+        double r2 = cmp(a.xlat.gmmuMem, b.xlat.gmmuMem);
+        double r3 = cmp(a.xlat.hostQueue, b.xlat.hostQueue);
+        double r4 = cmp(a.xlat.hostMem, b.xlat.hostMem);
+        double r5 = reduction(xlat_a, xlat_b);
+        double r6 = reduction(a.avgXlatLatency, b.avgXlatLatency);
+        gq.push_back(r1);
+        gm.push_back(r2);
+        hq.push_back(r3);
+        hm.push_back(r4);
+        xp.push_back(r5);
+        tot.push_back(r6);
+        bench::row(app, {r1, r2, r3, r4, r5, r6}, 1);
+    }
+    auto mean = [](const std::vector<double> &v) {
+        double s = 0;
+        for (double x : v)
+            s += x;
+        return s / static_cast<double>(v.size());
+    };
+    bench::row("mean", {mean(gq), mean(gm), mean(hq), mean(hm), mean(xp),
+                        mean(tot)},
+               1);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * Fig. 13: low-level (L2+L3) PW-cache hit rates under Trans-FW versus
+ * the baseline, for both the GMMU and the host MMU PW-caches. The host
+ * numbers include the remote hits Trans-FW enables.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+namespace {
+
+double
+lowLevelHits(const stats::BucketHistogram &hist)
+{
+    return 100.0 * (hist.fraction(2) + hist.fraction(3));
+}
+
+} // namespace
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    cfg::SystemConfig fw = sys::transFwConfig();
+    bench::header("Fig. 13: L2+L3 PW-cache hit rates (%), baseline vs "
+                  "Trans-FW",
+                  fw);
+
+    bench::columns("app", {"gmmu.base", "gmmu.fw", "host.base", "host.fw"});
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults a = sys::runApp(app, baseline);
+        sys::SimResults b = sys::runApp(app, fw);
+        bench::row(app, {lowLevelHits(a.gmmuPwcLevels),
+                         lowLevelHits(b.gmmuPwcLevels),
+                         lowLevelHits(a.hostPwcLevels),
+                         lowLevelHits(b.hostPwcLevels)},
+                   1);
+    }
+    return 0;
+}

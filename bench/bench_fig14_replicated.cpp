@@ -1,0 +1,47 @@
+/**
+ * Fig. 14: replicated PT-walks introduced by host-side forwarding —
+ * host walks that completed after the remote GPU had already supplied
+ * the translation — as a percentage of all host MMU walks, plus the
+ * walk-memory-access balance in the GMMUs (extra remote-lookup
+ * accesses vs accesses saved by short-circuiting).
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    cfg::SystemConfig fw = sys::transFwConfig();
+    bench::header("Fig. 14: replicated walks and GMMU access balance", fw);
+
+    bench::columns("app", {"dup%", "cancel%", "remoteAcc%", "gmmuSave%"});
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults base = sys::runApp(app, baseline);
+        sys::SimResults r = sys::runApp(app, fw);
+        double walks = static_cast<double>(
+            std::max<std::uint64_t>(1, r.hostWalks));
+        double dup = 100.0 * static_cast<double>(r.duplicateWalks) / walks;
+        double cancel = 100.0 *
+                        static_cast<double>(r.removedFromQueue) /
+                        std::max<double>(1.0, static_cast<double>(
+                                                  r.forwards));
+        // Extra GMMU memory accesses serving remote lookups, and the
+        // accesses saved versus the baseline's local walks.
+        double extra =
+            100.0 * static_cast<double>(r.gmmuRemoteMemAccesses) /
+            std::max<double>(1.0, static_cast<double>(
+                                      r.gmmuWalkMemAccesses +
+                                      r.gmmuRemoteMemAccesses));
+        double save =
+            100.0 *
+            (static_cast<double>(base.gmmuWalkMemAccesses) -
+             static_cast<double>(r.gmmuWalkMemAccesses +
+                                 r.gmmuRemoteMemAccesses)) /
+            std::max<double>(1.0, static_cast<double>(
+                                      base.gmmuWalkMemAccesses));
+        bench::row(app, {dup, cancel, extra, save}, 1);
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * Fig. 15: sensitivity to the forwarding threshold. Trans-FW speedup
+ * over the baseline with the threshold at 0, 0.5 (default), 1 and 2
+ * times the host PT-walk thread count.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Fig. 15: forwarding threshold sensitivity", baseline);
+
+    const std::vector<double> thresholds = {0.0, 0.5, 1.0, 2.0};
+    bench::columns("app", {"t=0", "t=0.5", "t=1", "t=2"});
+
+    std::vector<std::vector<double>> per_threshold(thresholds.size());
+    std::vector<sys::SimResults> bases;
+    for (const auto &app : bench::allApps())
+        bases.push_back(sys::runApp(app, baseline));
+
+    std::size_t app_idx = 0;
+    for (const auto &app : bench::allApps()) {
+        std::vector<double> row_vals;
+        for (std::size_t t = 0; t < thresholds.size(); ++t) {
+            cfg::SystemConfig fw = sys::transFwConfig();
+            fw.transFw.forwardThreshold = thresholds[t];
+            double s = sys::speedup(bases[app_idx], sys::runApp(app, fw));
+            per_threshold[t].push_back(s);
+            row_vals.push_back(s);
+        }
+        bench::row(app, row_vals);
+        ++app_idx;
+    }
+    std::vector<double> means;
+    for (const auto &series : per_threshold)
+        means.push_back(bench::geomean(series));
+    bench::row("geomean", means);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * Fig. 16: sensitivity to PRT/FT sizes. Trans-FW speedup with
+ * (250, 1000), (500, 2000) [default] and (1000, 4000) fingerprints.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Fig. 16: PRT/FT size sensitivity", baseline);
+
+    struct Sizing
+    {
+        const char *label;
+        std::size_t prt_buckets; // x4 slots = fingerprints
+        std::size_t ft_buckets;  // x2 slots = fingerprints
+    };
+    const std::vector<Sizing> sizings = {
+        {"(250,1k)", 63, 500},
+        {"(500,2k)", 125, 1000},
+        {"(1k,4k)", 250, 2000},
+    };
+
+    bench::columns("app", {"(250,1k)", "(500,2k)", "(1k,4k)"});
+    std::vector<std::vector<double>> series(sizings.size());
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults base = sys::runApp(app, baseline);
+        std::vector<double> vals;
+        for (std::size_t i = 0; i < sizings.size(); ++i) {
+            cfg::SystemConfig fw = sys::transFwConfig();
+            fw.transFw.prtBuckets = sizings[i].prt_buckets;
+            fw.transFw.ftBuckets = sizings[i].ft_buckets;
+            double s = sys::speedup(base, sys::runApp(app, fw));
+            series[i].push_back(s);
+            vals.push_back(s);
+        }
+        bench::row(app, vals);
+    }
+    std::vector<double> means;
+    for (const auto &s : series)
+        means.push_back(bench::geomean(s));
+    bench::row("geomean", means);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * Fig. 17: Trans-FW with 8 and 16 GPUs, each normalized to the
+ * baseline with the same GPU count (input size held fixed).
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    for (int gpus : {8, 16}) {
+        cfg::SystemConfig baseline = sys::baselineConfig();
+        baseline.numGpus = gpus;
+        cfg::SystemConfig fw = sys::transFwConfig();
+        fw.numGpus = gpus;
+        bench::header(sim::strfmt("Fig. 17: Trans-FW speedup, %d GPUs",
+                                  gpus),
+                      fw);
+        bench::speedupSeries(baseline, fw);
+        std::printf("\n");
+    }
+    return 0;
+}

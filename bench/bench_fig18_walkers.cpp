@@ -1,0 +1,52 @@
+/**
+ * Fig. 18: sensitivity to the number of PT-walk threads. Baseline and
+ * Trans-FW with (GMMU, host) walker counts of (4,8), (8,16), (16,32)
+ * and (64,128), all normalized to the baseline with (4,8).
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    bench::header("Fig. 18: PT-walk thread sensitivity "
+                  "(normalized to baseline (4,8))",
+                  sys::baselineConfig());
+
+    const std::vector<std::pair<int, int>> pools = {
+        {4, 8}, {8, 16}, {16, 32}, {64, 128}};
+
+    bench::columns("app", {"b(4,8)", "fw(4,8)", "b(8,16)", "fw(8,16)",
+                           "b(16,32)", "fw(16,32)", "b(64,128)",
+                           "fw(64,128)"});
+    std::vector<std::vector<double>> series(pools.size() * 2);
+    for (const auto &app : bench::allApps()) {
+        cfg::SystemConfig ref = sys::baselineConfig();
+        ref.gmmuWalkers = 4;
+        ref.hostWalkers = 8;
+        sys::SimResults reference = sys::runApp(app, ref);
+
+        std::vector<double> vals;
+        for (std::size_t p = 0; p < pools.size(); ++p) {
+            cfg::SystemConfig base = sys::baselineConfig();
+            base.gmmuWalkers = pools[p].first;
+            base.hostWalkers = pools[p].second;
+            cfg::SystemConfig fw = sys::transFwConfig();
+            fw.gmmuWalkers = pools[p].first;
+            fw.hostWalkers = pools[p].second;
+            double sb = sys::speedup(reference, sys::runApp(app, base));
+            double sf = sys::speedup(reference, sys::runApp(app, fw));
+            series[2 * p].push_back(sb);
+            series[2 * p + 1].push_back(sf);
+            vals.push_back(sb);
+            vals.push_back(sf);
+        }
+        bench::row(app, vals, 2);
+    }
+    std::vector<double> means;
+    for (const auto &s : series)
+        means.push_back(bench::geomean(s));
+    bench::row("geomean", means, 2);
+    return 0;
+}

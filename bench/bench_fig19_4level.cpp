@@ -1,0 +1,19 @@
+/**
+ * Fig. 19: Trans-FW with a 4-level page table, normalized to the
+ * 4-level baseline.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    baseline.pageTableLevels = 4;
+    cfg::SystemConfig fw = sys::transFwConfig();
+    fw.pageTableLevels = 4;
+    bench::header("Fig. 19: Trans-FW speedup, 4-level page table", fw);
+    bench::speedupSeries(baseline, fw);
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * Fig. 20: host MMU configuration sensitivity.
+ *  (a) 4096-entry host MMU TLB (64-way, 64 sets)
+ *  (b) 256-entry host PW-cache
+ *  (c) 512-entry host PW-cache
+ * Each Trans-FW run is normalized to the baseline with the same
+ * configuration.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    {
+        cfg::SystemConfig baseline = sys::baselineConfig();
+        baseline.hostTlb.entries = 4096;
+        cfg::SystemConfig fw = sys::transFwConfig();
+        fw.hostTlb.entries = 4096;
+        bench::header("Fig. 20a: 4096-entry host MMU TLB", fw);
+        bench::speedupSeries(baseline, fw);
+        std::printf("\n");
+    }
+    for (std::size_t pwc : {256u, 512u}) {
+        cfg::SystemConfig baseline = sys::baselineConfig();
+        baseline.pwcEntries = pwc;
+        cfg::SystemConfig fw = sys::transFwConfig();
+        fw.pwcEntries = pwc;
+        bench::header(sim::strfmt("Fig. 20b/c: %zu-entry host PW-cache",
+                                  pwc),
+                      fw);
+        bench::speedupSeries(baseline, fw);
+        std::printf("\n");
+    }
+    return 0;
+}

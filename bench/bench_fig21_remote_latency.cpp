@@ -1,0 +1,41 @@
+/**
+ * Fig. 21: remote-access latency sensitivity. Trans-FW speedup over
+ * the default baseline while the GPU-GPU link latency sweeps from 1x
+ * to 16x the local memory latency. The paper observes the remote
+ * lookup stops paying off around 8x.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Fig. 21: remote latency sweep (peer latency = k x "
+                  "mem latency)",
+                  baseline);
+
+    const std::vector<int> multipliers = {1, 2, 4, 8, 16};
+    bench::columns("app", {"1x", "2x", "4x", "8x", "16x"});
+
+    std::vector<std::vector<double>> series(multipliers.size());
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults base = sys::runApp(app, baseline);
+        std::vector<double> vals;
+        for (std::size_t m = 0; m < multipliers.size(); ++m) {
+            cfg::SystemConfig fw = sys::transFwConfig();
+            fw.peerLink.latency =
+                fw.memLatency * static_cast<sim::Tick>(multipliers[m]);
+            double s = sys::speedup(base, sys::runApp(app, fw));
+            series[m].push_back(s);
+            vals.push_back(s);
+        }
+        bench::row(app, vals);
+    }
+    std::vector<double> means;
+    for (const auto &s : series)
+        means.push_back(bench::geomean(s));
+    bench::row("geomean", means);
+    return 0;
+}

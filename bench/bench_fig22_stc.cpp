@@ -1,0 +1,19 @@
+/**
+ * Fig. 22: Trans-FW with the Split Translation Cache organization,
+ * normalized to the STC baseline.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    baseline.pwcKind = pwc::PwcKind::Stc;
+    cfg::SystemConfig fw = sys::transFwConfig();
+    fw.pwcKind = pwc::PwcKind::Stc;
+    bench::header("Fig. 22: Trans-FW speedup with STC PW-caches", fw);
+    bench::speedupSeries(baseline, fw);
+    return 0;
+}

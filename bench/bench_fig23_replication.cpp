@@ -1,0 +1,21 @@
+/**
+ * Fig. 23: Trans-FW under UVM read-replication (ESI coherence),
+ * normalized to the read-replication baseline. Gains shrink versus
+ * Fig. 11 because replication removes many read faults, but
+ * write-intensive sharers (MT, Conv2d, Im2col) still benefit.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    baseline.migrationPolicy = cfg::MigrationPolicy::ReadReplicate;
+    cfg::SystemConfig fw = sys::transFwConfig();
+    fw.migrationPolicy = cfg::MigrationPolicy::ReadReplicate;
+    bench::header("Fig. 23: Trans-FW speedup with read replication", fw);
+    bench::speedupSeries(baseline, fw);
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * Fig. 24: reads versus writes to pages shared across GPUs on the
+ * baseline (the reason read-replication cannot help the
+ * write-intensive applications).
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Fig. 24: read/write mix on shared pages (%)", baseline);
+
+    bench::columns("app", {"reads", "writes"});
+    for (const auto &app : bench::allApps()) {
+        sys::SimResults r = sys::runApp(app, baseline);
+        double total = static_cast<double>(r.sharedPageReads +
+                                           r.sharedPageWrites);
+        if (total == 0)
+            total = 1;
+        bench::row(app, {100.0 * r.sharedPageReads / total,
+                         100.0 * r.sharedPageWrites / total},
+                   1);
+    }
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * Fig. 25: Trans-FW under the remote-mapping page placement scheme
+ * (access-counter promotion, as in recent NVIDIA GPUs), normalized to
+ * the remote-mapping baseline.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    baseline.migrationPolicy = cfg::MigrationPolicy::RemoteMap;
+    cfg::SystemConfig fw = sys::transFwConfig();
+    fw.migrationPolicy = cfg::MigrationPolicy::RemoteMap;
+    bench::header("Fig. 25: Trans-FW speedup with remote mapping", fw);
+    bench::speedupSeries(baseline, fw);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * Fig. 26: Trans-FW on UVM-driver (software) handled far faults, with
+ * the Forwarding Table kept in CPU memory and consulted by the driver,
+ * normalized to the software baseline.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    baseline.faultMode = cfg::FaultMode::UvmDriver;
+    cfg::SystemConfig fw = sys::transFwConfig();
+    fw.faultMode = cfg::FaultMode::UvmDriver;
+    bench::header("Fig. 26: Trans-FW speedup on UVM-driver faults", fw);
+    bench::speedupSeries(baseline, fw);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * Fig. 28: comparison with ASAP-style PW-cache prefetching. Both
+ * Trans-FW alone and Trans-FW+ASAP are normalized to the ASAP
+ * baseline (ASAP enabled in the GMMUs and the host MMU).
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig asap = sys::baselineConfig();
+    asap.asap.enabled = true;
+
+    cfg::SystemConfig fw = sys::transFwConfig();
+
+    cfg::SystemConfig fw_asap = sys::transFwConfig();
+    fw_asap.asap.enabled = true;
+
+    bench::header("Fig. 28: Trans-FW vs ASAP prefetching", asap);
+    std::printf("-- Trans-FW normalized to ASAP --\n");
+    bench::speedupSeries(asap, fw, "fw/asap");
+    std::printf("\n-- Trans-FW+ASAP normalized to ASAP --\n");
+    bench::speedupSeries(asap, fw_asap, "fw+asap");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * Fig. 29: combining Trans-FW with a Least-TLB-style multi-GPU TLB
+ * optimization; Trans-FW + Least-TLB normalized to Least-TLB alone.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig least = sys::baselineConfig();
+    least.leastTlb.enabled = true;
+
+    cfg::SystemConfig combined = sys::transFwConfig();
+    combined.leastTlb.enabled = true;
+
+    bench::header("Fig. 29: Trans-FW + Least-TLB vs Least-TLB", combined);
+    bench::speedupSeries(least, combined, "fw+least");
+    return 0;
+}

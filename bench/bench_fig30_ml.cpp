@@ -1,0 +1,26 @@
+/**
+ * Fig. 30: data-parallel ML training (VGG16 and ResNet18 layer
+ * traces): Trans-FW speedup over the baseline.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    cfg::SystemConfig fw = sys::transFwConfig();
+    bench::header("Fig. 30: ML training workloads", fw);
+
+    bench::columns("model", {"speedup", "pfpki"});
+    for (const char *model : {"VGG16", "ResNet18"}) {
+        auto workload = wl::makeMlModel(model);
+        sys::SimResults base = sys::runWorkload(*workload, baseline);
+        sys::SimResults trans = sys::runWorkload(*workload, fw);
+        bench::row(model, {sys::speedup(base, trans), base.pfpki()});
+    }
+    return 0;
+}

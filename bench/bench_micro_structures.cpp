@@ -1,0 +1,106 @@
+/**
+ * Microbenchmarks (google-benchmark) for the hot data structures: the
+ * MetroHash-style hash, Cuckoo filter operations, UTC lookups,
+ * set-associative arrays, radix page-table walks, and the event queue.
+ */
+#include <benchmark/benchmark.h>
+
+#include "cache/set_assoc.hpp"
+#include "filter/cuckoo_filter.hpp"
+#include "filter/metrohash.hpp"
+#include "mem/page_table.hpp"
+#include "pwc/utc.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace transfw;
+
+static void
+BM_MetroHash64(benchmark::State &state)
+{
+    std::uint64_t key = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(filter::metroHash64(++key, 1));
+}
+BENCHMARK(BM_MetroHash64);
+
+static void
+BM_CuckooInsertEraseCycle(benchmark::State &state)
+{
+    filter::CuckooFilter filter(
+        {.numBuckets = 1000, .slotsPerBucket = 2, .fingerprintBits = 11});
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        filter.insert(key);
+        filter.erase(key);
+        ++key;
+    }
+}
+BENCHMARK(BM_CuckooInsertEraseCycle);
+
+static void
+BM_CuckooLookup(benchmark::State &state)
+{
+    filter::CuckooFilter filter(
+        {.numBuckets = 1000, .slotsPerBucket = 2, .fingerprintBits = 11});
+    for (std::uint64_t key = 0; key < 1500; ++key)
+        filter.insert(key);
+    std::uint64_t key = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(filter.contains(key++ % 3000));
+}
+BENCHMARK(BM_CuckooLookup);
+
+static void
+BM_UtcLookup(benchmark::State &state)
+{
+    mem::PagingGeometry geo{5, mem::kSmallPageShift};
+    pwc::UnifiedTranslationCache utc(128, geo);
+    for (mem::Vpn vpn = 0; vpn < 64; ++vpn)
+        utc.fill(vpn << 14, 3);
+    mem::Vpn vpn = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(utc.lookup((vpn++ % 128) << 14));
+}
+BENCHMARK(BM_UtcLookup);
+
+static void
+BM_SetAssocLookup(benchmark::State &state)
+{
+    cache::SetAssoc<std::uint64_t> tlb(512, 16);
+    for (std::uint64_t key = 0; key < 512; ++key)
+        tlb.insert(key, key);
+    std::uint64_t key = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.lookup(key++ % 1024));
+}
+BENCHMARK(BM_SetAssocLookup);
+
+static void
+BM_PageTableWalk(benchmark::State &state)
+{
+    mem::PageTable pt(mem::PagingGeometry{5, mem::kSmallPageShift});
+    for (mem::Vpn vpn = 0; vpn < 4096; ++vpn)
+        pt.map(vpn << 9, mem::PageInfo{vpn, 0, 1, true, false});
+    mem::Vpn vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt.walk((vpn % 4096) << 9));
+        ++vpn;
+    }
+}
+BENCHMARK(BM_PageTableWalk);
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int fired = 0;
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(static_cast<sim::Tick>(i % 7), [&] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+BENCHMARK_MAIN();

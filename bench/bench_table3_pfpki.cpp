@@ -1,0 +1,29 @@
+/**
+ * Table III: the ten applications with their access-pattern class and
+ * measured page-faults-per-kilo-instruction (PFPKI) on the baseline
+ * 4-GPU configuration, alongside the paper's reported PFPKI.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    bench::header("Table III: applications and PFPKI", baseline);
+
+    std::printf("%-8s %-22s %-15s %-15s %10s %10s\n", "Abbr", "Application",
+                "Suite", "Pattern", "PFPKI", "paper");
+    for (const auto &info : wl::appTable()) {
+        sys::SimResults r = sys::runApp(info.abbr, baseline);
+        std::printf("%-8s %-22s %-15s %-15s %10.3f %10.3f\n",
+                    info.abbr.c_str(), info.fullName.c_str(),
+                    info.suite.c_str(), info.patternClass.c_str(),
+                    r.pfpki(), info.paperPfpki);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * Interconnect-topology study (beyond the paper, which assumes direct
+ * GPU-GPU links): Trans-FW speedup when the peer fabric is an
+ * all-to-all mesh versus a ring (each normalized to the baseline with
+ * the same topology). Multi-hop forwarding and migration make remote
+ * lookups dearer on a ring — the same effect as Fig. 21's latency
+ * sweep, arising from topology instead of link speed.
+ */
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    bench::header("Topology: Trans-FW on mesh vs ring",
+                  sys::baselineConfig());
+
+    bench::columns("app", {"mesh", "ring"});
+    std::vector<double> mesh_s, ring_s;
+    for (const auto &app : bench::allApps()) {
+        cfg::SystemConfig mesh_base = sys::baselineConfig();
+        cfg::SystemConfig mesh_fw = sys::transFwConfig();
+        double s1 = sys::speedup(sys::runApp(app, mesh_base),
+                                 sys::runApp(app, mesh_fw));
+
+        cfg::SystemConfig ring_base = sys::baselineConfig();
+        ring_base.peerTopology = ic::Topology::Ring;
+        cfg::SystemConfig ring_fw = sys::transFwConfig();
+        ring_fw.peerTopology = ic::Topology::Ring;
+        double s2 = sys::speedup(sys::runApp(app, ring_base),
+                                 sys::runApp(app, ring_fw));
+
+        mesh_s.push_back(s1);
+        ring_s.push_back(s2);
+        bench::row(app, {s1, s2});
+    }
+    bench::row("geomean",
+               {bench::geomean(mesh_s), bench::geomean(ring_s)});
+    return 0;
+}

@@ -1,0 +1,73 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace transfw::bench {
+
+void
+header(const std::string &experiment, const cfg::SystemConfig &config)
+{
+    std::printf("== %s ==\n", experiment.c_str());
+    std::printf("config: %s\n", config.summary().c_str());
+}
+
+std::vector<std::string>
+allApps()
+{
+    std::vector<std::string> apps;
+    for (const auto &info : wl::appTable())
+        apps.push_back(info.abbr);
+    return apps;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void
+row(const std::string &label, const std::vector<double> &values,
+    int precision)
+{
+    std::printf("%-10s", label.c_str());
+    for (double v : values)
+        std::printf(" %10.*f", precision, v);
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+void
+columns(const std::string &label, const std::vector<std::string> &names)
+{
+    std::printf("%-10s", label.c_str());
+    for (const auto &name : names)
+        std::printf(" %10s", name.c_str());
+    std::printf("\n");
+}
+
+std::vector<double>
+speedupSeries(const cfg::SystemConfig &baseline,
+              const cfg::SystemConfig &variant,
+              const std::string &series_name)
+{
+    columns("app", {series_name});
+    std::vector<double> speedups;
+    for (const auto &app : allApps()) {
+        sys::SimResults base = sys::runApp(app, baseline);
+        sys::SimResults var = sys::runApp(app, variant);
+        double s = sys::speedup(base, var);
+        speedups.push_back(s);
+        row(app, {s});
+    }
+    row("geomean", {geomean(speedups)});
+    return speedups;
+}
+
+} // namespace transfw::bench

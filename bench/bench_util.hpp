@@ -1,0 +1,39 @@
+#ifndef TRANSFW_BENCH_BENCH_UTIL_HPP
+#define TRANSFW_BENCH_BENCH_UTIL_HPP
+
+#include <string>
+#include <vector>
+
+#include "transfw/transfw.hpp"
+
+namespace transfw::bench {
+
+/** Print the standard bench header (experiment id + config summary). */
+void header(const std::string &experiment, const cfg::SystemConfig &config);
+
+/** The ten Table III application abbreviations, in paper order. */
+std::vector<std::string> allApps();
+
+/** Geometric mean of a vector of ratios. */
+double geomean(const std::vector<double> &values);
+
+/** Print one row: label then columns with a fixed width. */
+void row(const std::string &label, const std::vector<double> &values,
+         int precision = 3);
+
+/** Print the column header line. */
+void columns(const std::string &label,
+             const std::vector<std::string> &names);
+
+/**
+ * For every app, run @p variant and @p baseline and print the speedup
+ * (baseline exec / variant exec), ending with the geometric mean.
+ * @return the per-app speedups.
+ */
+std::vector<double> speedupSeries(const cfg::SystemConfig &baseline,
+                                  const cfg::SystemConfig &variant,
+                                  const std::string &series_name = "speedup");
+
+} // namespace transfw::bench
+
+#endif // TRANSFW_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,40 @@
+/**
+ * Seed-sensitivity study: the Fig. 11 headline with error bars. Each
+ * app's Trans-FW speedup is measured across 5 seeds (both
+ * configurations share the seed), reporting mean ± stddev and the
+ * min/max range — quantifying how much the synthetic workloads' random
+ * draws move the headline result.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace transfw;
+
+int
+main()
+{
+    constexpr int kSeeds = 5;
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    cfg::SystemConfig fw = sys::transFwConfig();
+    bench::header("Fig. 11 with seed error bars", fw);
+
+    std::printf("%-10s %10s %10s %10s %10s\n", "app", "mean", "stddev",
+                "min", "max");
+    std::vector<double> means;
+    for (const auto &app : bench::allApps()) {
+        sys::SeedStats stats =
+            sys::speedupAcrossSeeds(app, baseline, fw, kSeeds);
+        means.push_back(stats.mean);
+        std::printf("%-10s %10.3f %10.3f %10.3f %10.3f\n", app.c_str(),
+                    stats.mean, stats.stddev, stats.min, stats.max);
+        std::fflush(stdout);
+    }
+    std::printf("%-10s %10.3f\n", "mean", [&] {
+        double sum = 0;
+        for (double m : means)
+            sum += m;
+        return sum / static_cast<double>(means.size());
+    }());
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * inspect_stats: run one application and dump every counter the
+ * simulator collects — TLBs, PW-caches, queues, faults, migrations,
+ * Trans-FW tables — for debugging and model exploration.
+ *
+ * Usage: inspect_stats [APP] [baseline|transfw|sw|sw-transfw]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+namespace {
+
+void
+dump(const char *name, double v)
+{
+    std::printf("  %-32s %14.3f\n", name, v);
+}
+
+void
+dump(const char *name, std::uint64_t v)
+{
+    std::printf("  %-32s %14llu\n", name, static_cast<unsigned long long>(v));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app = argc > 1 ? argv[1] : "MT";
+    std::string mode = argc > 2 ? argv[2] : "baseline";
+
+    cfg::SystemConfig config = (mode == "transfw" || mode == "sw-transfw")
+                                   ? sys::transFwConfig()
+                                   : sys::baselineConfig();
+    if (mode == "sw" || mode == "sw-transfw")
+        config.faultMode = cfg::FaultMode::UvmDriver;
+    // Optional third argument: multiply per-op compute (density knob).
+    std::uint32_t pad = argc > 3 ? static_cast<std::uint32_t>(
+                                       std::atoi(argv[3]))
+                                 : 1;
+    wl::SyntheticSpec spec = wl::appSpec(app, sys::effectiveScale(0.0));
+    spec.computePerOp *= std::max(1u, pad);
+    wl::SyntheticWorkload workload_obj(spec);
+    const wl::Workload *workload = &workload_obj;
+
+    sys::MultiGpuSystem system(config, *workload);
+    sys::SimResults r = system.run();
+
+    std::printf("== %s (%s) ==\n", app.c_str(), mode.c_str());
+    std::printf("%s\n\n", r.configSummary.c_str());
+
+    std::printf("[execution]\n");
+    dump("exec time (cycles)", static_cast<std::uint64_t>(r.execTime));
+    dump("instructions", r.instructions);
+    dump("mem ops", r.memOps);
+    dump("page accesses", r.pageAccesses);
+    dump("L2 TLB misses", r.l2TlbMisses);
+    dump("far faults", r.farFaults);
+    dump("PFPKI", r.pfpki());
+
+    std::printf("[latency breakdown, cycles per L2 miss]\n");
+    double n = r.l2TlbMisses ? static_cast<double>(r.l2TlbMisses) : 1.0;
+    dump("gmmu queue", r.xlat.gmmuQueue / n);
+    dump("gmmu walk mem", r.xlat.gmmuMem / n);
+    dump("host queue", r.xlat.hostQueue / n);
+    dump("host walk mem", r.xlat.hostMem / n);
+    dump("migration (incl. parking)", r.xlat.migration / n);
+    dump("network", r.xlat.network / n);
+    dump("other", r.xlat.other / n);
+    dump("total (avg measured)", r.avgXlatLatency);
+
+    std::printf("[TLBs]\n");
+    dump("L1 hit rate", r.l1HitRate);
+    dump("L2 hit rate", r.l2HitRate);
+    dump("host TLB hit rate", r.hostTlbHitRate);
+
+    std::printf("[walk machinery]\n");
+    dump("gmmu queue wait mean", r.gmmuQueueWaitMean);
+    dump("host queue wait mean", r.hostQueueWaitMean);
+    dump("host walks", r.hostWalks);
+    dump("host walk mem accesses", r.hostWalkMemAccesses);
+    dump("gmmu walk mem accesses", r.gmmuWalkMemAccesses);
+    dump("gmmu remote mem accesses", r.gmmuRemoteMemAccesses);
+
+    if (r.driverBatches) {
+        std::printf("[uvm driver]\n");
+        dump("batches", r.driverBatches);
+        dump("avg batch size", r.driverAvgBatchSize);
+    }
+
+    std::printf("[page movement]\n");
+    dump("migrations", r.migrations);
+    dump("replications", r.replications);
+    dump("write invalidations", r.writeInvalidations);
+    dump("remote mappings", r.remoteMappings);
+    dump("counter migrations", r.counterMigrations);
+    dump("bytes moved", r.bytesMoved);
+
+    if (config.transFw.enabled) {
+        std::printf("[trans-fw]\n");
+        dump("short circuits", r.shortCircuits);
+        dump("prt lookups", r.prtLookups);
+        dump("prt hits", r.prtHits);
+        dump("ft lookups", r.ftLookups);
+        dump("ft hits", r.ftHits);
+        dump("forwards", r.forwards);
+        dump("forward success", r.forwardSuccess);
+        dump("forward fail", r.forwardFail);
+        dump("duplicate walks", r.duplicateWalks);
+        dump("removed from queue", r.removedFromQueue);
+    }
+
+    std::printf("[pw-cache hit levels, %% of lookups]\n");
+    for (std::size_t level = 0; level <= 5; ++level) {
+        std::printf("  gmmu L%zu %6.2f%%   host L%zu %6.2f%%\n", level,
+                    100.0 * r.gmmuPwcLevels.fraction(level), level,
+                    100.0 * r.hostPwcLevels.fraction(level));
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * Quickstart: simulate one application on the Table II baseline and on
+ * Trans-FW, and print the headline numbers.
+ *
+ * Usage: quickstart [APP]   (APP defaults to MT; see Table III abbrs)
+ */
+#include <cstdio>
+#include <string>
+
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+int
+main(int argc, char **argv)
+{
+    std::string app = argc > 1 ? argv[1] : "MT";
+
+    cfg::SystemConfig baseline = sys::baselineConfig();
+    cfg::SystemConfig fw = sys::transFwConfig();
+
+    std::printf("app: %s\n", app.c_str());
+    std::printf("baseline config: %s\n", baseline.summary().c_str());
+
+    sys::SimResults base = sys::runApp(app, baseline);
+    sys::SimResults trans = sys::runApp(app, fw);
+
+    std::printf("\n%-28s %14s %14s\n", "", "baseline", "trans-fw");
+    std::printf("%-28s %14llu %14llu\n", "execution time (cycles)",
+                static_cast<unsigned long long>(base.execTime),
+                static_cast<unsigned long long>(trans.execTime));
+    std::printf("%-28s %14.3f %14.3f\n", "PFPKI", base.pfpki(),
+                trans.pfpki());
+    std::printf("%-28s %14llu %14llu\n", "far faults",
+                static_cast<unsigned long long>(base.farFaults),
+                static_cast<unsigned long long>(trans.farFaults));
+    std::printf("%-28s %14.1f %14.1f\n", "avg L2-miss latency",
+                base.avgXlatLatency, trans.avgXlatLatency);
+    std::printf("%-28s %14s %14llu\n", "PRT short circuits", "-",
+                static_cast<unsigned long long>(trans.shortCircuits));
+    std::printf("%-28s %14s %14llu\n", "FT forwards", "-",
+                static_cast<unsigned long long>(trans.forwards));
+    std::printf("\nspeedup: %.3fx\n", sys::speedup(base, trans));
+    return 0;
+}

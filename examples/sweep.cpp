@@ -1,0 +1,117 @@
+/**
+ * sweep: cross-product experiment runner. Sweeps one or two config
+ * dimensions over a workload and emits CSV (one row per point) for
+ * plotting — the tool behind "how does the gain scale with X?"
+ * questions.
+ *
+ * Usage:
+ *   sweep --app MT --dim walkers --dim threshold > mt.csv
+ *
+ * Supported dimensions: gpus, cus, walkers, threshold, pwc, peerlat,
+ * slots.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "system/report.hpp"
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+namespace {
+
+struct Dimension
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+Dimension
+makeDimension(const std::string &name)
+{
+    if (name == "gpus")
+        return {name, {2, 4, 8, 16}};
+    if (name == "cus")
+        return {name, {16, 32, 64}};
+    if (name == "walkers")
+        return {name, {4, 8, 16, 32}};
+    if (name == "threshold")
+        return {name, {0.0, 0.5, 1.0, 2.0}};
+    if (name == "pwc")
+        return {name, {64, 128, 256, 512}};
+    if (name == "peerlat")
+        return {name, {100, 200, 400, 800}};
+    if (name == "slots")
+        return {name, {2, 4, 6, 8}};
+    sim::fatal("unknown sweep dimension: " + name);
+}
+
+void
+apply(cfg::SystemConfig &config, const std::string &dim, double value)
+{
+    if (dim == "gpus")
+        config.numGpus = static_cast<int>(value);
+    else if (dim == "cus")
+        config.cusPerGpu = static_cast<int>(value);
+    else if (dim == "walkers") {
+        config.gmmuWalkers = static_cast<int>(value);
+        config.hostWalkers = 2 * static_cast<int>(value);
+    } else if (dim == "threshold")
+        config.transFw.forwardThreshold = value;
+    else if (dim == "pwc")
+        config.pwcEntries = static_cast<std::size_t>(value);
+    else if (dim == "peerlat")
+        config.peerLink.latency = static_cast<sim::Tick>(value);
+    else if (dim == "slots")
+        config.wavefrontSlotsPerCu = static_cast<int>(value);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app = "MT";
+    std::vector<Dimension> dims;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--app" && i + 1 < argc) {
+            app = argv[++i];
+        } else if (arg == "--dim" && i + 1 < argc) {
+            dims.push_back(makeDimension(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--app ABBR] --dim NAME [--dim NAME]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (dims.empty())
+        dims.push_back(makeDimension("walkers"));
+    if (dims.size() > 2)
+        sim::fatal("at most two sweep dimensions");
+    if (dims.size() == 1)
+        dims.push_back(Dimension{"", {0}});
+
+    std::printf("%s,%s,speedup,%s\n", dims[0].name.c_str(),
+                dims[1].name.c_str(), sys::csvHeader().c_str());
+    for (double v0 : dims[0].values) {
+        for (double v1 : dims[1].values) {
+            cfg::SystemConfig baseline = sys::baselineConfig();
+            apply(baseline, dims[0].name, v0);
+            apply(baseline, dims[1].name, v1);
+            cfg::SystemConfig fw = baseline;
+            fw.transFw.enabled = true;
+
+            sys::SimResults base = sys::runApp(app, baseline);
+            sys::SimResults trans = sys::runApp(app, fw);
+            std::printf("%g,%g,%.4f,%s\n", v0, v1,
+                        sys::speedup(base, trans),
+                        sys::csvRow(trans).c_str());
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+#ifndef TRANSFW_CACHE_MSHR_HPP
+#define TRANSFW_CACHE_MSHR_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace transfw::cache {
+
+/**
+ * Miss Status Holding Register file. Coalesces outstanding requests to
+ * the same key (VPN): the first requester allocates an entry and
+ * proceeds down the miss path; later requesters are parked on the entry
+ * and woken together when the response arrives. This is the structure
+ * that lets many pending requests collapse onto one page fault
+ * (the Conv2d behaviour discussed in Section III-B).
+ *
+ * @tparam Waiter per-requester continuation stored with the entry.
+ */
+template <typename Waiter>
+class Mshr
+{
+  public:
+    /**
+     * Record a miss for @p key. @return true when this is the primary
+     * miss (caller must launch the fill); false when it merged into an
+     * existing entry.
+     */
+    bool
+    allocate(std::uint64_t key, Waiter waiter)
+    {
+        auto [it, inserted] = entries_.try_emplace(key);
+        it->second.push_back(std::move(waiter));
+        if (inserted)
+            ++allocations_;
+        else
+            ++merges_;
+        return inserted;
+    }
+
+    /** True when @p key already has an outstanding entry. */
+    bool outstanding(std::uint64_t key) const
+    {
+        return entries_.count(key) > 0;
+    }
+
+    /**
+     * Complete the miss for @p key, returning all parked waiters
+     * (including the primary requester's).
+     */
+    std::vector<Waiter>
+    release(std::uint64_t key)
+    {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            return {};
+        std::vector<Waiter> waiters = std::move(it->second);
+        entries_.erase(it);
+        return waiters;
+    }
+
+    std::size_t inflight() const { return entries_.size(); }
+    std::uint64_t allocations() const { return allocations_; }
+    std::uint64_t merges() const { return merges_; }
+
+  private:
+    std::unordered_map<std::uint64_t, std::vector<Waiter>> entries_;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t merges_ = 0;
+};
+
+} // namespace transfw::cache
+
+#endif // TRANSFW_CACHE_MSHR_HPP

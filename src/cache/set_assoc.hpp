@@ -1,0 +1,178 @@
+#ifndef TRANSFW_CACHE_SET_ASSOC_HPP
+#define TRANSFW_CACHE_SET_ASSOC_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace transfw::cache {
+
+/**
+ * Generic set-associative array with true-LRU replacement, used by the
+ * TLBs and the PW-caches. Keys are 64-bit tags; the set index is a
+ * mixed hash of the key so non-power-of-two strides in VPN space do not
+ * alias pathologically.
+ *
+ * @tparam Value payload stored with each tag.
+ */
+template <typename Value>
+class SetAssoc
+{
+  public:
+    /**
+     * @param entries total capacity
+     * @param ways    associativity (entries % ways must be 0; when
+     *                ways == entries the structure is fully associative)
+     */
+    SetAssoc(std::size_t entries, std::size_t ways)
+        : ways_(ways), sets_(entries / ways), lines_(entries)
+    {
+        if (entries == 0 || ways == 0 || entries % ways != 0)
+            sim::fatal("SetAssoc: entries must be a nonzero multiple of "
+                       "ways");
+    }
+
+    std::size_t entries() const { return lines_.size(); }
+    std::size_t ways() const { return ways_; }
+    std::size_t sets() const { return sets_; }
+
+    /** Look up @p key; updates LRU on hit. @return payload or nullptr. */
+    Value *
+    lookup(std::uint64_t key)
+    {
+        std::size_t base = setBase(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &line = lines_[base + w];
+            if (line.valid && line.key == key) {
+                line.lru = ++clock_;
+                return &line.value;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Look up without touching LRU state (for stats-only probes). */
+    const Value *
+    probe(std::uint64_t key) const
+    {
+        std::size_t base = setBase(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            const Line &line = lines_[base + w];
+            if (line.valid && line.key == key)
+                return &line.value;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert @p key → @p value, replacing the LRU way of its set.
+     * @return the evicted (key, value) pair when a valid line was
+     * displaced.
+     */
+    std::optional<std::pair<std::uint64_t, Value>>
+    insert(std::uint64_t key, Value value)
+    {
+        std::size_t base = setBase(key);
+        std::size_t victim = base;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &line = lines_[base + w];
+            if (line.valid && line.key == key) { // refresh in place
+                line.value = std::move(value);
+                line.lru = ++clock_;
+                return std::nullopt;
+            }
+            if (!line.valid) {
+                victim = base + w;
+            } else if (lines_[victim].valid &&
+                       line.lru < lines_[victim].lru) {
+                victim = base + w;
+            }
+        }
+        Line &line = lines_[victim];
+        std::optional<std::pair<std::uint64_t, Value>> evicted;
+        if (line.valid)
+            evicted = {line.key, std::move(line.value)};
+        line.valid = true;
+        line.key = key;
+        line.value = std::move(value);
+        line.lru = ++clock_;
+        return evicted;
+    }
+
+    /** Invalidate @p key. @return true if it was present. */
+    bool
+    invalidate(std::uint64_t key)
+    {
+        std::size_t base = setBase(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &line = lines_[base + w];
+            if (line.valid && line.key == key) {
+                line.valid = false;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Invalidate every line (e.g., full TLB shootdown). */
+    void
+    invalidateAll()
+    {
+        for (Line &line : lines_)
+            line.valid = false;
+    }
+
+    /** Call @p fn(key, value) for every valid line. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Line &line : lines_)
+            if (line.valid)
+                fn(line.key, line.value);
+    }
+
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const Line &line : lines_)
+            n += line.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t lru = 0;
+        Value value{};
+    };
+
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x ^= x >> 33;
+        x *= 0xFF51AFD7ED558CCDULL;
+        x ^= x >> 33;
+        return x;
+    }
+
+    std::size_t
+    setBase(std::uint64_t key) const
+    {
+        return (sets_ == 1 ? 0 : mix(key) % sets_) * ways_;
+    }
+
+    std::size_t ways_;
+    std::size_t sets_;
+    std::uint64_t clock_ = 0;
+    std::vector<Line> lines_;
+};
+
+} // namespace transfw::cache
+
+#endif // TRANSFW_CACHE_SET_ASSOC_HPP

@@ -1,0 +1,45 @@
+#include "config/config.hpp"
+
+#include "sim/logging.hpp"
+
+namespace transfw::cfg {
+
+std::string
+SystemConfig::summary() const
+{
+    return sim::strfmt(
+        "%d GPUs x %d CUs, %d-level PT, %u KB pages, "
+        "PW-cache %zu (%s), walkers %d/%d, %s faults%s",
+        numGpus, cusPerGpu, pageTableLevels,
+        static_cast<unsigned>((1u << pageShift) >> 10),
+        pwcEntries,
+        pwcKind == pwc::PwcKind::Utc   ? "UTC"
+        : pwcKind == pwc::PwcKind::Stc ? "STC"
+                                       : "infinite",
+        gmmuWalkers, hostWalkers,
+        faultMode == FaultMode::HostMmu ? "host-MMU" : "UVM-driver",
+        transFw.enabled ? ", Trans-FW" : "");
+}
+
+void
+SystemConfig::validate() const
+{
+    if (numGpus < 1 || numGpus > 64)
+        sim::fatal("numGpus must be in [1, 64]");
+    if (cusPerGpu < 1)
+        sim::fatal("cusPerGpu must be positive");
+    if (pageTableLevels != 4 && pageTableLevels != 5)
+        sim::fatal("pageTableLevels must be 4 or 5");
+    if (pageShift != mem::kSmallPageShift &&
+        pageShift != mem::kLargePageShift)
+        sim::fatal("pageShift must select 4 KB or 2 MB pages");
+    if (gmmuWalkers < 1 || hostWalkers < 1)
+        sim::fatal("walker counts must be positive");
+    if (transFw.enabled && transFw.forwardThreshold < 0)
+        sim::fatal("forwardThreshold must be non-negative");
+    if (numGpus > 32 && faultMode == FaultMode::UvmDriver)
+        sim::warn("UVM driver beyond 32 GPUs is far outside the "
+                  "calibrated range");
+}
+
+} // namespace transfw::cfg

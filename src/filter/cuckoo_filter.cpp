@@ -1,0 +1,127 @@
+#include "filter/cuckoo_filter.hpp"
+
+#include "filter/metrohash.hpp"
+#include "sim/logging.hpp"
+
+namespace transfw::filter {
+
+CuckooFilter::CuckooFilter(const CuckooParams &params)
+    : params_(params),
+      table_(params.numBuckets * params.slotsPerBucket, 0),
+      rng_(params.seed)
+{
+    if (params_.numBuckets == 0 || params_.slotsPerBucket == 0)
+        sim::fatal("CuckooFilter: zero-sized table");
+    if (params_.fingerprintBits == 0 || params_.fingerprintBits > 16)
+        sim::fatal("CuckooFilter: fingerprint must be 1..16 bits");
+}
+
+CuckooFilter::Fingerprint
+CuckooFilter::fingerprintOf(std::uint64_t key) const
+{
+    const std::uint64_t mask = (1ULL << params_.fingerprintBits) - 1;
+    std::uint64_t h = metroHash64(key, params_.seed ^ 0xF1F1F1F1ULL);
+    // Fingerprint 0 marks an empty slot; fold into [1, 2^bits - 1].
+    Fingerprint fp = static_cast<Fingerprint>(h & mask);
+    if (fp == 0)
+        fp = static_cast<Fingerprint>((h >> params_.fingerprintBits) & mask) | 1;
+    return fp;
+}
+
+std::size_t
+CuckooFilter::primaryBucket(std::uint64_t key) const
+{
+    return metroHash64(key, params_.seed) % params_.numBuckets;
+}
+
+std::size_t
+CuckooFilter::altBucket(std::size_t bucket, Fingerprint fp) const
+{
+    std::size_t h = metroHash64(fp, params_.seed ^ 0xA5A5A5A5ULL) %
+                    params_.numBuckets;
+    return (h + params_.numBuckets - bucket % params_.numBuckets) %
+           params_.numBuckets;
+}
+
+bool
+CuckooFilter::tryPlace(std::size_t bucket, Fingerprint fp)
+{
+    for (unsigned s = 0; s < params_.slotsPerBucket; ++s) {
+        if (slot(bucket, s) == 0) {
+            slot(bucket, s) = fp;
+            ++stored_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CuckooFilter::bucketContains(std::size_t bucket, Fingerprint fp) const
+{
+    for (unsigned s = 0; s < params_.slotsPerBucket; ++s)
+        if (slot(bucket, s) == fp)
+            return true;
+    return false;
+}
+
+bool
+CuckooFilter::bucketErase(std::size_t bucket, Fingerprint fp)
+{
+    for (unsigned s = 0; s < params_.slotsPerBucket; ++s) {
+        if (slot(bucket, s) == fp) {
+            slot(bucket, s) = 0;
+            --stored_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CuckooFilter::insert(std::uint64_t key)
+{
+    Fingerprint fp = fingerprintOf(key);
+    std::size_t b1 = primaryBucket(key);
+    std::size_t b2 = altBucket(b1, fp);
+
+    if (tryPlace(b1, fp) || tryPlace(b2, fp))
+        return true;
+
+    // Both buckets full: relocate existing fingerprints.
+    std::size_t bucket = rng_.chance(0.5) ? b1 : b2;
+    for (unsigned kick = 0; kick < params_.maxKicks; ++kick) {
+        unsigned victim_slot =
+            static_cast<unsigned>(rng_.range(params_.slotsPerBucket));
+        std::swap(fp, slot(bucket, victim_slot));
+        bucket = altBucket(bucket, fp);
+        if (tryPlace(bucket, fp))
+            return true;
+    }
+    // Filter is full: drop the final homeless fingerprint. Its key now
+    // has a false negative, which PRT/FT handle gracefully.
+    ++overflowEvictions_;
+    return false;
+}
+
+bool
+CuckooFilter::contains(std::uint64_t key) const
+{
+    Fingerprint fp = fingerprintOf(key);
+    std::size_t b1 = primaryBucket(key);
+    if (bucketContains(b1, fp))
+        return true;
+    return bucketContains(altBucket(b1, fp), fp);
+}
+
+bool
+CuckooFilter::erase(std::uint64_t key)
+{
+    Fingerprint fp = fingerprintOf(key);
+    std::size_t b1 = primaryBucket(key);
+    if (bucketErase(b1, fp))
+        return true;
+    return bucketErase(altBucket(b1, fp), fp);
+}
+
+} // namespace transfw::filter

@@ -1,0 +1,105 @@
+#ifndef TRANSFW_FILTER_CUCKOO_FILTER_HPP
+#define TRANSFW_FILTER_CUCKOO_FILTER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace transfw::filter {
+
+/** Sizing/behaviour parameters of a Cuckoo filter (Fan et al., CoNEXT'14). */
+struct CuckooParams
+{
+    std::size_t numBuckets = 125;   ///< PRT default: 125 buckets
+    unsigned slotsPerBucket = 4;    ///< PRT: 4, FT: 2
+    unsigned fingerprintBits = 13;  ///< PRT: 13 (ε≈0.1%), FT: 11 (ε≈0.2%)
+    unsigned maxKicks = 500;        ///< relocation bound before overflow
+    std::uint64_t seed = 0x7261'6E73'2D46'57ULL;
+};
+
+/**
+ * Cuckoo filter supporting insertion, deletion and membership tests
+ * with a bounded false-positive rate and no false negatives (while no
+ * overflow evictions have occurred). Each item is reduced to a
+ * fingerprint stored in one of two candidate buckets; the alternate
+ * bucket is derived involutively from (bucket, fingerprint) so kicked
+ * fingerprints can always be relocated without the original key:
+ *
+ *   alt(i, f) = (H(f) - i) mod numBuckets
+ *
+ * which satisfies alt(alt(i, f), f) == i for any bucket count, allowing
+ * the paper's non-power-of-two tables (125 and 1000 buckets).
+ */
+class CuckooFilter
+{
+  public:
+    explicit CuckooFilter(const CuckooParams &params);
+
+    /**
+     * Insert the fingerprint of @p key. When both candidate buckets are
+     * full, relocates existing fingerprints (up to maxKicks); if the
+     * filter is genuinely full, a victim fingerprint is dropped and
+     * counted in overflowEvictions() — introducing a false negative for
+     * the victim's key, which callers must tolerate.
+     * @return false only on an overflow eviction.
+     */
+    bool insert(std::uint64_t key);
+
+    /** Membership test (may return false positives, never false
+     *  negatives barring overflow evictions). */
+    bool contains(std::uint64_t key) const;
+
+    /** Remove one stored copy of @p key's fingerprint.
+     *  @return true if a copy was found and removed. */
+    bool erase(std::uint64_t key);
+
+    std::size_t size() const { return stored_; }
+    std::size_t capacity() const
+    {
+        return params_.numBuckets * params_.slotsPerBucket;
+    }
+    double loadFactor() const
+    {
+        return static_cast<double>(stored_) / capacity();
+    }
+    std::uint64_t overflowEvictions() const { return overflowEvictions_; }
+
+    /** Storage cost in bits (fingerprint array only, as in §IV-E). */
+    std::uint64_t
+    bits() const
+    {
+        return static_cast<std::uint64_t>(capacity()) *
+               params_.fingerprintBits;
+    }
+
+  private:
+    using Fingerprint = std::uint16_t; // up to 16 fingerprint bits
+
+    Fingerprint fingerprintOf(std::uint64_t key) const;
+    std::size_t primaryBucket(std::uint64_t key) const;
+    std::size_t altBucket(std::size_t bucket, Fingerprint fp) const;
+
+    Fingerprint &slot(std::size_t bucket, unsigned s)
+    {
+        return table_[bucket * params_.slotsPerBucket + s];
+    }
+    const Fingerprint &slot(std::size_t bucket, unsigned s) const
+    {
+        return table_[bucket * params_.slotsPerBucket + s];
+    }
+
+    bool tryPlace(std::size_t bucket, Fingerprint fp);
+    bool bucketContains(std::size_t bucket, Fingerprint fp) const;
+    bool bucketErase(std::size_t bucket, Fingerprint fp);
+
+    CuckooParams params_;
+    std::vector<Fingerprint> table_; // 0 = empty slot
+    std::size_t stored_ = 0;
+    std::uint64_t overflowEvictions_ = 0;
+    mutable sim::Rng rng_;
+};
+
+} // namespace transfw::filter
+
+#endif // TRANSFW_FILTER_CUCKOO_FILTER_HPP

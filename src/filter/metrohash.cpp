@@ -1,0 +1,109 @@
+#include "filter/metrohash.hpp"
+
+#include <cstring>
+
+namespace transfw::filter {
+
+namespace {
+
+constexpr std::uint64_t k0 = 0xD6D018F5ULL;
+constexpr std::uint64_t k1 = 0xA2AA033BULL;
+constexpr std::uint64_t k2 = 0x62992FC1ULL;
+constexpr std::uint64_t k3 = 0x30BC5B29ULL;
+
+inline std::uint64_t
+rotr(std::uint64_t x, int r)
+{
+    return (x >> r) | (x << (64 - r));
+}
+
+inline std::uint64_t
+read64(const unsigned char *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint64_t
+read32(const unsigned char *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+metroHash64(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *ptr = static_cast<const unsigned char *>(data);
+    const unsigned char *end = ptr + len;
+
+    std::uint64_t h = (seed + k2) * k0;
+
+    if (len >= 32) {
+        std::uint64_t v0 = h, v1 = h, v2 = h, v3 = h;
+        do {
+            v0 += read64(ptr) * k0;
+            v0 = rotr(v0, 29) + v2;
+            v1 += read64(ptr + 8) * k1;
+            v1 = rotr(v1, 29) + v3;
+            v2 += read64(ptr + 16) * k2;
+            v2 = rotr(v2, 29) + v0;
+            v3 += read64(ptr + 24) * k3;
+            v3 = rotr(v3, 29) + v1;
+            ptr += 32;
+        } while (ptr <= end - 32);
+
+        v2 ^= rotr(((v0 + v3) * k0) + v1, 37) * k1;
+        v3 ^= rotr(((v1 + v2) * k1) + v0, 37) * k0;
+        v0 ^= rotr(((v0 + v2) * k0) + v3, 37) * k1;
+        v1 ^= rotr(((v1 + v3) * k1) + v2, 37) * k0;
+        h += v0 ^ v1;
+    }
+
+    if (end - ptr >= 16) {
+        std::uint64_t v0 = h + read64(ptr) * k2;
+        v0 = rotr(v0, 29) * k3;
+        std::uint64_t v1 = h + read64(ptr + 8) * k2;
+        v1 = rotr(v1, 29) * k3;
+        v0 ^= rotr(v0 * k0, 21) + v1;
+        v1 ^= rotr(v1 * k3, 21) + v0;
+        h += v1;
+        ptr += 16;
+    }
+
+    if (end - ptr >= 8) {
+        h += read64(ptr) * k3;
+        h ^= rotr(h, 55) * k1;
+        ptr += 8;
+    }
+
+    if (end - ptr >= 4) {
+        h += read32(ptr) * k3;
+        h ^= rotr(h, 26) * k1;
+        ptr += 4;
+    }
+
+    while (ptr < end) {
+        h += static_cast<std::uint64_t>(*ptr++) * k3;
+        h ^= rotr(h, 48) * k1;
+    }
+
+    h ^= rotr(h, 28);
+    h *= k0;
+    h ^= rotr(h, 29);
+    return h;
+}
+
+std::uint64_t
+metroHash64(std::uint64_t key, std::uint64_t seed)
+{
+    unsigned char buf[8];
+    std::memcpy(buf, &key, sizeof(buf));
+    return metroHash64(buf, sizeof(buf), seed);
+}
+
+} // namespace transfw::filter

@@ -1,0 +1,26 @@
+#ifndef TRANSFW_FILTER_METROHASH_HPP
+#define TRANSFW_FILTER_METROHASH_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace transfw::filter {
+
+/**
+ * MetroHash-style 64-bit hash (Section IV-B uses MetroHash for the
+ * Cuckoo-filter hash functions h1/h2). This is a from-scratch
+ * implementation of the same construction — four 64-bit lanes mixed
+ * with the MetroHash multiply/rotate constants over 32-byte blocks —
+ * rather than a byte-exact port; only the distribution quality matters
+ * for filter behaviour, and the unit tests check uniformity and
+ * avalanche directly.
+ */
+std::uint64_t metroHash64(const void *data, std::size_t len,
+                          std::uint64_t seed);
+
+/** Convenience overload hashing a single 64-bit key. */
+std::uint64_t metroHash64(std::uint64_t key, std::uint64_t seed);
+
+} // namespace transfw::filter
+
+#endif // TRANSFW_FILTER_METROHASH_HPP

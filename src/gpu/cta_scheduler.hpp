@@ -1,0 +1,60 @@
+#ifndef TRANSFW_GPU_CTA_SCHEDULER_HPP
+#define TRANSFW_GPU_CTA_SCHEDULER_HPP
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace transfw::gpu {
+
+/**
+ * CTA scheduler (Section III-A): CTAs are placed greedily — round-robin
+ * across the CUs of one GPU, moving to the next GPU only when the
+ * current one has no free resources — which assigns each GPU a
+ * contiguous block of CTA ids. We realize the same placement with one
+ * ready queue per home GPU; a freed wavefront slot pulls the next CTA
+ * of its own GPU, preserving the inter-CTA locality the paper's policy
+ * is designed for.
+ */
+class CtaScheduler
+{
+  public:
+    CtaScheduler(const wl::Workload &workload, int num_gpus)
+        : queues_(static_cast<std::size_t>(num_gpus))
+    {
+        for (int cta = 0; cta < workload.numCtas(); ++cta) {
+            int home = wl::homeGpu(cta, workload.numCtas(), num_gpus);
+            queues_[static_cast<std::size_t>(home)].push_back(cta);
+        }
+    }
+
+    /** Next CTA for a free slot on GPU @p gpu (nullopt = GPU drained). */
+    std::optional<int>
+    nextCta(int gpu)
+    {
+        auto &queue = queues_[static_cast<std::size_t>(gpu)];
+        if (queue.empty())
+            return std::nullopt;
+        int cta = queue.front();
+        queue.pop_front();
+        return cta;
+    }
+
+    std::size_t
+    remaining() const
+    {
+        std::size_t n = 0;
+        for (const auto &queue : queues_)
+            n += queue.size();
+        return n;
+    }
+
+  private:
+    std::vector<std::deque<int>> queues_;
+};
+
+} // namespace transfw::gpu
+
+#endif // TRANSFW_GPU_CTA_SCHEDULER_HPP

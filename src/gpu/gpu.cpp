@@ -1,0 +1,214 @@
+#include "gpu/gpu.hpp"
+
+#include "sim/logging.hpp"
+
+namespace transfw::gpu {
+
+Gpu::Gpu(sim::EventQueue &eq, const cfg::SystemConfig &config, int gpu_id,
+         sim::Rng &rng)
+    : SimObject(eq, sim::strfmt("gpu%d", gpu_id)), cfg_(config),
+      id_(gpu_id), vpnShift_(config.pageShift - mem::kSmallPageShift),
+      rng_(rng), pt_(config.geometry()),
+      frames_(config.gpuMemBytes, config.pageShift),
+      l2tlb_(sim::strfmt("gpu%d.l2tlb", gpu_id), config.l2Tlb),
+      l1Mshrs_(static_cast<std::size_t>(config.cusPerGpu)),
+      gmmu_(eq, sim::strfmt("gpu%d.gmmu", gpu_id), config, gpu_id, pt_,
+            rng)
+{
+    for (int cu = 0; cu < config.cusPerGpu; ++cu) {
+        l1tlbs_.push_back(std::make_unique<tlb::Tlb>(
+            sim::strfmt("gpu%d.cu%d.l1tlb", gpu_id, cu), config.l1Tlb));
+    }
+    if (config.memModel == cfg::MemModel::Hierarchy) {
+        memHierarchy_ = std::make_unique<mem::GpuMemoryHierarchy>(
+            eq, sim::strfmt("gpu%d.mem", gpu_id), config.memHierarchy,
+            config.cusPerGpu);
+    }
+    if (config.transFw.enabled) {
+        prt_ = std::make_unique<core::PendingRequestTable>(config.transFw,
+                                                           gpu_id);
+    }
+
+    gmmu_.onComplete = [this](mmu::XlatPtr req) { finishTranslation(req); };
+    gmmu_.onFault = [this](mmu::XlatPtr req) { hooks.sendFault(req); };
+}
+
+void
+Gpu::access(int cu, mem::Vpn vpn4k, bool write, std::function<void()> done)
+{
+    mem::Vpn vpn = vpn4k >> vpnShift_;
+    ++stats_.accesses;
+    if (hooks.onPageAccess)
+        hooks.onPageAccess(vpn, id_, write);
+
+    schedule(cfg_.l1Tlb.lookupLatency, [this, cu, vpn, write,
+                                        done = std::move(done)]() mutable {
+        tlb::Tlb &l1 = *l1tlbs_[static_cast<std::size_t>(cu)];
+        const tlb::TlbEntry *entry = l1.lookup(vpn);
+        if (entry) {
+            if (write && !entry->writable) {
+                // Stale read-only entry under a write: drop it and take
+                // the miss path, which raises the protection fault.
+                l1.invalidate(vpn);
+            } else {
+                dataAccess(cu, vpn, *entry, write, std::move(done));
+                return;
+            }
+        }
+        bool primary = l1Mshrs_[static_cast<std::size_t>(cu)].allocate(
+            vpn, L1Waiter{write, std::move(done)});
+        if (primary)
+            lookupL2(cu, vpn, write);
+    });
+}
+
+void
+Gpu::lookupL2(int cu, mem::Vpn vpn, bool write)
+{
+    schedule(cfg_.l2Tlb.lookupLatency, [this, cu, vpn, write]() {
+        const tlb::TlbEntry *entry = l2tlb_.lookup(vpn);
+        if (entry) {
+            if (write && !entry->writable) {
+                l2tlb_.invalidate(vpn);
+            } else {
+                deliverToL1(cu, vpn, *entry);
+                return;
+            }
+        }
+        bool primary = l2Mshr_.allocate(vpn, cu);
+        if (primary)
+            startTranslation(cu, vpn, write);
+    });
+}
+
+void
+Gpu::startTranslation(int cu, mem::Vpn vpn, bool write)
+{
+    ++stats_.l2Misses;
+    auto req = std::make_shared<mmu::XlatRequest>();
+    req->id = nextReqId_++;
+    req->vpn = vpn;
+    req->gpu = id_;
+    req->cu = cu;
+    req->isWrite = write;
+    req->tIssue = curTick();
+    req->onComplete = [this, req]() { finishTranslation(req); };
+
+    if (prt_ && cfg_.transFw.enableShortCircuit) {
+        // Trans-FW short circuit (Section IV-B): a PRT miss means the
+        // page is definitely not local, so skip the GMMU walk entirely.
+        req->lat.other += 1.0; // PRT lookup cycle
+        schedule(1, [this, req]() {
+            if (prt_->mayBeLocal(req->vpn)) {
+                gmmu_.translate(req);
+            } else {
+                ++stats_.shortCircuits;
+                req->shortCircuited = true;
+                req->faulted = true;
+                hooks.sendFault(req);
+            }
+        });
+        return;
+    }
+
+    if (cfg_.leastTlb.enabled && hooks.probeSiblingL2) {
+        // Least-TLB-style sharing-aware lookup: consult sibling GPUs'
+        // L2 TLBs before burning a local walker.
+        schedule(cfg_.leastTlb.remoteProbeLatency, [this, req]() {
+            req->lat.other +=
+                static_cast<double>(cfg_.leastTlb.remoteProbeLatency);
+            const tlb::TlbEntry *entry =
+                hooks.probeSiblingL2(req->vpn, id_);
+            if (entry && !entry->remote && (!req->isWrite ||
+                                            entry->writable)) {
+                ++stats_.leastTlbRemoteHits;
+                // A sibling translates this page, but the data still
+                // lives where the entry says; treat a non-local owner
+                // as a fault like any walk would.
+                if (entry->owner == id_) {
+                    req->result = *entry;
+                    finishTranslation(req);
+                    return;
+                }
+            }
+            gmmu_.translate(req);
+        });
+        return;
+    }
+
+    gmmu_.translate(req);
+}
+
+void
+Gpu::translationReturned(mmu::XlatPtr req)
+{
+    // Far-fault replay (the request re-executes after resolution).
+    req->lat.other += static_cast<double>(cfg_.replayCost);
+    schedule(cfg_.replayCost,
+             [this, req]() { finishTranslation(req); });
+}
+
+void
+Gpu::finishTranslation(const mmu::XlatPtr &req)
+{
+    stats_.xlatLatency.record(
+        static_cast<double>(curTick() - req->tIssue));
+    recordBreakdown(*req);
+
+    l2tlb_.fill(req->vpn, req->result);
+    for (int cu : l2Mshr_.release(req->vpn))
+        deliverToL1(cu, req->vpn, req->result);
+}
+
+void
+Gpu::deliverToL1(int cu, mem::Vpn vpn, const tlb::TlbEntry &entry)
+{
+    l1tlbs_[static_cast<std::size_t>(cu)]->fill(vpn, entry);
+    auto waiters =
+        l1Mshrs_[static_cast<std::size_t>(cu)].release(vpn);
+    for (auto &waiter : waiters) {
+        if (waiter.write && !entry.writable) {
+            // The fill cannot satisfy a write to a read-only replica:
+            // retry, which raises the protection-fault path.
+            access(cu, vpn << vpnShift_, true, std::move(waiter.done));
+        } else {
+            dataAccess(cu, vpn, entry, waiter.write,
+                       std::move(waiter.done));
+        }
+    }
+}
+
+void
+Gpu::dataAccess(int cu, mem::Vpn vpn, const tlb::TlbEntry &entry,
+                bool write, std::function<void()> done)
+{
+    if (entry.remote && hooks.remoteAccessLatency) {
+        ++stats_.remoteDataAccesses;
+        schedule(hooks.remoteAccessLatency(vpn, entry, id_),
+                 std::move(done));
+        return;
+    }
+    if (!memHierarchy_) {
+        schedule(cfg_.memLatency, std::move(done));
+        return;
+    }
+    // Detailed model: successive touches of a page sweep its cache
+    // lines (coalesced wavefront accesses are line-granular), so page
+    // re-visits find their lines in the data caches.
+    std::uint64_t page_bytes = cfg_.geometry().pageBytes();
+    std::uint32_t lines = static_cast<std::uint32_t>(page_bytes / 64);
+    std::uint32_t line = lineCursor_[vpn]++ % lines;
+    mem::PhysAddr addr =
+        entry.ppn * page_bytes + static_cast<mem::PhysAddr>(line) * 64;
+    memHierarchy_->access(cu, addr, write, std::move(done));
+}
+
+void
+Gpu::invalidateTlbs(mem::Vpn vpn)
+{
+    l2tlb_.invalidate(vpn);
+    for (auto &l1 : l1tlbs_)
+        l1->invalidate(vpn);
+}
+
+} // namespace transfw::gpu

@@ -1,0 +1,162 @@
+#ifndef TRANSFW_GPU_GPU_HPP
+#define TRANSFW_GPU_GPU_HPP
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "config/config.hpp"
+#include "cache/mshr.hpp"
+#include "mem/frame_allocator.hpp"
+#include "mem/mem_hierarchy.hpp"
+#include "mem/page_table.hpp"
+#include "mmu/gmmu.hpp"
+#include "mmu/gpu_iface.hpp"
+#include "mmu/request.hpp"
+#include "sim/random.hpp"
+#include "sim/sim_object.hpp"
+#include "tlb/tlb.hpp"
+#include "transfw/prt.hpp"
+
+namespace transfw::gpu {
+
+/**
+ * Hooks the GPU uses to reach the rest of the system (host MMU / UVM
+ * driver, peer GPUs, trackers). Wired by sys::MultiGpuSystem.
+ */
+struct GpuHooks
+{
+    /** Ship a far fault (or short-circuited request) to the host. */
+    std::function<void(mmu::XlatPtr)> sendFault;
+
+    /** Least-TLB: probe sibling GPUs' L2 TLBs (nullptr on miss). */
+    std::function<const tlb::TlbEntry *(mem::Vpn, int requester)>
+        probeSiblingL2;
+
+    /**
+     * Latency of a data access that leaves the GPU (remote-mapped
+     * pages); also drives the remote-mapping access counters.
+     */
+    std::function<sim::Tick(mem::Vpn, const tlb::TlbEntry &, int gpu)>
+        remoteAccessLatency;
+
+    /** Sharing tracker tap: every coalesced page access lands here. */
+    std::function<void(mem::Vpn, int gpu, bool write)> onPageAccess;
+};
+
+/**
+ * One GPU: 64 CUs' worth of L1 TLBs, the shared L2 TLB, both MSHR
+ * levels, the GMMU, local page table, frame allocator and (under
+ * Trans-FW) the PRT. The compute side lives in gpu::ComputeUnit; this
+ * class owns the translation state machine from coalesced access to
+ * completed data access.
+ */
+class Gpu : public sim::SimObject, public mmu::GpuIface
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t l2Misses = 0;       ///< XlatRequests created
+        std::uint64_t shortCircuits = 0;  ///< PRT misses sent straight out
+        std::uint64_t leastTlbRemoteHits = 0;
+        std::uint64_t remoteDataAccesses = 0;
+        stats::Distribution xlatLatency;  ///< L2-miss to completion
+    };
+
+    Gpu(sim::EventQueue &eq, const cfg::SystemConfig &config, int gpu_id,
+        sim::Rng &rng);
+
+    int id() const { return id_; }
+
+    /**
+     * Coalesced page access from CU @p cu (VPN in 4 KB units; converted
+     * to the system page size internally). @p done fires when both
+     * translation and the data access have completed.
+     */
+    void access(int cu, mem::Vpn vpn4k, bool write,
+                std::function<void()> done);
+
+    /** Far-fault reply delivered by the host-side machinery. */
+    void translationReturned(mmu::XlatPtr req);
+
+    /** Trans-FW remote lookup forwarded by the host MMU. */
+    void remoteLookupRequest(mmu::RemoteLookupPtr rl)
+    {
+        gmmu_.remoteLookup(std::move(rl));
+    }
+
+    // --- GpuIface ----------------------------------------------------------
+    mem::PageTable &localPageTable() override { return pt_; }
+    mem::FrameAllocator &frames() override { return frames_; }
+    void invalidateTlbs(mem::Vpn vpn) override;
+    core::PendingRequestTable *prt() override { return prt_.get(); }
+    const pwc::PageWalkCache &gmmuPwc() const override
+    {
+        return gmmu_.pwc();
+    }
+
+    // --- wiring / inspection -----------------------------------------------
+    GpuHooks hooks;
+    mmu::Gmmu &gmmu() { return gmmu_; }
+    const mmu::Gmmu &gmmu() const { return gmmu_; }
+    /** Detailed data-memory model (nullptr under MemModel::Simple). */
+    const mem::GpuMemoryHierarchy *memHierarchy() const
+    {
+        return memHierarchy_.get();
+    }
+    tlb::Tlb &l2Tlb() { return l2tlb_; }
+    const tlb::Tlb &l2Tlb() const { return l2tlb_; }
+    const tlb::Tlb &l1Tlb(int cu) const { return *l1tlbs_[cu]; }
+    const Stats &stats() const { return stats_; }
+    const stats::LatencyBreakdown &xlatBreakdown() const
+    {
+        return breakdown_;
+    }
+
+    /** Accumulate a finished request's component latencies. */
+    void recordBreakdown(const mmu::XlatRequest &req)
+    {
+        breakdown_ += req.lat;
+    }
+
+  private:
+    struct L1Waiter
+    {
+        bool write;
+        std::function<void()> done;
+    };
+
+    void lookupL2(int cu, mem::Vpn vpn, bool write);
+    void startTranslation(int cu, mem::Vpn vpn, bool write);
+    void finishTranslation(const mmu::XlatPtr &req);
+    void deliverToL1(int cu, mem::Vpn vpn, const tlb::TlbEntry &entry);
+    void dataAccess(int cu, mem::Vpn vpn, const tlb::TlbEntry &entry,
+                    bool write, std::function<void()> done);
+
+    const cfg::SystemConfig &cfg_;
+    int id_;
+    unsigned vpnShift_; ///< 4 KB VPN -> system VPN shift
+    sim::Rng &rng_;
+
+    mem::PageTable pt_;
+    mem::FrameAllocator frames_;
+    std::vector<std::unique_ptr<tlb::Tlb>> l1tlbs_;
+    tlb::Tlb l2tlb_;
+    std::vector<cache::Mshr<L1Waiter>> l1Mshrs_; ///< per CU, keyed by VPN
+    cache::Mshr<int> l2Mshr_;                    ///< waiters are CU ids
+    mmu::Gmmu gmmu_;
+    std::unique_ptr<mem::GpuMemoryHierarchy> memHierarchy_;
+    /** Per-page line cursors: successive touches of a page sweep its
+     *  cache lines, so re-visits hit the data caches. */
+    std::unordered_map<mem::Vpn, std::uint32_t> lineCursor_;
+    std::unique_ptr<core::PendingRequestTable> prt_;
+    std::uint64_t nextReqId_ = 1;
+    Stats stats_;
+    stats::LatencyBreakdown breakdown_;
+};
+
+} // namespace transfw::gpu
+
+#endif // TRANSFW_GPU_GPU_HPP

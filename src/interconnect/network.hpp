@@ -1,0 +1,190 @@
+#ifndef TRANSFW_INTERCONNECT_NETWORK_HPP
+#define TRANSFW_INTERCONNECT_NETWORK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "interconnect/link.hpp"
+#include "sim/logging.hpp"
+
+namespace transfw::ic {
+
+/** GPU-GPU interconnect topology. */
+enum class Topology
+{
+    AllToAll, ///< a direct link between every ordered GPU pair
+    Ring,     ///< neighbour links only; traffic hops the shorter arc
+};
+
+/**
+ * The system interconnect: a PCIe-class star between the host and every
+ * GPU (one uplink + one downlink per GPU, so fault traffic from
+ * different GPUs does not serialize on one shared pipe) plus GPU-GPU
+ * peer links (NVLink-class) in either an all-to-all mesh or a ring.
+ * Page migration and Trans-FW's remote forwarding use the routed
+ * sendPeer* API, which traverses every hop of a ring path.
+ */
+class Network
+{
+  public:
+    Network(sim::EventQueue &eq, int num_gpus, const LinkConfig &host,
+            const LinkConfig &peer, Topology topology = Topology::AllToAll)
+        : eq_(eq), numGpus_(num_gpus), topology_(topology),
+          peerConfig_(peer)
+    {
+        for (int g = 0; g < num_gpus; ++g) {
+            up_.push_back(std::make_unique<Link>(
+                eq, sim::strfmt("net.gpu%d.to_host", g), host));
+            down_.push_back(std::make_unique<Link>(
+                eq, sim::strfmt("net.host.to_gpu%d", g), host));
+        }
+        peers_.resize(static_cast<std::size_t>(num_gpus) * num_gpus);
+        for (int a = 0; a < num_gpus; ++a) {
+            for (int b = 0; b < num_gpus; ++b) {
+                if (a == b || !directLink(a, b))
+                    continue;
+                peers_[peerIdx(a, b)] = std::make_unique<Link>(
+                    eq, sim::strfmt("net.gpu%d.to_gpu%d", a, b), peer);
+            }
+        }
+    }
+
+    /** GPU @p gpu → host link. */
+    Link &toHost(int gpu) { return *up_.at(static_cast<std::size_t>(gpu)); }
+    /** Host → GPU @p gpu link. */
+    Link &fromHost(int gpu)
+    {
+        return *down_.at(static_cast<std::size_t>(gpu));
+    }
+
+    /**
+     * Routed bulk transfer GPU @p from → GPU @p to; on a ring the
+     * payload traverses (and occupies) every hop of the shorter arc.
+     * @p done fires at final delivery.
+     */
+    void
+    sendPeer(int from, int to, std::uint64_t bytes,
+             sim::EventQueue::Callback done)
+    {
+        routePeer(from, to, bytes, /*ctrl=*/false, std::move(done));
+    }
+
+    /** Routed control message GPU @p from → GPU @p to. */
+    void
+    sendPeerCtrl(int from, int to, std::uint64_t bytes,
+                 sim::EventQueue::Callback done)
+    {
+        routePeer(from, to, bytes, /*ctrl=*/true, std::move(done));
+    }
+
+    /** Hop count of the peer route (1 on all-to-all). */
+    int
+    peerHops(int from, int to) const
+    {
+        if (from == to)
+            return 0;
+        if (topology_ == Topology::AllToAll)
+            return 1;
+        int d = std::abs(from - to);
+        return std::min(d, numGpus_ - d);
+    }
+
+    /** End-to-end propagation latency of the peer route. */
+    sim::Tick
+    peerLatency(int from, int to) const
+    {
+        return static_cast<sim::Tick>(peerHops(from, to)) *
+               peerConfig_.latency;
+    }
+
+    int numGpus() const { return numGpus_; }
+    Topology topology() const { return topology_; }
+
+    /** Direct link accessor (tests; neighbours only on a ring). */
+    Link &
+    peer(int from, int to)
+    {
+        if (from == to)
+            sim::panic("peer link to self");
+        Link *link = peers_[peerIdx(from, to)].get();
+        if (!link)
+            sim::panic("no direct link between these GPUs (ring)");
+        return *link;
+    }
+
+    /** Total bytes moved over every link (for traffic accounting). */
+    std::uint64_t
+    totalBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &l : up_)
+            total += l->bytesSent();
+        for (const auto &l : down_)
+            total += l->bytesSent();
+        for (const auto &l : peers_)
+            total += l ? l->bytesSent() : 0;
+        return total;
+    }
+
+  private:
+    bool
+    directLink(int a, int b) const
+    {
+        if (topology_ == Topology::AllToAll)
+            return true;
+        int d = std::abs(a - b);
+        return d == 1 || d == numGpus_ - 1;
+    }
+
+    /** Next GPU on the shorter ring arc from @p from toward @p to. */
+    int
+    nextHop(int from, int to) const
+    {
+        int forward = (to - from + numGpus_) % numGpus_;
+        int backward = (from - to + numGpus_) % numGpus_;
+        return forward <= backward ? (from + 1) % numGpus_
+                                   : (from - 1 + numGpus_) % numGpus_;
+    }
+
+    void
+    routePeer(int from, int to, std::uint64_t bytes, bool ctrl,
+              sim::EventQueue::Callback done)
+    {
+        if (from == to)
+            sim::panic("peer route to self");
+        int hop = topology_ == Topology::AllToAll ? to
+                                                  : nextHop(from, to);
+        Link &link = *peers_[peerIdx(from, hop)];
+        auto forward_rest = [this, hop, to, bytes, ctrl,
+                             done = std::move(done)]() mutable {
+            if (hop == to) {
+                done();
+            } else {
+                routePeer(hop, to, bytes, ctrl, std::move(done));
+            }
+        };
+        if (ctrl)
+            link.sendCtrl(bytes, std::move(forward_rest));
+        else
+            link.send(bytes, std::move(forward_rest));
+    }
+
+    std::size_t
+    peerIdx(int from, int to) const
+    {
+        return static_cast<std::size_t>(from) * numGpus_ +
+               static_cast<std::size_t>(to);
+    }
+
+    sim::EventQueue &eq_;
+    int numGpus_;
+    Topology topology_;
+    LinkConfig peerConfig_;
+    std::vector<std::unique_ptr<Link>> up_;
+    std::vector<std::unique_ptr<Link>> down_;
+    std::vector<std::unique_ptr<Link>> peers_;
+};
+
+} // namespace transfw::ic
+
+#endif // TRANSFW_INTERCONNECT_NETWORK_HPP

@@ -1,0 +1,77 @@
+#ifndef TRANSFW_MEM_ADDRESS_HPP
+#define TRANSFW_MEM_ADDRESS_HPP
+
+#include <cstdint>
+
+namespace transfw::mem {
+
+/** Virtual byte address in the unified virtual address space. */
+using VirtAddr = std::uint64_t;
+/** Physical byte address within some device's memory. */
+using PhysAddr = std::uint64_t;
+/** Virtual page number (VA >> page shift of the active geometry). */
+using Vpn = std::uint64_t;
+/** Physical frame number. */
+using Ppn = std::uint64_t;
+
+/** Device identifier: GPUs are numbered 0..N-1. */
+using DeviceId = int;
+/** The host CPU as a page location (UVM pages start here). */
+constexpr DeviceId kCpuDevice = -1;
+
+constexpr unsigned kSmallPageShift = 12; ///< 4 KB base pages
+constexpr unsigned kLargePageShift = 21; ///< 2 MB large pages
+constexpr unsigned kIndexBits = 9;       ///< radix-512 page table nodes
+constexpr unsigned kIndexMask = (1u << kIndexBits) - 1;
+
+/**
+ * Geometry of the radix page table: number of levels and the leaf page
+ * size. The paper's default is a five-level table with 4 KB pages
+ * (leaf PTEs live in level-1 nodes); Section V-B also evaluates a
+ * four-level table, and Section V-G evaluates 2 MB pages (the leaf entry
+ * then lives in the level-2 node, so one fewer level is walked).
+ *
+ * All VPNs handled by a system are in units of the geometry's page size.
+ */
+struct PagingGeometry
+{
+    int levels = 5;                       ///< topmost node level
+    unsigned pageShift = kSmallPageShift; ///< log2(page size)
+
+    /** Node level whose entries are leaf PTEs. */
+    int leafLevel() const { return pageShift == kSmallPageShift ? 1 : 2; }
+
+    /** Memory accesses for a full walk with no PW-cache help. */
+    int walkAccesses() const { return levels - leafLevel() + 1; }
+
+    /** Page size in bytes. */
+    std::uint64_t pageBytes() const { return 1ULL << pageShift; }
+
+    /** Radix index of @p vpn within the level-@p level node. */
+    unsigned
+    index(Vpn vpn, int level) const
+    {
+        return static_cast<unsigned>(
+                   vpn >> (kIndexBits * (level - leafLevel()))) &
+               kIndexMask;
+    }
+
+    /**
+     * The VA prefix that tags a PW-cache entry at level @p level: all
+     * radix indices from the top level down to @p level inclusive.
+     */
+    Vpn
+    prefix(Vpn vpn, int level) const
+    {
+        return vpn >> (kIndexBits * (level - leafLevel()));
+    }
+
+    /** Lowest level cacheable by the PW-cache (leaf PTEs go to TLBs). */
+    int lowestCachedLevel() const { return leafLevel() + 1; }
+
+    Vpn vpnOf(VirtAddr va) const { return va >> pageShift; }
+};
+
+} // namespace transfw::mem
+
+#endif // TRANSFW_MEM_ADDRESS_HPP

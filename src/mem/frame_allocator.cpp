@@ -1,0 +1,29 @@
+#include "mem/frame_allocator.hpp"
+
+#include "sim/logging.hpp"
+
+namespace transfw::mem {
+
+Ppn
+FrameAllocator::allocate()
+{
+    ++allocated_;
+    if (!freeList_.empty()) {
+        Ppn p = freeList_.back();
+        freeList_.pop_back();
+        return p;
+    }
+    if (next_ >= capacity_)
+        sim::fatal("device memory exhausted: workload footprint exceeds "
+                   "device capacity (oversubscription is not modeled)");
+    return next_++;
+}
+
+void
+FrameAllocator::free(Ppn ppn)
+{
+    --allocated_;
+    freeList_.push_back(ppn);
+}
+
+} // namespace transfw::mem

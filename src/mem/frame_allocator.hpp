@@ -1,0 +1,42 @@
+#ifndef TRANSFW_MEM_FRAME_ALLOCATOR_HPP
+#define TRANSFW_MEM_FRAME_ALLOCATOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address.hpp"
+
+namespace transfw::mem {
+
+/**
+ * Physical frame allocator for one device's memory (Table II: 4 GB of
+ * DRAM per GPU). Frames freed by page migration are recycled LIFO.
+ * Exhausting physical memory (UVM oversubscription) is outside the
+ * paper's evaluation and is treated as a fatal configuration error.
+ */
+class FrameAllocator
+{
+  public:
+    FrameAllocator(std::uint64_t mem_bytes, unsigned page_shift)
+        : capacity_(mem_bytes >> page_shift)
+    {}
+
+    /** Allocate one frame; fatal on exhaustion. */
+    Ppn allocate();
+
+    /** Return a frame to the free pool. */
+    void free(Ppn ppn);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t allocated() const { return allocated_; }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t next_ = 0;
+    std::uint64_t allocated_ = 0;
+    std::vector<Ppn> freeList_;
+};
+
+} // namespace transfw::mem
+
+#endif // TRANSFW_MEM_FRAME_ALLOCATOR_HPP

@@ -1,0 +1,130 @@
+#include "mem/page_table.hpp"
+
+#include "sim/logging.hpp"
+
+namespace transfw::mem {
+
+void
+PageTable::map(Vpn vpn, const PageInfo &info)
+{
+    Node *node = &root_;
+    for (int level = geo_.levels; level > geo_.leafLevel(); --level) {
+        unsigned idx = geo_.index(vpn, level);
+        auto &child = node->children[idx];
+        if (!child)
+            child = std::make_unique<Node>();
+        node = child.get();
+    }
+    unsigned leaf_idx = geo_.index(vpn, geo_.leafLevel());
+    auto [it, inserted] = node->leaves.insert_or_assign(leaf_idx, info);
+    (void)it;
+    if (inserted)
+        ++mapped_;
+}
+
+bool
+PageTable::unmap(Vpn vpn)
+{
+    Node *node = &root_;
+    for (int level = geo_.levels; level > geo_.leafLevel(); --level) {
+        auto it = node->children.find(geo_.index(vpn, level));
+        if (it == node->children.end())
+            return false;
+        node = it->second.get();
+    }
+    bool erased = node->leaves.erase(geo_.index(vpn, geo_.leafLevel())) > 0;
+    if (erased)
+        --mapped_;
+    return erased;
+}
+
+const PageInfo *
+PageTable::lookup(Vpn vpn) const
+{
+    const Node *node = &root_;
+    for (int level = geo_.levels; level > geo_.leafLevel(); --level) {
+        auto it = node->children.find(geo_.index(vpn, level));
+        if (it == node->children.end())
+            return nullptr;
+        node = it->second.get();
+    }
+    auto it = node->leaves.find(geo_.index(vpn, geo_.leafLevel()));
+    return it == node->leaves.end() ? nullptr : &it->second;
+}
+
+PageInfo *
+PageTable::lookup(Vpn vpn)
+{
+    return const_cast<PageInfo *>(
+        static_cast<const PageTable *>(this)->lookup(vpn));
+}
+
+const PageTable::Node *
+PageTable::nodeAt(Vpn vpn, int level) const
+{
+    const Node *node = &root_;
+    for (int l = geo_.levels; l > level; --l) {
+        auto it = node->children.find(geo_.index(vpn, l));
+        if (it == node->children.end())
+            return nullptr;
+        node = it->second.get();
+    }
+    return node;
+}
+
+void
+PageTable::forEachMapped(
+    const std::function<void(Vpn, const PageInfo &)> &fn) const
+{
+    // Recursive descent accumulating the VPN from per-level indices.
+    std::function<void(const Node &, int, Vpn)> visit =
+        [&](const Node &node, int level, Vpn prefix) {
+            if (level == geo_.leafLevel()) {
+                for (const auto &[idx, info] : node.leaves)
+                    fn((prefix << kIndexBits) | idx, info);
+                return;
+            }
+            for (const auto &[idx, child] : node.children)
+                visit(*child, level - 1, (prefix << kIndexBits) | idx);
+        };
+    visit(root_, geo_.levels, 0);
+}
+
+WalkResult
+PageTable::walk(Vpn vpn, int pwc_hit_level) const
+{
+    WalkResult res;
+    int start_level =
+        pwc_hit_level ? pwc_hit_level - 1 : geo_.levels;
+    if (pwc_hit_level && (pwc_hit_level > geo_.levels ||
+                          pwc_hit_level < geo_.lowestCachedLevel()))
+        sim::panic("walk started from an invalid PW-cache level");
+
+    const Node *node = nodeAt(vpn, start_level);
+    if (!node) {
+        // The PW-cache claimed a prefix whose subtree does not exist;
+        // intermediate nodes are never freed, so this is a simulator bug.
+        sim::panic("stale PW-cache prefix: intermediate node missing");
+    }
+
+    res.deepestFilled = pwc_hit_level;
+    for (int level = start_level; level >= geo_.leafLevel(); --level) {
+        ++res.accesses; // read the entry in the level-`level` node
+        if (level == geo_.leafLevel()) {
+            auto it = node->leaves.find(geo_.index(vpn, level));
+            if (it == node->leaves.end())
+                return res; // leaf PTE not present: page fault
+            res.present = true;
+            res.info = it->second;
+            return res;
+        }
+        auto it = node->children.find(geo_.index(vpn, level));
+        if (it == node->children.end())
+            return res; // intermediate entry not present: early fault
+        res.deepestFilled = level;
+        node = it->second.get();
+    }
+    return res;
+}
+
+} // namespace transfw::mem

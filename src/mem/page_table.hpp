@@ -1,0 +1,107 @@
+#ifndef TRANSFW_MEM_PAGE_TABLE_HPP
+#define TRANSFW_MEM_PAGE_TABLE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/address.hpp"
+
+namespace transfw::mem {
+
+/**
+ * Leaf page table entry contents. The same structure serves both the
+ * per-GPU local page tables and the UVM centralized page table in host
+ * memory: the central table's @ref owner / @ref replicaMask record which
+ * device(s) hold the valid physical copy (Section II-A), while a local
+ * table's entry describes the page as mapped by that GPU.
+ */
+struct PageInfo
+{
+    Ppn ppn = 0;               ///< frame number on the owning device
+    DeviceId owner = kCpuDevice; ///< device whose memory backs the page
+    std::uint32_t replicaMask = 0; ///< GPUs holding read replicas (bit per GPU)
+    bool writable = true;
+    bool remote = false;       ///< local PTE maps a peer GPU's memory
+                               ///  (remote-mapping mode, Section V-E)
+};
+
+/**
+ * Outcome of a (functional) radix walk used for timing: how many node
+ * accesses the walk performed and whether it reached a present leaf.
+ * A walk terminates early at the first non-present intermediate entry,
+ * so an unmapped region faults after fewer memory accesses than a full
+ * walk.
+ */
+struct WalkResult
+{
+    bool present = false;    ///< leaf PTE found and valid
+    PageInfo info;           ///< valid when @ref present
+    int accesses = 0;        ///< page-table memory accesses performed
+    int deepestFilled = 0;   ///< deepest entry level traversed with a
+                             ///  present entry (for PW-cache fills);
+                             ///  0 when no level was present
+};
+
+/**
+ * A radix page table (4 or 5 levels, 4 KB or 2 MB leaves). Intermediate
+ * nodes are created on first map and never deallocated (matching real
+ * page tables, where node reclamation is rare), which keeps PW-cache
+ * entries for intermediate levels valid across page migrations — only
+ * the leaf PTE changes.
+ */
+class PageTable
+{
+  public:
+    explicit PageTable(PagingGeometry geo) : geo_(geo) {}
+
+    const PagingGeometry &geometry() const { return geo_; }
+
+    /** Install (or overwrite) the leaf PTE for @p vpn. */
+    void map(Vpn vpn, const PageInfo &info);
+
+    /** Clear the leaf PTE for @p vpn. @return true if it was present. */
+    bool unmap(Vpn vpn);
+
+    /** Functional lookup with no walk-cost accounting. */
+    const PageInfo *lookup(Vpn vpn) const;
+    PageInfo *lookup(Vpn vpn);
+
+    /**
+     * Timed walk. @p pwc_hit_level is the level of the longest-matching
+     * PW-cache entry (0 = no PW-cache hit, so the walk starts at the
+     * root). An entry at level k points at the level k-1 node, so the
+     * first node accessed is level k-1 (or the top level with no hit).
+     */
+    WalkResult walk(Vpn vpn, int pwc_hit_level = 0) const;
+
+    /** Number of mapped leaf pages. */
+    std::uint64_t mappedPages() const { return mapped_; }
+
+    /**
+     * Visit every mapped leaf as (vpn, info). Used by consistency
+     * validators (e.g., checking the PRT against the table) and
+     * inspection tooling; order is unspecified.
+     */
+    void forEachMapped(
+        const std::function<void(Vpn, const PageInfo &)> &fn) const;
+
+  private:
+    struct Node
+    {
+        std::unordered_map<unsigned, std::unique_ptr<Node>> children;
+        std::unordered_map<unsigned, PageInfo> leaves;
+    };
+
+    /** Descend functionally to the node at @p level (nullptr if absent). */
+    const Node *nodeAt(Vpn vpn, int level) const;
+
+    PagingGeometry geo_;
+    Node root_;
+    std::uint64_t mapped_ = 0;
+};
+
+} // namespace transfw::mem
+
+#endif // TRANSFW_MEM_PAGE_TABLE_HPP

@@ -1,0 +1,45 @@
+#ifndef TRANSFW_MMU_GPU_IFACE_HPP
+#define TRANSFW_MMU_GPU_IFACE_HPP
+
+#include "mem/address.hpp"
+#include "mem/frame_allocator.hpp"
+#include "mem/page_table.hpp"
+
+namespace transfw::core {
+class PendingRequestTable;
+} // namespace transfw::core
+
+namespace transfw::pwc {
+class PageWalkCache;
+} // namespace transfw::pwc
+
+namespace transfw::mmu {
+
+/**
+ * The per-GPU state the UVM machinery (host MMU, migration engine,
+ * UVM driver) manipulates when pages move: local page table, frame
+ * allocator, TLB shootdown, PRT maintenance, and the GMMU PW-cache for
+ * the remote-hit characterization probe. Implemented by gpu::Gpu;
+ * declared here to break the gpu <-> uvm dependency cycle.
+ */
+class GpuIface
+{
+  public:
+    virtual ~GpuIface() = default;
+
+    virtual mem::PageTable &localPageTable() = 0;
+    virtual mem::FrameAllocator &frames() = 0;
+
+    /** Invalidate @p vpn in this GPU's L1 and L2 TLBs (shootdown). */
+    virtual void invalidateTlbs(mem::Vpn vpn) = 0;
+
+    /** The GPU's PRT (nullptr when Trans-FW is disabled). */
+    virtual core::PendingRequestTable *prt() = 0;
+
+    /** The GMMU PW-cache (for stats-only remote probes). */
+    virtual const pwc::PageWalkCache &gmmuPwc() const = 0;
+};
+
+} // namespace transfw::mmu
+
+#endif // TRANSFW_MMU_GPU_IFACE_HPP

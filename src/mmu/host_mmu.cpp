@@ -1,0 +1,194 @@
+#include "mmu/host_mmu.hpp"
+
+#include "mmu/walk_timing.hpp"
+#include "sim/logging.hpp"
+#include "sim/trace.hpp"
+
+namespace transfw::mmu {
+
+HostMmu::HostMmu(sim::EventQueue &eq, const cfg::SystemConfig &config,
+                 mem::PageTable &central, uvm::MigrationEngine &engine,
+                 core::ForwardingTable *ft, std::vector<GpuIface *> gpus,
+                 sim::Rng &rng)
+    : SimObject(eq, "host_mmu"), cfg_(config), central_(central),
+      engine_(engine), ft_(ft), gpus_(std::move(gpus)), rng_(rng),
+      tlb_("host_mmu.tlb", config.hostTlb),
+      pwc_(pwc::makePwc(config.oracle.infinitePwc ? pwc::PwcKind::Infinite
+                                                  : config.pwcKind,
+                        config.pwcEntries, config.geometry()))
+{
+    engine_.onOwnerChanged = [this](mem::Vpn vpn) { tlb_.invalidate(vpn); };
+}
+
+void
+HostMmu::handleFault(XlatPtr req)
+{
+    // Every arriving fault is looked up and walked independently (the
+    // IOMMU has no cross-GPU fault coalescing); only the *placement*
+    // stage serializes per page, inside the MigrationEngine. Concurrent
+    // faults on one hot page therefore contend for walkers — the host
+    // PW-queue pressure Trans-FW's forwarding relieves.
+    ++stats_.faults;
+    TFW_TRACE(eventq(), "host", "fault vpn=%llx gpu=%d%s",
+              static_cast<unsigned long long>(req->vpn), req->gpu,
+              req->shortCircuited ? " (short-circuited)" : "");
+    admit(std::move(req));
+}
+
+void
+HostMmu::admit(XlatPtr req)
+{
+    req->lat.other += static_cast<double>(tlb_.lookupLatency());
+    schedule(tlb_.lookupLatency(), [this, req = std::move(req)]() mutable {
+        // Fig. 8 characterization: could the owner GPU's PW-cache have
+        // served (a prefix of) this translation?
+        if (const mem::PageInfo *pi = central_.lookup(req->vpn)) {
+            if (pi->owner != mem::kCpuDevice && pi->owner != req->gpu) {
+                int level =
+                    gpus_[static_cast<std::size_t>(pi->owner)]
+                        ->gmmuPwc()
+                        .probe(req->vpn);
+                stats_.remoteProbeLevels.record(
+                    static_cast<std::size_t>(level));
+            }
+        }
+
+        const tlb::TlbEntry *hit = tlb_.lookup(req->vpn);
+        if (hit) {
+            ++stats_.tlbHits;
+            translationKnown(std::move(req), *hit);
+            return;
+        }
+
+        // Trans-FW: FT probed in parallel with the TLB; forward when
+        // the PW-queue is congested past the threshold.
+        bool no_free_walker =
+            busyWalkers_ >= cfg_.hostWalkers && !cfg_.oracle.infiniteWalkers;
+        if (ft_ && forwardToGpu && cfg_.transFw.enableForwarding &&
+            no_free_walker &&
+            queue_.size() >= cfg_.forwardQueueTrigger()) {
+            if (auto owner =
+                    ft_->findOwner(req->vpn, static_cast<int>(gpus_.size()),
+                                   req->gpu)) {
+                ++stats_.forwards;
+                req->remoteForwarded = true;
+                TFW_TRACE(eventq(), "host",
+                          "forward vpn=%llx -> gpu%d (queue=%zu)",
+                          static_cast<unsigned long long>(req->vpn),
+                          *owner, queue_.size());
+                auto rl = std::make_shared<RemoteLookup>();
+                rl->req = req;
+                rl->targetGpu = *owner;
+                rl->tForwarded = curTick();
+                forwardToGpu(std::move(rl));
+            }
+        }
+
+        if (cfg_.oracle.infiniteWalkers) {
+            startWalk(std::move(req));
+            return;
+        }
+        queue_.push_back(QueueEntry{std::move(req), curTick()});
+        stats_.maxQueueDepth =
+            std::max(stats_.maxQueueDepth, queue_.size());
+        if (queue_.size() > cfg_.hostPwQueue)
+            ++stats_.queueOverflows;
+        tryDispatch();
+    });
+}
+
+void
+HostMmu::tryDispatch()
+{
+    while (busyWalkers_ < cfg_.hostWalkers && !queue_.empty()) {
+        QueueEntry entry = std::move(queue_.front());
+        queue_.pop_front();
+        if (entry.req->hostWalkCancelled || entry.req->translationResolved) {
+            // Pulled out by a successful remote lookup (Section IV-C).
+            ++stats_.removedFromQueue;
+            continue;
+        }
+        sim::Tick wait = curTick() - entry.enqueued;
+        stats_.queueWait.record(static_cast<double>(wait));
+        entry.req->lat.hostQueue += static_cast<double>(wait);
+        startWalk(std::move(entry.req));
+    }
+}
+
+void
+HostMmu::startWalk(XlatPtr req)
+{
+    ++busyWalkers_;
+    ++stats_.walks;
+    int hit_level = pwc_->lookup(req->vpn);
+    mem::WalkResult walk = central_.walk(req->vpn, hit_level);
+    if (!walk.present)
+        sim::panic("central page table is missing a UVM page");
+    WalkTiming timing = walkTiming(walk.accesses, cfg_.asap, rng_);
+    stats_.memAccesses +=
+        static_cast<std::uint64_t>(timing.countedAccesses);
+    req->lat.hostMem +=
+        static_cast<double>(timing.serialAccesses * cfg_.memLatency);
+
+    sim::Tick latency =
+        static_cast<sim::Tick>(timing.serialAccesses) * cfg_.memLatency;
+    schedule(latency, [this, req = std::move(req), walk,
+                       hit_level]() mutable {
+        int start_node =
+            hit_level ? hit_level - 1 : central_.geometry().levels;
+        for (int level = walk.deepestFilled; level <= start_node; ++level) {
+            if (level >= central_.geometry().lowestCachedLevel())
+                pwc_->fill(req->vpn, level);
+        }
+        --busyWalkers_;
+        tryDispatch();
+
+        tlb::TlbEntry entry{walk.info.ppn, walk.info.owner,
+                            walk.info.writable, false};
+        tlb_.fill(req->vpn, entry);
+
+        if (req->translationResolved) {
+            // A remote lookup won the race; this walk was the
+            // replicated work Fig. 14 quantifies.
+            ++stats_.duplicateWalks;
+            return;
+        }
+        translationKnown(std::move(req), entry);
+    });
+}
+
+void
+HostMmu::remoteLookupDone(RemoteLookupPtr rl)
+{
+    XlatPtr req = rl->req;
+    if (!rl->success) {
+        ++stats_.forwardFail;
+        return; // the host walk proceeds as queued
+    }
+    ++stats_.forwardSuccess;
+    if (req->translationResolved)
+        return; // host walk already finished first
+    req->hostWalkCancelled = true;
+    req->resolvedByRemote = true;
+    // The remote GPU supplied (ppn, owner) from its own table.
+    translationKnown(std::move(req), rl->result);
+}
+
+void
+HostMmu::translationKnown(XlatPtr req, const tlb::TlbEntry &entry)
+{
+    req->translationResolved = true;
+    (void)entry; // placement decisions read the central entry directly
+    engine_.resolve(req, [this, req](const tlb::TlbEntry &final_entry) {
+        finishFault(req, final_entry);
+    });
+}
+
+void
+HostMmu::finishFault(XlatPtr req, const tlb::TlbEntry &entry)
+{
+    req->result = entry;
+    onResolved(std::move(req));
+}
+
+} // namespace transfw::mmu

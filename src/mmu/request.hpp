@@ -1,0 +1,74 @@
+#ifndef TRANSFW_MMU_REQUEST_HPP
+#define TRANSFW_MMU_REQUEST_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "mem/address.hpp"
+#include "sim/ticks.hpp"
+#include "stats/stats.hpp"
+#include "tlb/tlb.hpp"
+
+namespace transfw::mmu {
+
+/**
+ * One outstanding address translation that missed the GPU L2 TLB (the
+ * unit of work for the whole GMMU / host MMU machinery). Requests are
+ * heap-allocated and shared between the GMMU, the host MMU's per-page
+ * fault lists, and any in-flight remote lookup referencing them.
+ */
+struct XlatRequest
+{
+    std::uint64_t id = 0;
+    mem::Vpn vpn = 0;   ///< in system page units (4 KB or 2 MB)
+    int gpu = 0;        ///< requesting GPU
+    int cu = 0;         ///< requesting CU (for L1 fill)
+    bool isWrite = false;
+    bool protectionFault = false; ///< write hit on a read-only replica
+
+    sim::Tick tIssue = 0;      ///< when the L2 TLB miss entered the GMMU path
+    sim::Tick tHostArrive = 0; ///< when the fault reached the host side
+
+    /** Per-component latency, accumulated as the request moves. */
+    stats::LatencyBreakdown lat;
+
+    // --- lifecycle flags ---------------------------------------------------
+    bool shortCircuited = false;   ///< PRT miss skipped the local walk
+    bool faulted = false;          ///< went through the far-fault path
+    bool translationResolved = false; ///< owner/PA known (first wins)
+    bool hostWalkCancelled = false;   ///< removed from host PW-queue after
+                                      ///  a successful remote lookup
+    bool remoteForwarded = false;     ///< an FT forward was launched
+    bool resolvedByRemote = false;    ///< a remote lookup supplied the
+                                      ///  translation: the owner pushes the
+                                      ///  page and replies to the requester
+                                      ///  directly (Fig. 10, path I)
+
+    /** Final translation delivered back to the requesting GPU. */
+    tlb::TlbEntry result;
+
+    /** Invoked by the requesting GPU when the translation completes. */
+    std::function<void()> onComplete;
+};
+
+using XlatPtr = std::shared_ptr<XlatRequest>;
+
+/**
+ * A Trans-FW remote lookup: the host MMU borrowing a peer GPU's
+ * PT-walk machinery for a congested fault (Section IV-C).
+ */
+struct RemoteLookup
+{
+    XlatPtr req;        ///< the fault being short-circuited
+    int targetGpu = 0;  ///< owner candidate from the Forwarding Table
+    bool success = false;
+    tlb::TlbEntry result;
+    sim::Tick tForwarded = 0;
+};
+
+using RemoteLookupPtr = std::shared_ptr<RemoteLookup>;
+
+} // namespace transfw::mmu
+
+#endif // TRANSFW_MMU_REQUEST_HPP

@@ -1,0 +1,40 @@
+#ifndef TRANSFW_MMU_WALK_TIMING_HPP
+#define TRANSFW_MMU_WALK_TIMING_HPP
+
+#include "config/config.hpp"
+#include "sim/random.hpp"
+
+namespace transfw::mmu {
+
+/** Serialized latency and access accounting for one PT-walk. */
+struct WalkTiming
+{
+    int serialAccesses = 0;  ///< accesses on the latency critical path
+    int countedAccesses = 0; ///< total memory accesses issued
+};
+
+/**
+ * Compute the timing of a walk needing @p accesses page-table memory
+ * reads. ASAP-style prefetching (Section V-H) predicts the addresses
+ * of the two lowest levels from flattened offsets as soon as the walk
+ * starts: when the prediction is right those reads overlap the upper
+ * levels (shorter serial chain, same access count); when wrong, the
+ * two prefetches are wasted extra accesses.
+ */
+inline WalkTiming
+walkTiming(int accesses, const cfg::AsapConfig &asap, sim::Rng &rng)
+{
+    WalkTiming t{accesses, accesses};
+    if (asap.enabled && accesses >= 3) {
+        if (rng.chance(asap.accuracy)) {
+            t.serialAccesses = accesses - 2;
+        } else {
+            t.countedAccesses = accesses + 2;
+        }
+    }
+    return t;
+}
+
+} // namespace transfw::mmu
+
+#endif // TRANSFW_MMU_WALK_TIMING_HPP

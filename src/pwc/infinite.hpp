@@ -1,0 +1,52 @@
+#ifndef TRANSFW_PWC_INFINITE_HPP
+#define TRANSFW_PWC_INFINITE_HPP
+
+#include <unordered_set>
+
+#include "pwc/pwc.hpp"
+
+namespace transfw::pwc {
+
+/**
+ * Oracle PW-cache with unbounded capacity (only cold misses), used for
+ * the Section III-B "room for improvement" study (Fig. 4, first bar).
+ */
+class InfinitePwc : public PageWalkCache
+{
+  public:
+    explicit InfinitePwc(mem::PagingGeometry geo) : PageWalkCache(geo) {}
+
+    int lookup(mem::Vpn vpn) override
+    {
+        int level = probe(vpn);
+        recordLookup(level);
+        return level;
+    }
+
+    int probe(mem::Vpn vpn) const override
+    {
+        for (int level = geo_.lowestCachedLevel(); level <= geo_.levels;
+             ++level) {
+            std::uint64_t tag = (geo_.prefix(vpn, level) << 3) |
+                                static_cast<unsigned>(level);
+            if (entries_.count(tag))
+                return level;
+        }
+        return 0;
+    }
+
+    void fill(mem::Vpn vpn, int level) override
+    {
+        entries_.insert((geo_.prefix(vpn, level) << 3) |
+                        static_cast<unsigned>(level));
+    }
+
+    void invalidateAll() override { entries_.clear(); }
+
+  private:
+    std::unordered_set<std::uint64_t> entries_;
+};
+
+} // namespace transfw::pwc
+
+#endif // TRANSFW_PWC_INFINITE_HPP

@@ -1,0 +1,24 @@
+#include "pwc/pwc.hpp"
+
+#include "pwc/infinite.hpp"
+#include "pwc/stc.hpp"
+#include "pwc/utc.hpp"
+#include "sim/logging.hpp"
+
+namespace transfw::pwc {
+
+std::unique_ptr<PageWalkCache>
+makePwc(PwcKind kind, std::size_t entries, mem::PagingGeometry geo)
+{
+    switch (kind) {
+      case PwcKind::Utc:
+        return std::make_unique<UnifiedTranslationCache>(entries, geo);
+      case PwcKind::Stc:
+        return std::make_unique<SplitTranslationCache>(geo);
+      case PwcKind::Infinite:
+        return std::make_unique<InfinitePwc>(geo);
+    }
+    sim::panic("unknown PW-cache kind");
+}
+
+} // namespace transfw::pwc

@@ -1,0 +1,81 @@
+#ifndef TRANSFW_PWC_PWC_HPP
+#define TRANSFW_PWC_PWC_HPP
+
+#include <memory>
+#include <string>
+
+#include "mem/address.hpp"
+#include "stats/stats.hpp"
+
+namespace transfw::pwc {
+
+/**
+ * Page walk cache (MMU cache) interface. Entries cache intermediate
+ * page-table entries tagged by VA prefix: a level-k entry maps the radix
+ * indices from the top level down to level k onto the level k-1 node
+ * pointer, so a hit at level k leaves (k - leafLevel) memory accesses to
+ * finish the walk. Leaf PTEs are cached in the TLBs, not here.
+ */
+class PageWalkCache
+{
+  public:
+    explicit PageWalkCache(mem::PagingGeometry geo) : geo_(geo) {}
+    virtual ~PageWalkCache() = default;
+
+    /**
+     * Find the longest matching prefix for @p vpn, updating recency.
+     * @return the entry level of the match (lowestCachedLevel()..levels),
+     * or 0 when nothing matches (walk starts at the root).
+     */
+    virtual int lookup(mem::Vpn vpn) = 0;
+
+    /** Recency-neutral lookup used for remote-hit characterization. */
+    virtual int probe(mem::Vpn vpn) const = 0;
+
+    /** Install the level-@p level entry covering @p vpn. */
+    virtual void fill(mem::Vpn vpn, int level) = 0;
+
+    /** Drop every entry. */
+    virtual void invalidateAll() = 0;
+
+    const mem::PagingGeometry &geometry() const { return geo_; }
+
+    /**
+     * Hit-level histogram: bucket i>0 counts lookups whose longest match
+     * was entry level i; bucket 0 counts complete misses. Filled by
+     * lookup(), not probe().
+     */
+    const stats::BucketHistogram &hitLevels() const { return hitLevels_; }
+    std::uint64_t lookups() const { return lookups_; }
+
+    /** Record a lookup outcome (shared by implementations). */
+    void
+    recordLookup(int level)
+    {
+        ++lookups_;
+        hitLevels_.record(static_cast<std::size_t>(level));
+    }
+
+  protected:
+    mem::PagingGeometry geo_;
+
+  private:
+    stats::BucketHistogram hitLevels_{8};
+    std::uint64_t lookups_ = 0;
+};
+
+/** PW-cache organization selector (Section V-C). */
+enum class PwcKind
+{
+    Utc,      ///< Unified Translation Cache: one array, mixed levels
+    Stc,      ///< Split Translation Cache: one array per level
+    Infinite, ///< oracle: unbounded, only cold misses (Section III-B)
+};
+
+/** Factory: build a PW-cache of @p kind with @p entries total capacity. */
+std::unique_ptr<PageWalkCache> makePwc(PwcKind kind, std::size_t entries,
+                                       mem::PagingGeometry geo);
+
+} // namespace transfw::pwc
+
+#endif // TRANSFW_PWC_PWC_HPP

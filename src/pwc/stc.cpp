@@ -1,0 +1,56 @@
+#include "pwc/stc.hpp"
+
+namespace transfw::pwc {
+
+SplitTranslationCache::SplitTranslationCache(mem::PagingGeometry geo)
+    : PageWalkCache(geo)
+{
+    // Paper configuration: L2:64, L3:32, L4:16, L5:16 entries.
+    static constexpr std::size_t sizes[] = {64, 32, 16, 16};
+    int cached_levels = geo_.levels - geo_.lowestCachedLevel() + 1;
+    for (int i = 0; i < cached_levels; ++i) {
+        std::size_t entries = sizes[std::min(i, 3)];
+        arrays_.emplace_back(entries, std::min<std::size_t>(entries, 4));
+    }
+}
+
+int
+SplitTranslationCache::lookup(mem::Vpn vpn)
+{
+    for (int level = geo_.lowestCachedLevel(); level <= geo_.levels;
+         ++level) {
+        std::uint64_t tag = geo_.prefix(vpn, level);
+        if (arrayFor(level).lookup(tag)) {
+            recordLookup(level);
+            return level;
+        }
+    }
+    recordLookup(0);
+    return 0;
+}
+
+int
+SplitTranslationCache::probe(mem::Vpn vpn) const
+{
+    for (int level = geo_.lowestCachedLevel(); level <= geo_.levels;
+         ++level) {
+        if (arrayFor(level).probe(geo_.prefix(vpn, level)))
+            return level;
+    }
+    return 0;
+}
+
+void
+SplitTranslationCache::fill(mem::Vpn vpn, int level)
+{
+    arrayFor(level).insert(geo_.prefix(vpn, level), {});
+}
+
+void
+SplitTranslationCache::invalidateAll()
+{
+    for (auto &array : arrays_)
+        array.invalidateAll();
+}
+
+} // namespace transfw::pwc

@@ -1,0 +1,48 @@
+#ifndef TRANSFW_PWC_STC_HPP
+#define TRANSFW_PWC_STC_HPP
+
+#include <vector>
+
+#include "cache/set_assoc.hpp"
+#include "pwc/pwc.hpp"
+
+namespace transfw::pwc {
+
+/**
+ * Split Translation Cache (Section V-C): one array per page-table
+ * level, so levels do not compete for capacity. The paper's sizing —
+ * 16 entries for L5, 16 for L4, 32 for L3, 64 for L2 — is applied from
+ * the lowest cached level upward (the largest array serves the longest
+ * prefixes); four-level tables drop the topmost array.
+ */
+class SplitTranslationCache : public PageWalkCache
+{
+  public:
+    explicit SplitTranslationCache(mem::PagingGeometry geo);
+
+    int lookup(mem::Vpn vpn) override;
+    int probe(mem::Vpn vpn) const override;
+    void fill(mem::Vpn vpn, int level) override;
+    void invalidateAll() override;
+
+  private:
+    struct Empty
+    {};
+    /** arrays_[0] serves lowestCachedLevel(), upward from there. */
+    std::vector<cache::SetAssoc<Empty>> arrays_;
+
+    cache::SetAssoc<Empty> &arrayFor(int level)
+    {
+        return arrays_[static_cast<std::size_t>(
+            level - geo_.lowestCachedLevel())];
+    }
+    const cache::SetAssoc<Empty> &arrayFor(int level) const
+    {
+        return arrays_[static_cast<std::size_t>(
+            level - geo_.lowestCachedLevel())];
+    }
+};
+
+} // namespace transfw::pwc
+
+#endif // TRANSFW_PWC_STC_HPP

@@ -1,0 +1,45 @@
+#include "pwc/utc.hpp"
+
+namespace transfw::pwc {
+
+UnifiedTranslationCache::UnifiedTranslationCache(std::size_t entries,
+                                                 mem::PagingGeometry geo,
+                                                 std::size_t ways)
+    : PageWalkCache(geo),
+      array_(entries, entries % ways == 0 ? ways : entries)
+{}
+
+int
+UnifiedTranslationCache::lookup(mem::Vpn vpn)
+{
+    // Longest prefix = lowest entry level; scan upward and stop at the
+    // first match (the UTC does this with a single parallel tag check).
+    for (int level = geo_.lowestCachedLevel(); level <= geo_.levels;
+         ++level) {
+        if (array_.lookup(key(vpn, level))) {
+            recordLookup(level);
+            return level;
+        }
+    }
+    recordLookup(0);
+    return 0;
+}
+
+int
+UnifiedTranslationCache::probe(mem::Vpn vpn) const
+{
+    for (int level = geo_.lowestCachedLevel(); level <= geo_.levels;
+         ++level) {
+        if (array_.probe(key(vpn, level)))
+            return level;
+    }
+    return 0;
+}
+
+void
+UnifiedTranslationCache::fill(mem::Vpn vpn, int level)
+{
+    array_.insert(key(vpn, level), {});
+}
+
+} // namespace transfw::pwc

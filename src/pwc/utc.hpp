@@ -1,0 +1,41 @@
+#ifndef TRANSFW_PWC_UTC_HPP
+#define TRANSFW_PWC_UTC_HPP
+
+#include "cache/set_assoc.hpp"
+#include "pwc/pwc.hpp"
+
+namespace transfw::pwc {
+
+/**
+ * Unified Translation Cache (Intel's UTC, adopted by the paper as the
+ * default PW-cache): entries from all page-table levels share a single
+ * set-associative array. A lookup checks every level's tag for @p vpn
+ * and returns the longest matching prefix in one access.
+ */
+class UnifiedTranslationCache : public PageWalkCache
+{
+  public:
+    UnifiedTranslationCache(std::size_t entries, mem::PagingGeometry geo,
+                            std::size_t ways = 4);
+
+    int lookup(mem::Vpn vpn) override;
+    int probe(mem::Vpn vpn) const override;
+    void fill(mem::Vpn vpn, int level) override;
+    void invalidateAll() override { array_.invalidateAll(); }
+
+  private:
+    /** Tag: the VA prefix with the entry level in the low bits. */
+    std::uint64_t
+    key(mem::Vpn vpn, int level) const
+    {
+        return (geo_.prefix(vpn, level) << 3) | static_cast<unsigned>(level);
+    }
+
+    struct Empty
+    {};
+    cache::SetAssoc<Empty> array_;
+};
+
+} // namespace transfw::pwc
+
+#endif // TRANSFW_PWC_UTC_HPP

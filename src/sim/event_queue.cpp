@@ -1,0 +1,45 @@
+#include "sim/event_queue.hpp"
+
+#include "sim/logging.hpp"
+
+namespace transfw::sim {
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic(strfmt("event scheduled in the past: %llu < %llu",
+                     static_cast<unsigned long long>(when),
+                     static_cast<unsigned long long>(now_)));
+    heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+std::uint64_t
+EventQueue::run(Tick until)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        // Move the callback out before popping so re-entrant schedules
+        // during the callback see a consistent heap.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+        ++executed;
+    }
+    return executed;
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    Entry e = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    now_ = e.when;
+    e.cb();
+    return true;
+}
+
+} // namespace transfw::sim

@@ -1,0 +1,79 @@
+#ifndef TRANSFW_SIM_EVENT_QUEUE_HPP
+#define TRANSFW_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/ticks.hpp"
+
+namespace transfw::sim {
+
+/**
+ * Discrete-event simulation kernel.
+ *
+ * Components schedule callbacks at absolute or relative ticks; run()
+ * drains events in (tick, insertion-order) order, which makes execution
+ * fully deterministic: two events at the same tick fire in the order
+ * they were scheduled.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to fire @p delay ticks from now. */
+    void schedule(Tick delay, Callback cb) { scheduleAt(now_ + delay, std::move(cb)); }
+
+    /**
+     * Schedule @p cb at absolute tick @p when.
+     * Scheduling in the past is an invariant violation (panics).
+     */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Execute events until the queue drains or the next event lies past
+     * @p until. @return the number of events executed.
+     */
+    std::uint64_t run(Tick until = kMaxTick);
+
+    /** Execute exactly one event if available. @return true if one ran. */
+    bool runOne();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+} // namespace transfw::sim
+
+#endif // TRANSFW_SIM_EVENT_QUEUE_HPP

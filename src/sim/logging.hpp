@@ -1,0 +1,38 @@
+#ifndef TRANSFW_SIM_LOGGING_HPP
+#define TRANSFW_SIM_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace transfw::sim {
+
+/**
+ * printf-style formatting into a std::string. Used by the logging
+ * helpers below; also handy for building stat labels.
+ */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate the simulation due to a user error (bad configuration,
+ * invalid arguments). Mirrors gem5's fatal(): exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Terminate the simulation due to an internal invariant violation
+ * (a simulator bug, not a user error). Mirrors gem5's panic(): aborts.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+/** Informational message to stderr. Suppressed when quiet mode is set. */
+void inform(const std::string &msg);
+
+/** Globally silence inform() output (benches use this). */
+void setQuiet(bool quiet);
+
+} // namespace transfw::sim
+
+#endif // TRANSFW_SIM_LOGGING_HPP

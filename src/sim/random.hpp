@@ -1,0 +1,43 @@
+#ifndef TRANSFW_SIM_RANDOM_HPP
+#define TRANSFW_SIM_RANDOM_HPP
+
+#include <cstdint>
+
+namespace transfw::sim {
+
+/**
+ * Deterministic pseudo-random number generator (SplitMix64-seeded
+ * xoshiro256**). Every source of randomness in the simulator draws from
+ * an instance of this class so that a given (config, seed) pair always
+ * produces bit-identical results.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via SplitMix64. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t range(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** SplitMix64 step usable as a standalone stateless mixer. */
+    static std::uint64_t splitmix(std::uint64_t &state);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace transfw::sim
+
+#endif // TRANSFW_SIM_RANDOM_HPP

@@ -1,0 +1,21 @@
+#ifndef TRANSFW_SIM_TICKS_HPP
+#define TRANSFW_SIM_TICKS_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace transfw::sim {
+
+/**
+ * Simulation time unit. One tick equals one cycle of the unified 1 GHz
+ * clock domain (Table II runs the CUs at 1.0 GHz; all Table II latencies
+ * are expressed in these cycles).
+ */
+using Tick = std::uint64_t;
+
+/** Sentinel for "run forever" / "never scheduled". */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+} // namespace transfw::sim
+
+#endif // TRANSFW_SIM_TICKS_HPP

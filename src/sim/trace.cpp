@@ -1,0 +1,105 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_set>
+
+#include "sim/logging.hpp"
+
+namespace transfw::sim::trace {
+
+namespace {
+
+struct State
+{
+    bool any = false;
+    bool all = false;
+    bool envChecked = false;
+    std::unordered_set<std::string> categories;
+    std::function<void(const std::string &)> sink;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+} // namespace
+
+void
+enable(const std::string &category)
+{
+    State &s = state();
+    if (category == "all")
+        s.all = true;
+    else
+        s.categories.insert(category);
+    s.any = true;
+}
+
+void
+disableAll()
+{
+    State &s = state();
+    s.any = false;
+    s.all = false;
+    s.categories.clear();
+}
+
+void
+initFromEnv()
+{
+    State &s = state();
+    s.envChecked = true;
+    const char *env = std::getenv("TRANSFW_TRACE");
+    if (!env)
+        return;
+    std::stringstream ss(env);
+    std::string category;
+    while (std::getline(ss, category, ','))
+        if (!category.empty())
+            enable(category);
+}
+
+bool
+anyEnabled()
+{
+    State &s = state();
+    if (!s.envChecked)
+        initFromEnv();
+    return s.any;
+}
+
+bool
+enabled(const std::string &category)
+{
+    State &s = state();
+    if (!s.envChecked)
+        initFromEnv();
+    return s.all || s.categories.count(category) > 0;
+}
+
+void
+setSink(std::function<void(const std::string &)> sink)
+{
+    state().sink = std::move(sink);
+}
+
+void
+log(Tick tick, const std::string &category, const std::string &message)
+{
+    std::string line = strfmt("%12llu: %s: %s",
+                              static_cast<unsigned long long>(tick),
+                              category.c_str(), message.c_str());
+    State &s = state();
+    if (s.sink)
+        s.sink(line);
+    else
+        std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+} // namespace transfw::sim::trace

@@ -1,0 +1,60 @@
+#ifndef TRANSFW_SIM_TRACE_HPP
+#define TRANSFW_SIM_TRACE_HPP
+
+#include <functional>
+#include <string>
+
+#include "sim/ticks.hpp"
+
+namespace transfw::sim::trace {
+
+/**
+ * Category-gated debug tracing, in the spirit of gem5's DPRINTF.
+ * Categories are free-form strings ("gmmu", "host", "migration",
+ * "driver", "gpu"); enable them programmatically or via the
+ * TRANSFW_TRACE environment variable (comma-separated, or "all").
+ * Disabled categories cost one hash lookup guarded by a global flag,
+ * so instrumented hot paths stay cheap when tracing is off.
+ *
+ * Output goes to stderr by default; tests install a custom sink.
+ */
+
+/** Enable one category ("all" enables everything). */
+void enable(const std::string &category);
+
+/** Disable everything (also clears a custom sink's backlog source). */
+void disableAll();
+
+/** True when @p category (or "all") is enabled. */
+bool enabled(const std::string &category);
+
+/** Re-read TRANSFW_TRACE from the environment (called lazily too). */
+void initFromEnv();
+
+/** Replace the output sink (nullptr restores stderr). */
+void setSink(std::function<void(const std::string &)> sink);
+
+/** Emit one record: "<tick>: <category>: <message>". */
+void log(Tick tick, const std::string &category,
+         const std::string &message);
+
+/** True when any category is enabled (fast pre-check). */
+bool anyEnabled();
+
+} // namespace transfw::sim::trace
+
+/**
+ * Trace macro: evaluates its message arguments only when the category
+ * is live. @p eq_expr must yield an EventQueue (for the timestamp).
+ */
+#define TFW_TRACE(eq_expr, category, ...)                                  \
+    do {                                                                   \
+        if (::transfw::sim::trace::anyEnabled() &&                         \
+            ::transfw::sim::trace::enabled(category)) {                    \
+            ::transfw::sim::trace::log((eq_expr).now(), category,          \
+                                       ::transfw::sim::strfmt(             \
+                                           __VA_ARGS__));                  \
+        }                                                                  \
+    } while (0)
+
+#endif // TRANSFW_SIM_TRACE_HPP

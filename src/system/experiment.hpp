@@ -1,0 +1,75 @@
+#ifndef TRANSFW_SYSTEM_EXPERIMENT_HPP
+#define TRANSFW_SYSTEM_EXPERIMENT_HPP
+
+#include <string>
+
+#include "config/config.hpp"
+#include "system/results.hpp"
+#include "system/system.hpp"
+#include "workload/workload.hpp"
+
+namespace transfw::sys {
+
+/** The paper's Table II baseline configuration (host-MMU far faults). */
+cfg::SystemConfig baselineConfig();
+
+/** Baseline plus Trans-FW with the paper's default PRT/FT/threshold. */
+cfg::SystemConfig transFwConfig();
+
+/**
+ * Run one application (Table III abbreviation) under @p config.
+ * @p scale multiplies per-CTA work; scale <= 0 reads the
+ * TRANSFW_SCALE environment variable (default 1.0), letting slow
+ * machines shrink every experiment uniformly.
+ */
+SimResults runApp(const std::string &abbr, const cfg::SystemConfig &config,
+                  double scale = 0.0);
+
+/** Run an arbitrary workload under @p config. */
+SimResults runWorkload(const wl::Workload &workload,
+                       const cfg::SystemConfig &config);
+
+/** Relative speedup of @p candidate over @p baseline (1.0 = equal). */
+inline double
+speedup(const SimResults &baseline, const SimResults &candidate)
+{
+    return candidate.execTime
+               ? static_cast<double>(baseline.execTime) /
+                     static_cast<double>(candidate.execTime)
+               : 0.0;
+}
+
+/** Effective work scale (TRANSFW_SCALE env var or 1.0). */
+double effectiveScale(double requested);
+
+/** Mean / stddev / extrema of a metric across seeds. */
+struct SeedStats
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    int seeds = 0;
+};
+
+/**
+ * Run @p abbr under @p config with seeds 1..n_seeds and summarize the
+ * execution times (the simulator is deterministic per seed; this
+ * quantifies sensitivity to the workload's random draws).
+ */
+SeedStats execTimeAcrossSeeds(const std::string &abbr,
+                              const cfg::SystemConfig &config,
+                              int n_seeds, double scale = 0.0);
+
+/**
+ * Speedup of @p variant over @p baseline per seed, summarized. Use to
+ * attach error bars to any headline number.
+ */
+SeedStats speedupAcrossSeeds(const std::string &abbr,
+                             const cfg::SystemConfig &baseline,
+                             const cfg::SystemConfig &variant,
+                             int n_seeds, double scale = 0.0);
+
+} // namespace transfw::sys
+
+#endif // TRANSFW_SYSTEM_EXPERIMENT_HPP

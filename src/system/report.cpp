@@ -1,0 +1,201 @@
+#include "system/report.hpp"
+
+#include <sstream>
+
+#include "sim/logging.hpp"
+
+namespace transfw::sys {
+
+namespace {
+
+/** The scalar fields exported by name, in a fixed order for CSV. */
+struct Field
+{
+    const char *name;
+    double (*get)(const SimResults &);
+};
+
+const Field kFields[] = {
+    {"exec.cycles", [](const SimResults &r) {
+         return static_cast<double>(r.execTime);
+     }},
+    {"exec.instructions", [](const SimResults &r) {
+         return static_cast<double>(r.instructions);
+     }},
+    {"exec.memOps", [](const SimResults &r) {
+         return static_cast<double>(r.memOps);
+     }},
+    {"exec.pageAccesses", [](const SimResults &r) {
+         return static_cast<double>(r.pageAccesses);
+     }},
+    {"xlat.l2Misses", [](const SimResults &r) {
+         return static_cast<double>(r.l2TlbMisses);
+     }},
+    {"fault.count", [](const SimResults &r) {
+         return static_cast<double>(r.farFaults);
+     }},
+    {"fault.pfpki", [](const SimResults &r) { return r.pfpki(); }},
+    {"xlat.avgLatency", [](const SimResults &r) {
+         return r.avgXlatLatency;
+     }},
+    {"xlat.gmmuQueue", [](const SimResults &r) {
+         return r.xlat.gmmuQueue;
+     }},
+    {"xlat.gmmuMem", [](const SimResults &r) { return r.xlat.gmmuMem; }},
+    {"xlat.hostQueue", [](const SimResults &r) {
+         return r.xlat.hostQueue;
+     }},
+    {"xlat.hostMem", [](const SimResults &r) { return r.xlat.hostMem; }},
+    {"xlat.migration", [](const SimResults &r) {
+         return r.xlat.migration;
+     }},
+    {"xlat.network", [](const SimResults &r) { return r.xlat.network; }},
+    {"xlat.other", [](const SimResults &r) { return r.xlat.other; }},
+    {"tlb.l1HitRate", [](const SimResults &r) { return r.l1HitRate; }},
+    {"tlb.l2HitRate", [](const SimResults &r) { return r.l2HitRate; }},
+    {"tlb.hostHitRate", [](const SimResults &r) {
+         return r.hostTlbHitRate;
+     }},
+    {"queue.gmmuWaitMean", [](const SimResults &r) {
+         return r.gmmuQueueWaitMean;
+     }},
+    {"queue.hostWaitMean", [](const SimResults &r) {
+         return r.hostQueueWaitMean;
+     }},
+    {"walk.host", [](const SimResults &r) {
+         return static_cast<double>(r.hostWalks);
+     }},
+    {"walk.hostMemAccesses", [](const SimResults &r) {
+         return static_cast<double>(r.hostWalkMemAccesses);
+     }},
+    {"walk.gmmuMemAccesses", [](const SimResults &r) {
+         return static_cast<double>(r.gmmuWalkMemAccesses);
+     }},
+    {"walk.gmmuRemoteMemAccesses", [](const SimResults &r) {
+         return static_cast<double>(r.gmmuRemoteMemAccesses);
+     }},
+    {"transfw.shortCircuits", [](const SimResults &r) {
+         return static_cast<double>(r.shortCircuits);
+     }},
+    {"transfw.prtLookups", [](const SimResults &r) {
+         return static_cast<double>(r.prtLookups);
+     }},
+    {"transfw.prtHits", [](const SimResults &r) {
+         return static_cast<double>(r.prtHits);
+     }},
+    {"transfw.ftLookups", [](const SimResults &r) {
+         return static_cast<double>(r.ftLookups);
+     }},
+    {"transfw.ftHits", [](const SimResults &r) {
+         return static_cast<double>(r.ftHits);
+     }},
+    {"transfw.forwards", [](const SimResults &r) {
+         return static_cast<double>(r.forwards);
+     }},
+    {"transfw.forwardSuccess", [](const SimResults &r) {
+         return static_cast<double>(r.forwardSuccess);
+     }},
+    {"transfw.forwardFail", [](const SimResults &r) {
+         return static_cast<double>(r.forwardFail);
+     }},
+    {"transfw.duplicateWalks", [](const SimResults &r) {
+         return static_cast<double>(r.duplicateWalks);
+     }},
+    {"transfw.removedFromQueue", [](const SimResults &r) {
+         return static_cast<double>(r.removedFromQueue);
+     }},
+    {"transfw.prtOverflows", [](const SimResults &r) {
+         return static_cast<double>(r.prtOverflows);
+     }},
+    {"transfw.ftOverflows", [](const SimResults &r) {
+         return static_cast<double>(r.ftOverflows);
+     }},
+    {"queue.gmmuOverflows", [](const SimResults &r) {
+         return static_cast<double>(r.gmmuQueueOverflows);
+     }},
+    {"queue.hostOverflows", [](const SimResults &r) {
+         return static_cast<double>(r.hostQueueOverflows);
+     }},
+    {"migration.count", [](const SimResults &r) {
+         return static_cast<double>(r.migrations);
+     }},
+    {"migration.replications", [](const SimResults &r) {
+         return static_cast<double>(r.replications);
+     }},
+    {"migration.writeInvalidations", [](const SimResults &r) {
+         return static_cast<double>(r.writeInvalidations);
+     }},
+    {"migration.remoteMappings", [](const SimResults &r) {
+         return static_cast<double>(r.remoteMappings);
+     }},
+    {"migration.counterMigrations", [](const SimResults &r) {
+         return static_cast<double>(r.counterMigrations);
+     }},
+    {"migration.bytesMoved", [](const SimResults &r) {
+         return static_cast<double>(r.bytesMoved);
+     }},
+    {"sharing.reads", [](const SimResults &r) {
+         return static_cast<double>(r.sharedPageReads);
+     }},
+    {"sharing.writes", [](const SimResults &r) {
+         return static_cast<double>(r.sharedPageWrites);
+     }},
+    {"driver.batches", [](const SimResults &r) {
+         return static_cast<double>(r.driverBatches);
+     }},
+    {"driver.avgBatchSize", [](const SimResults &r) {
+         return r.driverAvgBatchSize;
+     }},
+};
+
+} // namespace
+
+stats::Registry
+toRegistry(const SimResults &results)
+{
+    stats::Registry registry;
+    for (const Field &field : kFields)
+        registry.set(field.name, field.get(results));
+    for (std::size_t level = 0; level <= 5; ++level) {
+        registry.set(sim::strfmt("pwc.gmmu.L%zu", level),
+                     results.gmmuPwcLevels.fraction(level));
+        registry.set(sim::strfmt("pwc.host.L%zu", level),
+                     results.hostPwcLevels.fraction(level));
+    }
+    for (std::size_t sharers = 1; sharers <= 4; ++sharers)
+        registry.set(sim::strfmt("sharing.by%zu", sharers),
+                     results.sharingAccesses.fraction(sharers));
+    return registry;
+}
+
+std::string
+formatReport(const SimResults &results)
+{
+    std::ostringstream os;
+    os << "app: " << results.app << "\n"
+       << "config: " << results.configSummary << "\n"
+       << toRegistry(results).format();
+    return os.str();
+}
+
+std::string
+csvHeader()
+{
+    std::ostringstream os;
+    os << "app";
+    for (const Field &field : kFields)
+        os << ',' << field.name;
+    return os.str();
+}
+
+std::string
+csvRow(const SimResults &results)
+{
+    std::ostringstream os;
+    os << results.app;
+    for (const Field &field : kFields)
+        os << ',' << field.get(results);
+    return os.str();
+}
+
+} // namespace transfw::sys

@@ -1,0 +1,28 @@
+#ifndef TRANSFW_SYSTEM_REPORT_HPP
+#define TRANSFW_SYSTEM_REPORT_HPP
+
+#include <string>
+
+#include "stats/stats.hpp"
+#include "system/results.hpp"
+
+namespace transfw::sys {
+
+/**
+ * Export every SimResults field into a named-scalar registry
+ * (dot-separated keys, e.g. "xlat.hostQueue", "tlb.l2HitRate"), so
+ * tools can diff runs, dump CSV rows, or feed dashboards without
+ * knowing the struct layout.
+ */
+stats::Registry toRegistry(const SimResults &results);
+
+/** Human-readable multi-section report (what inspect_stats prints). */
+std::string formatReport(const SimResults &results);
+
+/** One CSV line (with a matching header line) for sweep tooling. */
+std::string csvHeader();
+std::string csvRow(const SimResults &results);
+
+} // namespace transfw::sys
+
+#endif // TRANSFW_SYSTEM_REPORT_HPP

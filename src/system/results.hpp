@@ -1,0 +1,96 @@
+#ifndef TRANSFW_SYSTEM_RESULTS_HPP
+#define TRANSFW_SYSTEM_RESULTS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/ticks.hpp"
+#include "stats/stats.hpp"
+
+namespace transfw::sys {
+
+/**
+ * Everything one simulation run measures. Benches read typed fields
+ * from here to print the paper's tables and figure series.
+ */
+struct SimResults
+{
+    std::string app;
+    std::string configSummary;
+
+    // --- headline --------------------------------------------------------
+    sim::Tick execTime = 0;       ///< end-to-end execution time (cycles)
+    std::uint64_t instructions = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t pageAccesses = 0;
+    std::uint64_t l2TlbMisses = 0;
+    std::uint64_t farFaults = 0;  ///< GPU local page faults
+
+    double
+    pfpki() const
+    {
+        return instructions
+                   ? 1000.0 * static_cast<double>(farFaults) /
+                         static_cast<double>(instructions)
+                   : 0.0;
+    }
+
+    // --- L2-TLB-miss latency decomposition (Fig. 3 / Fig. 12) -------------
+    stats::LatencyBreakdown xlat;  ///< summed over all L2 TLB misses
+    double avgXlatLatency = 0.0;
+
+    // --- TLBs --------------------------------------------------------------
+    double l1HitRate = 0.0;
+    double l2HitRate = 0.0;
+    double hostTlbHitRate = 0.0;
+
+    // --- PW-caches (Figs. 5, 6, 13): bucket i = hit at entry level i,
+    //     bucket 0 = full miss ------------------------------------------------
+    stats::BucketHistogram gmmuPwcLevels{8};
+    stats::BucketHistogram hostPwcLevels{8};
+
+    // --- queues -------------------------------------------------------------
+    double gmmuQueueWaitMean = 0.0;
+    double hostQueueWaitMean = 0.0;
+    std::uint64_t gmmuQueueOverflows = 0; ///< beyond the 64-entry PW-queue
+    std::uint64_t hostQueueOverflows = 0;
+
+    // --- page sharing (Figs. 7, 24): bucket k = accesses to pages
+    //     touched by exactly k GPUs ------------------------------------------
+    stats::BucketHistogram sharingAccesses{33};
+    std::uint64_t sharedPageReads = 0;  ///< reads to >=2-GPU pages
+    std::uint64_t sharedPageWrites = 0;
+
+    // --- remote-hit characterization (Fig. 8) -------------------------------
+    stats::BucketHistogram remoteProbeLevels{8};
+
+    // --- Trans-FW mechanics (Figs. 14-16) ------------------------------------
+    std::uint64_t shortCircuits = 0;
+    std::uint64_t prtLookups = 0, prtHits = 0;
+    std::uint64_t ftLookups = 0, ftHits = 0;
+    std::uint64_t forwards = 0, forwardSuccess = 0, forwardFail = 0;
+    std::uint64_t duplicateWalks = 0, removedFromQueue = 0;
+    std::uint64_t prtOverflows = 0, ftOverflows = 0; ///< filter evictions
+
+    // --- walk volumes --------------------------------------------------------
+    std::uint64_t gmmuWalkMemAccesses = 0;  ///< for local translations
+    std::uint64_t gmmuRemoteMemAccesses = 0;///< serving remote lookups
+    std::uint64_t hostWalks = 0;
+    std::uint64_t hostWalkMemAccesses = 0;
+
+    // --- page movement --------------------------------------------------------
+    std::uint64_t migrations = 0;
+    std::uint64_t replications = 0;
+    std::uint64_t writeInvalidations = 0;
+    std::uint64_t remoteMappings = 0;
+    std::uint64_t counterMigrations = 0;
+    std::uint64_t bytesMoved = 0;
+
+    // --- software driver --------------------------------------------------------
+    std::uint64_t driverBatches = 0;
+    double driverAvgBatchSize = 0.0;
+};
+
+} // namespace transfw::sys
+
+#endif // TRANSFW_SYSTEM_RESULTS_HPP

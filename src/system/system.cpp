@@ -1,0 +1,373 @@
+#include "system/system.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logging.hpp"
+
+namespace transfw::sys {
+
+MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
+                               const wl::Workload &workload)
+    : cfg_(config), workload_(workload), rng_(config.seed),
+      central_(config.geometry()),
+      cpuFrames_(256ULL << 30, config.pageShift),
+      net_(eq_, config.numGpus, config.hostLink, config.peerLink,
+           config.peerTopology),
+      scheduler_(workload, config.numGpus)
+{
+    cfg_.validate();
+
+    if (cfg_.transFw.enabled)
+        ft_ = std::make_unique<core::ForwardingTable>(cfg_.transFw);
+
+    for (int g = 0; g < cfg_.numGpus; ++g)
+        gpus_.push_back(std::make_unique<gpu::Gpu>(eq_, cfg_, g, rng_));
+
+    std::vector<mmu::GpuIface *> ifaces;
+    for (auto &g : gpus_)
+        ifaces.push_back(g.get());
+
+    engine_ = std::make_unique<uvm::MigrationEngine>(
+        eq_, cfg_, central_, ifaces, net_, ft_.get());
+
+    if (cfg_.faultMode == cfg::FaultMode::HostMmu) {
+        hostMmu_ = std::make_unique<mmu::HostMmu>(
+            eq_, cfg_, central_, *engine_, ft_.get(), ifaces, rng_);
+        hostMmu_->onResolved = [this](mmu::XlatPtr req) {
+            int g = req->gpu;
+            if (req->resolvedByRemote) {
+                // The owner GPU replied to the requester directly along
+                // with the pushed page (Fig. 10, path I); no extra
+                // host -> GPU reply hop.
+                gpus_[static_cast<std::size_t>(g)]->translationReturned(
+                    req);
+                return;
+            }
+            sim::Tick t0 = eq_.now();
+            net_.fromHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0, g]() {
+                req->lat.network += static_cast<double>(eq_.now() - t0);
+                gpus_[static_cast<std::size_t>(g)]->translationReturned(
+                    req);
+            });
+        };
+        hostMmu_->forwardToGpu = [this](mmu::RemoteLookupPtr rl) {
+            sim::Tick t0 = eq_.now();
+            int target = rl->targetGpu;
+            net_.fromHost(target).sendCtrl(
+                kCtrlMsgBytes, [this, rl, t0, target]() {
+                    rl->req->lat.network +=
+                        static_cast<double>(eq_.now() - t0);
+                    gpus_[static_cast<std::size_t>(target)]
+                        ->remoteLookupRequest(rl);
+                });
+        };
+    } else {
+        driver_ = std::make_unique<uvm::UvmDriver>(
+            eq_, cfg_, central_, *engine_, ft_.get(), rng_);
+        driver_->onResolved = [this](mmu::XlatPtr req) {
+            int g = req->gpu;
+            if (req->resolvedByRemote) {
+                // Owner-push: reply arrived with the page (Fig. 10 I).
+                gpus_[static_cast<std::size_t>(g)]->translationReturned(
+                    req);
+                return;
+            }
+            sim::Tick t0 = eq_.now();
+            net_.fromHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0, g]() {
+                req->lat.network += static_cast<double>(eq_.now() - t0);
+                gpus_[static_cast<std::size_t>(g)]->translationReturned(
+                    req);
+            });
+        };
+        driver_->forwardToGpu = [this](mmu::RemoteLookupPtr rl) {
+            int target = rl->targetGpu;
+            net_.fromHost(target).sendCtrl(kCtrlMsgBytes, [this, rl,
+                                                       target]() {
+                gpus_[static_cast<std::size_t>(target)]
+                    ->remoteLookupRequest(rl);
+            });
+        };
+    }
+
+    for (int g = 0; g < cfg_.numGpus; ++g)
+        wireGpu(g);
+
+    placeInitialPages();
+
+    std::uint64_t cu_seed = cfg_.seed * 0x1234567ULL + 99;
+    for (int g = 0; g < cfg_.numGpus; ++g) {
+        for (int cu = 0; cu < cfg_.cusPerGpu; ++cu) {
+            cus_.push_back(std::make_unique<gpu::ComputeUnit>(
+                eq_, cfg_, *gpus_[static_cast<std::size_t>(g)], cu,
+                workload_, scheduler_, cu_seed));
+        }
+    }
+}
+
+void
+MultiGpuSystem::wireGpu(int g)
+{
+    gpu::Gpu &gpu = *gpus_[static_cast<std::size_t>(g)];
+
+    gpu.hooks.sendFault = [this](mmu::XlatPtr req) {
+        sendFaultToHost(std::move(req));
+    };
+
+    gpu.hooks.onPageAccess = [this](mem::Vpn vpn, int from, bool write) {
+        PageSharing &ps = sharing_[vpn];
+        ps.gpuMask |= 1u << from;
+        if (write)
+            ++ps.writes;
+        else
+            ++ps.reads;
+    };
+
+    gpu.hooks.remoteAccessLatency = [this](mem::Vpn vpn,
+                                           const tlb::TlbEntry &entry,
+                                           int from) -> sim::Tick {
+        engine_->noteRemoteAccess(vpn, from);
+        sim::Tick hop = entry.owner == mem::kCpuDevice
+                            ? cfg_.hostLink.latency
+                            : net_.peerLatency(from, entry.owner);
+        return 2 * hop + cfg_.memLatency;
+    };
+
+    if (cfg_.leastTlb.enabled) {
+        gpu.hooks.probeSiblingL2 =
+            [this](mem::Vpn vpn, int requester) -> const tlb::TlbEntry * {
+            for (int other = 0; other < cfg_.numGpus; ++other) {
+                if (other == requester)
+                    continue;
+                const tlb::TlbEntry *entry =
+                    gpus_[static_cast<std::size_t>(other)]->l2Tlb().probe(
+                        vpn);
+                if (entry)
+                    return entry;
+            }
+            return nullptr;
+        };
+    }
+
+    gpu.gmmu().onRemoteDone = [this, g](mmu::RemoteLookupPtr rl) {
+        // Notify the host side over this GPU's uplink; the direct
+        // remote -> requester reply is folded into the host-side
+        // resolution (see DESIGN.md, remote forwarding approximation).
+        sim::Tick t0 = eq_.now();
+        net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, rl, t0]() {
+            rl->req->lat.network += static_cast<double>(eq_.now() - t0);
+            if (hostMmu_)
+                hostMmu_->remoteLookupDone(rl);
+            else
+                driver_->remoteLookupDone(rl);
+        });
+    };
+}
+
+void
+MultiGpuSystem::sendFaultToHost(mmu::XlatPtr req)
+{
+    ++farFaults_;
+    req->faulted = true;
+    sim::Tick t0 = eq_.now();
+    int g = req->gpu;
+    net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0]() mutable {
+        req->lat.network += static_cast<double>(eq_.now() - t0);
+        req->tHostArrive = eq_.now();
+        if (hostMmu_)
+            hostMmu_->handleFault(std::move(req));
+        else
+            driver_->handleFault(std::move(req));
+    });
+}
+
+void
+MultiGpuSystem::placeInitialPages()
+{
+    unsigned shift = cfg_.pageShift - mem::kSmallPageShift;
+
+    // Collect the distinct system pages backing the footprint (several
+    // 4 KB pages collapse into one 2 MB page under large pages).
+    std::vector<mem::Vpn> pages;
+    workload_.forEachPage([&](mem::Vpn vpn4k) {
+        mem::Vpn vpn = vpn4k >> shift;
+        if (pages.empty() || pages.back() != vpn)
+            pages.push_back(vpn);
+    });
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+    for (mem::Vpn vpn : pages) {
+        if (cfg_.oracle.noLocalFaults) {
+            // Oracle: every page pre-mapped in every GPU (Fig. 4).
+            central_.map(vpn,
+                         mem::PageInfo{cpuFrames_.allocate(),
+                                       mem::kCpuDevice, 0, true, false});
+            for (auto &g : gpus_) {
+                g->localPageTable().map(
+                    vpn, mem::PageInfo{g->frames().allocate(), g->id(),
+                                       1u << g->id(), true, false});
+            }
+            continue;
+        }
+
+        mem::DeviceId owner = mem::kCpuDevice;
+        if (cfg_.prewarmPlacement) {
+            owner = workload_.initialOwner(vpn << shift, cfg_.numGpus);
+            if (owner >= cfg_.numGpus)
+                owner = cfg_.numGpus - 1;
+        }
+        if (owner == mem::kCpuDevice) {
+            central_.map(vpn,
+                         mem::PageInfo{cpuFrames_.allocate(),
+                                       mem::kCpuDevice, 0, true, false});
+            continue;
+        }
+        gpu::Gpu &g = *gpus_[static_cast<std::size_t>(owner)];
+        mem::Ppn ppn = g.frames().allocate();
+        g.localPageTable().map(
+            vpn, mem::PageInfo{ppn, owner, 1u << owner, true, false});
+        central_.map(vpn, mem::PageInfo{ppn, owner, 1u << owner, true,
+                                        false});
+        if (auto *prt = g.prt())
+            prt->pageArrived(vpn);
+        if (ft_)
+            ft_->pageArrived(vpn, owner);
+    }
+}
+
+SimResults
+MultiGpuSystem::run()
+{
+    if (ran_)
+        sim::fatal("MultiGpuSystem::run() may only be called once");
+    ran_ = true;
+
+    for (auto &cu : cus_)
+        cu->start();
+    eq_.run();
+
+    if (scheduler_.remaining() != 0)
+        sim::panic("simulation drained with unscheduled CTAs");
+    return collect();
+}
+
+SimResults
+MultiGpuSystem::collect()
+{
+    SimResults r;
+    r.app = workload_.name();
+    r.configSummary = cfg_.summary();
+    r.execTime = eq_.now();
+    r.farFaults = farFaults_;
+
+    for (auto &cu : cus_) {
+        r.instructions += cu->instructions();
+        r.memOps += cu->memOps();
+    }
+
+    std::uint64_t l1_lookups = 0, l1_hits = 0;
+    std::uint64_t l2_lookups = 0, l2_hits = 0;
+    double queue_wait_sum = 0;
+    std::uint64_t queue_wait_n = 0;
+
+    for (auto &g : gpus_) {
+        const gpu::Gpu::Stats &gs = g->stats();
+        r.pageAccesses += gs.accesses;
+        r.l2TlbMisses += gs.l2Misses;
+        r.shortCircuits += gs.shortCircuits;
+        r.xlat += g->xlatBreakdown();
+        // Distributions merge by sum; divided by the miss count below.
+        r.avgXlatLatency += gs.xlatLatency.sum();
+
+        l2_lookups += g->l2Tlb().lookups();
+        l2_hits += g->l2Tlb().hits();
+        for (int cu = 0; cu < cfg_.cusPerGpu; ++cu) {
+            l1_lookups += g->l1Tlb(cu).lookups();
+            l1_hits += g->l1Tlb(cu).hits();
+        }
+
+        const mmu::Gmmu::Stats &ms = g->gmmu().stats();
+        r.gmmuWalkMemAccesses += ms.memAccesses;
+        r.gmmuRemoteMemAccesses += ms.remoteMemAccesses;
+        queue_wait_sum += ms.queueWait.sum();
+        queue_wait_n += ms.queueWait.count();
+
+        const pwc::PageWalkCache &pwc = g->gmmu().pwc();
+        for (std::size_t b = 0; b < pwc.hitLevels().buckets(); ++b)
+            r.gmmuPwcLevels.record(b, pwc.hitLevels().bucket(b));
+
+        if (auto *prt = g->prt()) {
+            r.prtLookups += prt->lookups();
+            r.prtHits += prt->hits();
+            r.prtOverflows += prt->overflowEvictions();
+        }
+        r.gmmuQueueOverflows += ms.queueOverflows;
+    }
+    std::uint64_t xlat_count = r.l2TlbMisses;
+    r.avgXlatLatency =
+        xlat_count ? r.avgXlatLatency / static_cast<double>(xlat_count)
+                   : 0.0;
+    r.l1HitRate = l1_lookups ? static_cast<double>(l1_hits) / l1_lookups
+                             : 0.0;
+    r.l2HitRate = l2_lookups ? static_cast<double>(l2_hits) / l2_lookups
+                             : 0.0;
+    r.gmmuQueueWaitMean =
+        queue_wait_n ? queue_wait_sum / static_cast<double>(queue_wait_n)
+                     : 0.0;
+
+    if (hostMmu_) {
+        const mmu::HostMmu::Stats &hs = hostMmu_->stats();
+        r.hostTlbHitRate = hostMmu_->tlb().hitRate();
+        r.hostWalks = hs.walks;
+        r.hostWalkMemAccesses = hs.memAccesses;
+        r.forwards = hs.forwards;
+        r.forwardSuccess = hs.forwardSuccess;
+        r.forwardFail = hs.forwardFail;
+        r.duplicateWalks = hs.duplicateWalks;
+        r.removedFromQueue = hs.removedFromQueue;
+        r.hostQueueWaitMean = hs.queueWait.mean();
+        r.hostQueueOverflows = hs.queueOverflows;
+        const pwc::PageWalkCache &pwc = hostMmu_->pwc();
+        for (std::size_t b = 0; b < pwc.hitLevels().buckets(); ++b)
+            r.hostPwcLevels.record(b, pwc.hitLevels().bucket(b));
+        for (std::size_t b = 0; b < hs.remoteProbeLevels.buckets(); ++b)
+            r.remoteProbeLevels.record(b, hs.remoteProbeLevels.bucket(b));
+    }
+    if (driver_) {
+        const uvm::UvmDriver::Stats &ds = driver_->stats();
+        r.driverBatches = ds.batches;
+        r.driverAvgBatchSize = ds.batchSize.mean();
+        r.hostWalks = ds.walks;
+        r.forwards = ds.forwards;
+        r.forwardSuccess = ds.forwardSuccess;
+        r.forwardFail = ds.forwardFail;
+        r.hostQueueWaitMean = 0.0;
+    }
+    if (ft_) {
+        r.ftLookups = ft_->lookups();
+        r.ftHits = ft_->hits();
+        r.ftOverflows = ft_->overflowEvictions();
+    }
+
+    const uvm::MigrationEngine::Stats &es = engine_->stats();
+    r.migrations = es.migrations;
+    r.replications = es.replications;
+    r.writeInvalidations = es.writeInvalidations;
+    r.remoteMappings = es.remoteMappings;
+    r.counterMigrations = es.counterMigrations;
+    r.bytesMoved = es.bytesMoved;
+
+    for (const auto &[vpn, ps] : sharing_) {
+        int sharers = std::popcount(ps.gpuMask);
+        r.sharingAccesses.record(static_cast<std::size_t>(sharers),
+                                 ps.reads + ps.writes);
+        if (sharers >= 2) {
+            r.sharedPageReads += ps.reads;
+            r.sharedPageWrites += ps.writes;
+        }
+    }
+    return r;
+}
+
+} // namespace transfw::sys

@@ -1,0 +1,87 @@
+#ifndef TRANSFW_SYSTEM_SYSTEM_HPP
+#define TRANSFW_SYSTEM_SYSTEM_HPP
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "config/config.hpp"
+#include "gpu/compute_unit.hpp"
+#include "gpu/cta_scheduler.hpp"
+#include "gpu/gpu.hpp"
+#include "interconnect/network.hpp"
+#include "mmu/host_mmu.hpp"
+#include "system/results.hpp"
+#include "transfw/forwarding_table.hpp"
+#include "uvm/migration.hpp"
+#include "uvm/uvm_driver.hpp"
+#include "workload/workload.hpp"
+
+namespace transfw::sys {
+
+/**
+ * The complete simulated machine: N GPUs (CUs, TLBs, GMMUs, local page
+ * tables), the interconnect, the centralized UVM page table, and the
+ * configured far-fault handler (host MMU or UVM driver), optionally
+ * augmented with Trans-FW's PRT/FT. Construct with a config and a
+ * workload, call run() once, read the SimResults.
+ */
+class MultiGpuSystem
+{
+  public:
+    MultiGpuSystem(const cfg::SystemConfig &config,
+                   const wl::Workload &workload);
+
+    /** Execute the workload to completion and collect results. */
+    SimResults run();
+
+    // --- component access (tests, characterization probes) ----------------
+    gpu::Gpu &gpuAt(int gpu) { return *gpus_[static_cast<std::size_t>(gpu)]; }
+    mmu::HostMmu *hostMmu() { return hostMmu_.get(); }
+    uvm::UvmDriver *uvmDriver() { return driver_.get(); }
+    uvm::MigrationEngine &migrationEngine() { return *engine_; }
+    core::ForwardingTable *forwardingTable() { return ft_.get(); }
+    mem::PageTable &centralPageTable() { return central_; }
+    sim::EventQueue &eventq() { return eq_; }
+    const cfg::SystemConfig &config() const { return cfg_; }
+
+  private:
+    struct PageSharing
+    {
+        std::uint32_t gpuMask = 0;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+    };
+
+    void placeInitialPages();
+    void wireGpu(int gpu);
+    void sendFaultToHost(mmu::XlatPtr req);
+    SimResults collect();
+
+    cfg::SystemConfig cfg_;
+    const wl::Workload &workload_;
+
+    sim::EventQueue eq_;
+    sim::Rng rng_;
+    mem::PageTable central_;
+    mem::FrameAllocator cpuFrames_;
+    ic::Network net_;
+
+    std::unique_ptr<core::ForwardingTable> ft_;
+    std::vector<std::unique_ptr<gpu::Gpu>> gpus_;
+    std::unique_ptr<uvm::MigrationEngine> engine_;
+    std::unique_ptr<mmu::HostMmu> hostMmu_;
+    std::unique_ptr<uvm::UvmDriver> driver_;
+    gpu::CtaScheduler scheduler_;
+    std::vector<std::unique_ptr<gpu::ComputeUnit>> cus_;
+
+    std::unordered_map<mem::Vpn, PageSharing> sharing_;
+    std::uint64_t farFaults_ = 0;
+    bool ran_ = false;
+
+    static constexpr std::uint64_t kCtrlMsgBytes = 32;
+};
+
+} // namespace transfw::sys
+
+#endif // TRANSFW_SYSTEM_SYSTEM_HPP

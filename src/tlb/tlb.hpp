@@ -1,0 +1,100 @@
+#ifndef TRANSFW_TLB_TLB_HPP
+#define TRANSFW_TLB_TLB_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "cache/set_assoc.hpp"
+#include "mem/address.hpp"
+#include "sim/ticks.hpp"
+#include "stats/stats.hpp"
+
+namespace transfw::tlb {
+
+/** A cached leaf translation as held by any TLB level. */
+struct TlbEntry
+{
+    mem::Ppn ppn = 0;
+    mem::DeviceId owner = mem::kCpuDevice;
+    bool writable = true;
+    bool remote = false; ///< maps a peer GPU's memory (remote mapping)
+};
+
+/** Sizing/latency parameters for one TLB (Table II rows). */
+struct TlbConfig
+{
+    std::size_t entries = 32;
+    std::size_t ways = 32;
+    sim::Tick lookupLatency = 1;
+};
+
+/**
+ * A TLB level: L1 (per-CU, fully associative), L2 (per-GPU shared) or
+ * the host MMU TLB (GPU-shared), all LRU (Table II). Timing is applied
+ * by the requester using lookupLatency(); this class is the functional
+ * array plus hit/miss accounting and shootdown support.
+ */
+class Tlb
+{
+  public:
+    Tlb(std::string name, const TlbConfig &config)
+        : name_(std::move(name)), latency_(config.lookupLatency),
+          array_(config.entries, config.ways)
+    {}
+
+    /** Look up @p vpn. @return pointer to the entry on a hit. */
+    const TlbEntry *
+    lookup(mem::Vpn vpn)
+    {
+        ++lookups_;
+        const TlbEntry *entry = array_.lookup(vpn);
+        if (entry)
+            ++hits_;
+        return entry;
+    }
+
+    /** Recency/stats-neutral lookup (sibling probes, tests). */
+    const TlbEntry *probe(mem::Vpn vpn) const { return array_.probe(vpn); }
+
+    /** Install a translation. */
+    void fill(mem::Vpn vpn, const TlbEntry &entry)
+    {
+        array_.insert(vpn, entry);
+    }
+
+    /** Shoot down one translation. @return true if present. */
+    bool
+    invalidate(mem::Vpn vpn)
+    {
+        bool present = array_.invalidate(vpn);
+        shootdowns_ += present ? 1 : 0;
+        return present;
+    }
+
+    void invalidateAll() { array_.invalidateAll(); }
+
+    sim::Tick lookupLatency() const { return latency_; }
+    const std::string &name() const { return name_; }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return lookups_ - hits_; }
+    std::uint64_t shootdowns() const { return shootdowns_; }
+    double
+    hitRate() const
+    {
+        return lookups_ ? static_cast<double>(hits_) / lookups_ : 0.0;
+    }
+
+  private:
+    std::string name_;
+    sim::Tick latency_;
+    cache::SetAssoc<TlbEntry> array_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t shootdowns_ = 0;
+};
+
+} // namespace transfw::tlb
+
+#endif // TRANSFW_TLB_TLB_HPP

@@ -1,0 +1,45 @@
+#include "transfw/prt.hpp"
+
+namespace transfw::core {
+
+PendingRequestTable::PendingRequestTable(const cfg::TransFwConfig &config,
+                                         int gpu_id)
+    : maskBits_(config.vpnMaskBits),
+      filter_({.numBuckets = config.prtBuckets,
+               .slotsPerBucket = config.prtSlotsPerBucket,
+               .fingerprintBits = config.prtFingerprintBits,
+               .maxKicks = 500,
+               .seed = 0x5052'5400ULL + static_cast<std::uint64_t>(gpu_id)})
+{}
+
+void
+PendingRequestTable::pageArrived(mem::Vpn vpn)
+{
+    std::uint64_t g = group(vpn);
+    if (groupCount_[g]++ == 0)
+        filter_.insert(g);
+}
+
+void
+PendingRequestTable::pageDeparted(mem::Vpn vpn)
+{
+    std::uint64_t g = group(vpn);
+    auto it = groupCount_.find(g);
+    if (it == groupCount_.end() || it->second == 0)
+        return; // page was never tracked (e.g., pre-mapped oracle state)
+    if (--it->second == 0) {
+        filter_.erase(g);
+        groupCount_.erase(it);
+    }
+}
+
+bool
+PendingRequestTable::mayBeLocal(mem::Vpn vpn)
+{
+    ++lookups_;
+    bool hit = filter_.contains(group(vpn));
+    hits_ += hit ? 1 : 0;
+    return hit;
+}
+
+} // namespace transfw::core

@@ -1,0 +1,68 @@
+#ifndef TRANSFW_TRANSFW_PRT_HPP
+#define TRANSFW_TRANSFW_PRT_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "config/config.hpp"
+#include "filter/cuckoo_filter.hpp"
+#include "mem/address.hpp"
+
+namespace transfw::core {
+
+/**
+ * Pending Request Table (Section IV-B): a per-GMMU Cuckoo filter over
+ * the virtual pages resident in this GPU's local memory. An L2 TLB
+ * miss that misses the PRT is *definitely* not local (no false
+ * negatives while the filter has capacity), so the request is
+ * short-circuited to the host MMU without a local PT-walk; a PRT hit
+ * sends the request down the normal GMMU walk, with rare false
+ * positives adding a wasted local walk.
+ *
+ * The low vpnMaskBits of the VPN are masked so eight pages share one
+ * fingerprint (the paper's sizing trick). The filter stores one
+ * fingerprint per *page group*; an exact reference count per group
+ * (hardware: a small per-group counter alongside the migration
+ * machinery, off the critical path) decides when the group fingerprint
+ * is inserted or deleted so duplicate fingerprints never accumulate.
+ */
+class PendingRequestTable
+{
+  public:
+    PendingRequestTable(const cfg::TransFwConfig &config, int gpu_id);
+
+    /** A page became resident in this GPU's memory. */
+    void pageArrived(mem::Vpn vpn);
+
+    /** A page left this GPU's memory. */
+    void pageDeparted(mem::Vpn vpn);
+
+    /**
+     * Membership test on an L2 TLB miss. False negatives are only
+     * possible after filter overflow (the caller handles a local page
+     * that arrives at the host gracefully).
+     */
+    bool mayBeLocal(mem::Vpn vpn);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t bits() const { return filter_.bits(); }
+    double loadFactor() const { return filter_.loadFactor(); }
+    std::uint64_t overflowEvictions() const
+    {
+        return filter_.overflowEvictions();
+    }
+
+  private:
+    std::uint64_t group(mem::Vpn vpn) const { return vpn >> maskBits_; }
+
+    unsigned maskBits_;
+    filter::CuckooFilter filter_;
+    std::unordered_map<std::uint64_t, std::uint32_t> groupCount_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace transfw::core
+
+#endif // TRANSFW_TRANSFW_PRT_HPP

@@ -1,0 +1,33 @@
+#ifndef TRANSFW_TRANSFW_TRANSFW_HPP
+#define TRANSFW_TRANSFW_TRANSFW_HPP
+
+/**
+ * @file
+ * Umbrella header: the public API of the Trans-FW library.
+ *
+ * Typical use:
+ * @code
+ *   #include "transfw/transfw.hpp"
+ *   using namespace transfw;
+ *
+ *   cfg::SystemConfig baseline = sys::baselineConfig();
+ *   cfg::SystemConfig fw = sys::transFwConfig();
+ *   sys::SimResults a = sys::runApp("MT", baseline);
+ *   sys::SimResults b = sys::runApp("MT", fw);
+ *   double gain = sys::speedup(a, b);
+ * @endcode
+ */
+
+#include "config/config.hpp"
+#include "filter/cuckoo_filter.hpp"
+#include "filter/metrohash.hpp"
+#include "system/experiment.hpp"
+#include "system/results.hpp"
+#include "system/system.hpp"
+#include "transfw/forwarding_table.hpp"
+#include "transfw/prt.hpp"
+#include "workload/apps.hpp"
+#include "workload/ml_models.hpp"
+#include "workload/synthetic.hpp"
+
+#endif // TRANSFW_TRANSFW_TRANSFW_HPP

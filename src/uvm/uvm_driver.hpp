@@ -1,0 +1,105 @@
+#ifndef TRANSFW_UVM_UVM_DRIVER_HPP
+#define TRANSFW_UVM_UVM_DRIVER_HPP
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "config/config.hpp"
+#include "mem/page_table.hpp"
+#include "mmu/request.hpp"
+#include "pwc/pwc.hpp"
+#include "sim/random.hpp"
+#include "sim/sim_object.hpp"
+#include "transfw/forwarding_table.hpp"
+#include "uvm/migration.hpp"
+
+namespace transfw::uvm {
+
+/**
+ * Software far-fault handling by the UVM driver (Section II-B): GPU
+ * fault buffers alert the driver, which caches faults host-side and
+ * services them in batches of 256. Batches are processed one at a
+ * time (the driver's global lock — the scalability bottleneck Fig. 2
+ * quantifies); within a batch, a pool of driver threads walks the
+ * central page table, after which the MigrationEngine moves pages and
+ * replies are sent. Section V-F's Trans-FW variant keeps the
+ * Forwarding Table in CPU memory: the driver probes it before walking
+ * and borrows the owner GPU's PT-walk instead when it hits.
+ */
+class UvmDriver : public sim::SimObject
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t faults = 0;
+        std::uint64_t coalesced = 0;
+        std::uint64_t batches = 0;
+        std::uint64_t walks = 0;
+        std::uint64_t forwards = 0;
+        std::uint64_t forwardSuccess = 0;
+        std::uint64_t forwardFail = 0; ///< FT false positives
+        stats::Distribution batchSize;
+        stats::Distribution batchLatency;
+    };
+
+    UvmDriver(sim::EventQueue &eq, const cfg::SystemConfig &config,
+              mem::PageTable &central, MigrationEngine &engine,
+              core::ForwardingTable *ft, sim::Rng &rng);
+
+    /** A far fault arrived over the CPU-GPU interconnect. */
+    void handleFault(mmu::XlatPtr req);
+
+    /** Remote lookup notification (Trans-FW on driver faults). */
+    void remoteLookupDone(mmu::RemoteLookupPtr rl);
+
+    std::function<void(mmu::XlatPtr)> onResolved;
+    std::function<void(mmu::RemoteLookupPtr)> forwardToGpu;
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Batch
+    {
+        std::vector<mmu::XlatPtr> faults;
+        sim::Tick sealed = 0;
+    };
+
+    void sealBatch();
+    void processNextBatch();
+    void dispatchWalks();
+    void startWalk(mmu::XlatPtr req);
+    void softwareWalk(mmu::XlatPtr req);
+    void walkDone(mmu::XlatPtr req);
+    void resolved(mmu::XlatPtr req);
+
+    const cfg::SystemConfig &cfg_;
+    mem::PageTable &central_;
+    MigrationEngine &engine_;
+    core::ForwardingTable *ft_;
+    sim::Rng &rng_;
+    /** The CPU's caches hold hot page-table lines; modeled as a walk
+     *  cache for the driver's software walks. */
+    std::unique_ptr<pwc::PageWalkCache> pwc_;
+
+    std::vector<mmu::XlatPtr> buffer_; ///< faults awaiting a batch
+    bool flushScheduled_ = false;
+    std::uint64_t flushEpoch_ = 0;     ///< invalidates stale flush events
+
+    std::deque<Batch> batchQueue_;
+    bool processing_ = false;
+    sim::Tick batchStart_ = 0;
+    std::deque<mmu::XlatPtr> walkQueue_;
+    int busyThreads_ = 0;
+    int outstandingWalks_ = 0; ///< walks (local or remote) in flight
+
+    /** Per-page coalescing across the whole driver. */
+    std::unordered_map<mem::Vpn, std::vector<mmu::XlatPtr>> inflight_;
+
+    Stats stats_;
+};
+
+} // namespace transfw::uvm
+
+#endif // TRANSFW_UVM_UVM_DRIVER_HPP

@@ -1,0 +1,38 @@
+#ifndef TRANSFW_WORKLOAD_APPS_HPP
+#define TRANSFW_WORKLOAD_APPS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hpp"
+
+namespace transfw::wl {
+
+/** Table III row: one of the ten evaluated applications. */
+struct AppInfo
+{
+    std::string abbr;         ///< AES, FIR, KM, PR, MM, MT, SC, ST, ...
+    std::string fullName;
+    std::string suite;        ///< Hetero-Mark / AMDAPPSDK / SHOC / DNNMark
+    std::string patternClass; ///< Partition / Adjacent / Random / Scatter-Gather
+    double paperPfpki;        ///< PFPKI reported in Table III
+};
+
+/** The ten Table III applications, in paper order. */
+const std::vector<AppInfo> &appTable();
+
+/**
+ * Build the synthetic model of application @p abbr (see DESIGN.md for
+ * the substitution rationale). @p scale multiplies the op count per CTA
+ * to trade simulation time for measurement stability.
+ */
+std::unique_ptr<SyntheticWorkload> makeApp(const std::string &abbr,
+                                           double scale = 1.0);
+
+/** The raw spec for @p abbr (exposed for tests and tuning). */
+SyntheticSpec appSpec(const std::string &abbr, double scale = 1.0);
+
+} // namespace transfw::wl
+
+#endif // TRANSFW_WORKLOAD_APPS_HPP

@@ -1,0 +1,139 @@
+#include "workload/ml_models.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace transfw::wl {
+
+namespace {
+
+struct LayerShape
+{
+    const char *name;
+    double params;      ///< weight parameter count
+    double activations; ///< output activation element count (batch 1)
+};
+
+/** VGG16 convolution + FC layers (Simonyan & Zisserman, 224x224). */
+const std::vector<LayerShape> &
+vgg16Layers()
+{
+    static const std::vector<LayerShape> layers = {
+        {"conv1_1", 1728, 3211264},    {"conv1_2", 36864, 3211264},
+        {"conv2_1", 73728, 1605632},   {"conv2_2", 147456, 1605632},
+        {"conv3_1", 294912, 802816},   {"conv3_2", 589824, 802816},
+        {"conv3_3", 589824, 802816},   {"conv4_1", 1179648, 401408},
+        {"conv4_2", 2359296, 401408},  {"conv4_3", 2359296, 401408},
+        {"conv5_1", 2359296, 100352},  {"conv5_2", 2359296, 100352},
+        {"conv5_3", 2359296, 100352},  {"fc6", 102760448, 4096},
+        {"fc7", 16777216, 4096},       {"fc8", 4096000, 1000},
+    };
+    return layers;
+}
+
+/** ResNet18 convolution layers plus the final FC. */
+const std::vector<LayerShape> &
+resnet18Layers()
+{
+    static const std::vector<LayerShape> layers = {
+        {"conv1", 9408, 802816},
+        {"l1.b1.c1", 36864, 802816},  {"l1.b1.c2", 36864, 802816},
+        {"l1.b2.c1", 36864, 802816},  {"l1.b2.c2", 36864, 802816},
+        {"l2.b1.c1", 73728, 401408},  {"l2.b1.c2", 147456, 401408},
+        {"l2.b2.c1", 147456, 401408}, {"l2.b2.c2", 147456, 401408},
+        {"l3.b1.c1", 294912, 200704}, {"l3.b1.c2", 589824, 200704},
+        {"l3.b2.c1", 589824, 200704}, {"l3.b2.c2", 589824, 200704},
+        {"l4.b1.c1", 1179648, 100352},{"l4.b1.c2", 2359296, 100352},
+        {"l4.b2.c1", 2359296, 100352},{"l4.b2.c2", 2359296, 100352},
+        {"fc", 512000, 1000},
+    };
+    return layers;
+}
+
+std::uint64_t
+pagesFor(double elements, double scale)
+{
+    double bytes = elements * scale * 4.0; // fp32
+    return std::max<std::uint64_t>(1,
+        static_cast<std::uint64_t>(std::ceil(bytes / 4096.0)));
+}
+
+} // namespace
+
+SyntheticSpec
+mlModelSpec(const std::string &model, double param_scale, int iterations)
+{
+    const std::vector<LayerShape> *layers = nullptr;
+    if (model == "VGG16")
+        layers = &vgg16Layers();
+    else if (model == "ResNet18")
+        layers = &resnet18Layers();
+    else
+        sim::fatal("unknown ML model: " + model);
+
+    const int num_layers = static_cast<int>(layers->size());
+    // One iteration = forward (phases 0..L-1) then backward
+    // (phases L..2L-1); iterations repeat the whole schedule.
+    const int phases_per_iter = 2 * num_layers;
+
+    SyntheticSpec spec;
+    spec.name = model;
+    spec.suite = "data-parallel training";
+    spec.patternClass = "ML";
+    spec.numCtas = 1024;
+    spec.computePerOp = 12;
+    spec.phases = phases_per_iter * iterations;
+    spec.memOpsPerCta = 8 * spec.phases;
+
+    for (int l = 0; l < num_layers; ++l) {
+        const LayerShape &layer = (*layers)[static_cast<std::size_t>(l)];
+        std::vector<int> fwd, bwd, both;
+        for (int it = 0; it < iterations; ++it) {
+            int fwd_phase = it * phases_per_iter + l;
+            int bwd_phase =
+                it * phases_per_iter + phases_per_iter - 1 - l;
+            fwd.push_back(fwd_phase);
+            bwd.push_back(bwd_phase);
+            both.push_back(fwd_phase);
+            both.push_back(bwd_phase);
+        }
+        spec.regions.push_back({
+            .name = std::string(layer.name) + ".w",
+            .pages = pagesFor(layer.params, param_scale),
+            .shareDegree = 64,
+            .weight = 0.4,
+            .writeFrac = 0.0,
+            .reuse = 3,
+            .activePhases = both,
+        });
+        spec.regions.push_back({
+            .name = std::string(layer.name) + ".grad",
+            .pages = pagesFor(layer.params, param_scale),
+            .shareDegree = 64,
+            .weight = 0.25,
+            .writeFrac = 0.8,
+            .reuse = 3,
+            .activePhases = bwd,
+        });
+        spec.regions.push_back({
+            .name = std::string(layer.name) + ".act",
+            .pages = pagesFor(layer.activations, param_scale * 8),
+            .weight = 0.35,
+            .writeFrac = 0.5,
+            .reuse = 4,
+            .activePhases = both,
+        });
+    }
+    return spec;
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeMlModel(const std::string &model, double param_scale, int iterations)
+{
+    return std::make_unique<SyntheticWorkload>(
+        mlModelSpec(model, param_scale, iterations));
+}
+
+} // namespace transfw::wl

@@ -1,0 +1,32 @@
+#ifndef TRANSFW_WORKLOAD_ML_MODELS_HPP
+#define TRANSFW_WORKLOAD_ML_MODELS_HPP
+
+#include <memory>
+#include <string>
+
+#include "workload/synthetic.hpp"
+
+namespace transfw::wl {
+
+/**
+ * Data-parallel training traces for the Section V-J study (Fig. 30).
+ * Each model is built from its real layer shapes: every layer
+ * contributes an all-shared read-mostly weight region (the broadcast
+ * replica traffic), an all-shared written gradient region (allreduce),
+ * and a partitioned activation region (each GPU's own micro-batch).
+ * Layers execute as phases — forward in order, backward in reverse —
+ * and parameter counts are scaled down by @p param_scale so footprints
+ * stay simulable (documented in DESIGN.md).
+ */
+std::unique_ptr<SyntheticWorkload> makeMlModel(const std::string &model,
+                                               double param_scale = 1.0 / 64,
+                                               int iterations = 2);
+
+/** The spec behind makeMlModel, exposed for tests. */
+SyntheticSpec mlModelSpec(const std::string &model,
+                          double param_scale = 1.0 / 64,
+                          int iterations = 2);
+
+} // namespace transfw::wl
+
+#endif // TRANSFW_WORKLOAD_ML_MODELS_HPP

@@ -1,0 +1,301 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+#include "sim/random.hpp"
+
+namespace transfw::wl {
+
+namespace {
+
+/**
+ * Stream generator for one CTA of a SyntheticWorkload. All state is
+ * local, so streams are independent of simulation interleaving.
+ */
+class SyntheticStream : public CtaStream
+{
+  public:
+    SyntheticStream(const SyntheticWorkload &workload, int cta,
+                    int num_gpus, std::uint64_t seed)
+        : wl_(workload), spec_(workload.spec()), cta_(cta),
+          numGpus_(num_gpus),
+          rng_(seed ^ (0x9E3779B97F4A7C15ULL * (cta + 1))),
+          cursors_(spec_.regions.size(), 0),
+          randPos_(spec_.regions.size(), 0),
+          randEpoch_(spec_.regions.size(), 0)
+    {
+        home_ = homeGpu(cta_, spec_.numCtas, numGpus_);
+        opsPerPhase_ =
+            std::max(1, spec_.memOpsPerCta / std::max(1, spec_.phases));
+        enterPhase(0);
+    }
+
+    bool
+    next(MemOp &op) override
+    {
+        if (opIndex_ >= spec_.memOpsPerCta)
+            return false;
+        int phase = std::min(spec_.phases - 1, opIndex_ / opsPerPhase_);
+        if (phase != phase_)
+            enterPhase(phase);
+
+        std::size_t region = pickRegion();
+        const RegionSpec &spec = spec_.regions[region];
+
+        op.computeGap = spec_.computePerOp;
+        op.instructions = 1 + spec_.computePerOp;
+        op.numPages = 0;
+
+        mem::Vpn first = genPage(region);
+        addPage(op, first, rng_.chance(spec.writeFrac));
+        for (int extra = 1; extra < spec_.pagesPerOp; ++extra) {
+            // Coalesced neighbours: the wavefront's lanes spill onto
+            // the next page of the same structure.
+            std::uint64_t pos =
+                (first - wl_.regionBase(region)) / spec_.vaSpread;
+            mem::Vpn vpn = wl_.pageVpn(
+                region, (pos + static_cast<std::uint64_t>(extra)) %
+                            spec.pages);
+            addPage(op, vpn, rng_.chance(spec.writeFrac));
+        }
+
+        ++opIndex_;
+        return true;
+    }
+
+  private:
+    static void
+    addPage(MemOp &op, mem::Vpn vpn, bool write)
+    {
+        for (int i = 0; i < op.numPages; ++i) {
+            if (op.pages[static_cast<std::size_t>(i)].vpn == vpn) {
+                op.pages[static_cast<std::size_t>(i)].write |= write;
+                return;
+            }
+        }
+        if (op.numPages < MemOp::kMaxPages)
+            op.pages[static_cast<std::size_t>(op.numPages++)] = {vpn, write};
+    }
+
+    void
+    enterPhase(int phase)
+    {
+        phase_ = phase;
+        activeWeights_.assign(spec_.regions.size(), 0.0);
+        double total = 0.0;
+        for (std::size_t r = 0; r < spec_.regions.size(); ++r) {
+            const auto &region = spec_.regions[r];
+            bool active =
+                region.activePhases.empty() ||
+                std::find(region.activePhases.begin(),
+                          region.activePhases.end(),
+                          phase) != region.activePhases.end();
+            if (active) {
+                total += region.weight;
+                activeWeights_[r] = total;
+            }
+        }
+        if (total == 0.0)
+            sim::fatal("workload phase with no active regions: " +
+                       spec_.name);
+        activeTotal_ = total;
+    }
+
+    std::size_t
+    pickRegion()
+    {
+        double x = rng_.uniform() * activeTotal_;
+        for (std::size_t r = 0; r < activeWeights_.size(); ++r) {
+            if (activeWeights_[r] > 0.0 && x < activeWeights_[r])
+                return r;
+        }
+        return activeWeights_.size() - 1;
+    }
+
+    /** The GPU used for slicing, including per-phase rotation. */
+    int
+    sliceGpu(const RegionSpec &spec) const
+    {
+        if (!spec.rotatePerPhase)
+            return home_;
+        return (home_ + phase_) % numGpus_;
+    }
+
+    mem::Vpn
+    genPage(std::size_t region)
+    {
+        const RegionSpec &spec = spec_.regions[region];
+        int gpu = sliceGpu(spec);
+
+        int degree = std::clamp(spec.shareDegree, 1, numGpus_);
+        int num_groups = (numGpus_ + degree - 1) / degree;
+        int group = gpu / degree;
+
+        std::uint64_t slice_len =
+            std::max<std::uint64_t>(1, spec.pages / num_groups);
+        std::uint64_t slice_start =
+            static_cast<std::uint64_t>(group) * spec.pages / num_groups;
+
+        // Halo: occasionally reach into the neighbouring GPU's portion
+        // of the region (only meaningful for partitioned regions).
+        if (spec.haloProb > 0.0 && rng_.chance(spec.haloProb)) {
+            std::uint64_t gpu_end =
+                static_cast<std::uint64_t>(gpu + 1) * spec.pages / numGpus_;
+            std::uint64_t h = rng_.range(std::max<std::uint32_t>(
+                1, spec.haloPages));
+            return wl_.pageVpn(region, (gpu_end + h) % spec.pages);
+        }
+
+        // This CTA's starting offset within the group slice. Aligned
+        // regions give CTA k of every GPU the same offset; otherwise
+        // offsets stagger across the whole group. Either way, offsets
+        // snap to 8-page blocks so fingerprint-group residency stays
+        // coherent as pages migrate.
+        std::uint64_t sub_start;
+        if (spec.alignAcrossGpus) {
+            int gpu_first = static_cast<int>(
+                static_cast<long long>(gpu) * spec_.numCtas / numGpus_);
+            int gpu_ctas = std::max(
+                1, static_cast<int>(static_cast<long long>(gpu + 1) *
+                                        spec_.numCtas / numGpus_) -
+                       gpu_first);
+            sub_start = ((static_cast<std::uint64_t>(cta_ - gpu_first) *
+                              slice_len / gpu_ctas +
+                          static_cast<std::uint64_t>(gpu) *
+                              spec.alignSkewPages) %
+                         slice_len) &
+                        ~7ULL;
+        } else {
+            int first_cta = firstCtaOfGroup(group, degree);
+            int group_ctas = ctasInGroup(group, degree);
+            sub_start = (static_cast<std::uint64_t>(cta_ - first_cta) *
+                         slice_len / std::max(1, group_ctas)) &
+                        ~7ULL;
+        }
+
+        std::uint64_t &cursor = cursors_[region];
+        std::uint64_t steps = cursor / std::max<std::uint32_t>(1, spec.reuse);
+        ++cursor;
+
+        std::uint64_t pos;
+        switch (spec.pattern) {
+          case Pattern::Sequential:
+            pos = (sub_start + steps) % slice_len;
+            break;
+          case Pattern::Strided:
+            pos = (sub_start + steps * spec.stride) % slice_len;
+            break;
+          case Pattern::Random:
+          default:
+            // Random with bursts: stay on one page for `reuse` ops
+            // (real irregular kernels still have intra-wavefront
+            // temporal locality between page migrations).
+            if (randEpoch_[region] != steps + 1) {
+                randPos_[region] = rng_.range(slice_len);
+                randEpoch_[region] = steps + 1;
+            }
+            pos = randPos_[region];
+            break;
+        }
+        return wl_.pageVpn(region, slice_start + pos);
+    }
+
+    int
+    firstCtaOfGroup(int group, int degree) const
+    {
+        int first_gpu = group * degree;
+        // First CTA whose home GPU is first_gpu.
+        long long n = static_cast<long long>(first_gpu) * spec_.numCtas;
+        int cta = static_cast<int>((n + numGpus_ - 1) / numGpus_);
+        return cta;
+    }
+
+    int
+    ctasInGroup(int group, int degree) const
+    {
+        int next_first = firstCtaOfGroup(group + 1, degree);
+        next_first = std::min(next_first, spec_.numCtas);
+        return std::max(1, next_first - firstCtaOfGroup(group, degree));
+    }
+
+    const SyntheticWorkload &wl_;
+    const SyntheticSpec &spec_;
+    int cta_;
+    int numGpus_;
+    int home_ = 0;
+    sim::Rng rng_;
+    std::vector<std::uint64_t> cursors_;
+    std::vector<std::uint64_t> randPos_;
+    std::vector<std::uint64_t> randEpoch_; ///< steps+1 of last redraw
+
+    std::vector<double> activeWeights_;
+    double activeTotal_ = 1.0;
+    int opIndex_ = 0;
+    int opsPerPhase_ = 1;
+    int phase_ = -1;
+};
+
+} // namespace
+
+SyntheticWorkload::SyntheticWorkload(SyntheticSpec spec, mem::Vpn base_vpn)
+    : spec_(std::move(spec)), baseVpn_(base_vpn)
+{
+    if (spec_.regions.empty())
+        sim::fatal("synthetic workload needs at least one region: " +
+                   spec_.name);
+    if (spec_.vaSpread == 0)
+        sim::fatal("vaSpread must be at least 1: " + spec_.name);
+    mem::Vpn next = baseVpn_;
+    for (const auto &region : spec_.regions) {
+        regionBase_.push_back(next);
+        // Leave one spread unit of slack between regions so they never
+        // interleave within a page-table node.
+        next += (region.pages + 1) * spec_.vaSpread;
+    }
+}
+
+std::unique_ptr<CtaStream>
+SyntheticWorkload::makeStream(int cta, int num_gpus,
+                              std::uint64_t seed) const
+{
+    return std::make_unique<SyntheticStream>(*this, cta, num_gpus, seed);
+}
+
+void
+SyntheticWorkload::forEachPage(
+    const std::function<void(mem::Vpn)> &fn) const
+{
+    for (std::size_t r = 0; r < spec_.regions.size(); ++r)
+        for (std::uint64_t i = 0; i < spec_.regions[r].pages; ++i)
+            fn(pageVpn(r, i));
+}
+
+mem::DeviceId
+SyntheticWorkload::initialOwner(mem::Vpn vpn4k, int num_gpus) const
+{
+    for (std::size_t r = 0; r < spec_.regions.size(); ++r) {
+        const RegionSpec &region = spec_.regions[r];
+        mem::Vpn base = regionBase_[r];
+        if (vpn4k < base ||
+            vpn4k >= base + region.pages * spec_.vaSpread)
+            continue;
+        if ((vpn4k - base) % spec_.vaSpread != 0)
+            continue;
+        std::uint64_t offset = (vpn4k - base) / spec_.vaSpread;
+        int degree = std::clamp(region.shareDegree, 1, num_gpus);
+        int num_groups = (num_gpus + degree - 1) / degree;
+        // Which group's slice holds this page?
+        int group = static_cast<int>(offset * num_groups / region.pages);
+        group = std::min(group, num_groups - 1);
+        // Interleave the group slice across the group's GPUs in blocks
+        // of 8 application pages, so each PRT/FT fingerprint group
+        // (8 pages) starts with a single owner.
+        int member = static_cast<int>((offset / 8) % degree);
+        int gpu = group * degree + member;
+        return std::min(gpu, num_gpus - 1);
+    }
+    return mem::kCpuDevice;
+}
+
+} // namespace transfw::wl

@@ -1,0 +1,146 @@
+#ifndef TRANSFW_WORKLOAD_SYNTHETIC_HPP
+#define TRANSFW_WORKLOAD_SYNTHETIC_HPP
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace transfw::wl {
+
+/** Per-page access-order pattern within a region slice. */
+enum class Pattern
+{
+    Sequential, ///< walk the slice in order (with per-page reuse)
+    Strided,    ///< stride through the slice (scatter-gather)
+    Random,     ///< uniform random within the slice
+};
+
+/**
+ * One logical data structure of a synthetic application. The region's
+ * pages are divided among *GPU groups* of @ref shareDegree consecutive
+ * GPUs: shareDegree 1 gives fully partitioned data (each GPU its own
+ * slice), shareDegree >= numGpus gives data shared by every GPU.
+ * @ref haloProb adds boundary touches into the neighbouring GPU's slice
+ * (the "adjacent" pattern class), and @ref rotatePerPhase shifts the
+ * slice ownership by one GPU each phase (iterative redistribution).
+ */
+struct RegionSpec
+{
+    std::string name;
+    std::uint64_t pages = 1024;
+    Pattern pattern = Pattern::Sequential;
+    int shareDegree = 1;
+    double weight = 1.0;      ///< probability mass of ops hitting this region
+    double writeFrac = 0.0;
+    std::uint32_t reuse = 4;  ///< consecutive ops per page before advancing
+    std::uint64_t stride = 1; ///< slice stride in pages (Pattern::Strided)
+    double haloProb = 0.0;
+    std::uint32_t haloPages = 2;
+    bool rotatePerPhase = false;
+    /**
+     * Give CTA k of *every* GPU the same sweep offset (instead of
+     * staggering offsets globally), so the GPUs touch the same pages
+     * nearly in lockstep — the concurrent write-sharing of a
+     * transpose, where block k of each GPU targets the same output
+     * band. Maximizes ping-pong on shared regions.
+     */
+    bool alignAcrossGpus = false;
+    /**
+     * Per-GPU page offset added to aligned sweeps: GPU g starts
+     * g × alignSkewPages into the sequence, so pages hand off between
+     * GPUs in a pipeline instead of colliding head-on. Ownership still
+     * churns (same fault count) but same-page collision chains shorten.
+     */
+    std::uint32_t alignSkewPages = 0;
+    /** Phases in which this region is accessed (empty = all phases). */
+    std::vector<int> activePhases;
+};
+
+/** Full description of a synthetic multi-GPU application. */
+struct SyntheticSpec
+{
+    std::string name;
+    std::string suite;        ///< benchmark suite of the modeled app
+    std::string patternClass; ///< Table III access-pattern class
+    int numCtas = 512;
+    int memOpsPerCta = 160;
+    std::uint32_t computePerOp = 2; ///< compute instructions between ops
+    int pagesPerOp = 1;             ///< coalesced distinct pages per op
+    int phases = 1;
+
+    /**
+     * VA distance (in pages) between consecutive pages of a region.
+     * Real applications run GB-scale footprints where one PW-cache L2
+     * entry covers only a sliver of the data; spreading the simulated
+     * pages across the VA space reproduces that PW-cache pressure
+     * without simulating the full footprint (see DESIGN.md).
+     */
+    std::uint64_t vaSpread = 512;
+
+    std::vector<RegionSpec> regions;
+
+    std::uint64_t
+    totalPages() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &r : regions)
+            total += r.pages;
+        return total;
+    }
+};
+
+/**
+ * Workload driven by a SyntheticSpec. Each CTA owns an independent,
+ * deterministically seeded RNG, so streams are reproducible and
+ * independent of scheduling order.
+ */
+class SyntheticWorkload : public Workload
+{
+  public:
+    explicit SyntheticWorkload(SyntheticSpec spec, mem::Vpn base_vpn = 0x100);
+
+    const std::string &name() const override { return spec_.name; }
+    int numCtas() const override { return spec_.numCtas; }
+    std::uint64_t footprintPages() const override
+    {
+        return spec_.totalPages();
+    }
+    mem::Vpn baseVpn() const override { return baseVpn_; }
+
+    std::unique_ptr<CtaStream> makeStream(int cta, int num_gpus,
+                                          std::uint64_t seed) const override;
+
+    /**
+     * First-touch owner: pages of a partitioned region belong to the
+     * GPU owning their slice; pages of a region shared by a group are
+     * interleaved across the group's GPUs.
+     */
+    mem::DeviceId initialOwner(mem::Vpn vpn4k,
+                               int num_gpus) const override;
+
+    const SyntheticSpec &spec() const { return spec_; }
+
+    /** First VPN of region @p r. */
+    mem::Vpn regionBase(std::size_t r) const { return regionBase_[r]; }
+
+    /** VPN of page @p pos of region @p r (VA-spread layout). */
+    mem::Vpn
+    pageVpn(std::size_t r, std::uint64_t pos) const
+    {
+        return regionBase_[r] + pos * spec_.vaSpread;
+    }
+
+    void forEachPage(
+        const std::function<void(mem::Vpn)> &fn) const override;
+
+  private:
+    SyntheticSpec spec_;
+    mem::Vpn baseVpn_;
+    std::vector<mem::Vpn> regionBase_;
+    std::vector<double> cumWeight_; ///< cumulative region-select weights
+};
+
+} // namespace transfw::wl
+
+#endif // TRANSFW_WORKLOAD_SYNTHETIC_HPP

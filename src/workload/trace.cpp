@@ -1,0 +1,190 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hpp"
+
+namespace transfw::wl {
+
+namespace {
+
+/** Replays one CTA's pre-parsed op list. */
+class TraceStream : public CtaStream
+{
+  public:
+    explicit TraceStream(const std::vector<MemOp> &ops) : ops_(ops) {}
+
+    bool
+    next(MemOp &op) override
+    {
+        if (index_ >= ops_.size())
+            return false;
+        op = ops_[index_++];
+        return true;
+    }
+
+  private:
+    const std::vector<MemOp> &ops_;
+    std::size_t index_ = 0;
+};
+
+} // namespace
+
+TraceWorkload::TraceWorkload(const std::string &path) : name_(path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("cannot open trace file: " + path);
+
+    std::string line;
+    bool have_header = false;
+    std::vector<std::pair<mem::Vpn, int>> touches; // (vpn, first cta)
+
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::string_view view(line);
+        if (auto hash = view.find('#'); hash != std::string_view::npos)
+            view = view.substr(0, hash);
+        std::istringstream is{std::string(view)};
+        std::string first;
+        if (!(is >> first))
+            continue; // blank/comment line
+
+        if (!have_header) {
+            if (first != "trace-v1" || !(is >> numCtas_) || numCtas_ <= 0)
+                sim::fatal(sim::strfmt(
+                    "%s:%d: expected 'trace-v1 <numCtas>'", path.c_str(),
+                    line_no));
+            opsPerCta_.resize(static_cast<std::size_t>(numCtas_));
+            have_header = true;
+            continue;
+        }
+
+        int cta = 0;
+        MemOp op;
+        try {
+            cta = std::stoi(first);
+        } catch (...) {
+            cta = -1;
+        }
+        std::uint64_t gap;
+        if (cta < 0 || cta >= numCtas_ || !(is >> gap))
+            sim::fatal(sim::strfmt("%s:%d: malformed op line",
+                                   path.c_str(), line_no));
+        op.computeGap = static_cast<std::uint32_t>(gap);
+        op.instructions = 1 + op.computeGap;
+        std::string access;
+        while (is >> access && op.numPages < MemOp::kMaxPages) {
+            if (access.size() < 2 ||
+                (access[0] != 'r' && access[0] != 'w'))
+                sim::fatal(sim::strfmt("%s:%d: bad access '%s'",
+                                       path.c_str(), line_no,
+                                       access.c_str()));
+            mem::Vpn vpn = 0;
+            try {
+                vpn = std::stoull(access.substr(1), nullptr, 16);
+            } catch (...) {
+                sim::fatal(sim::strfmt("%s:%d: bad vpn in '%s'",
+                                       path.c_str(), line_no,
+                                       access.c_str()));
+            }
+            op.pages[static_cast<std::size_t>(op.numPages++)] = {
+                vpn, access[0] == 'w'};
+            touches.emplace_back(vpn, cta);
+        }
+        if (op.numPages == 0)
+            sim::fatal(sim::strfmt("%s:%d: op with no accesses",
+                                   path.c_str(), line_no));
+        opsPerCta_[static_cast<std::size_t>(cta)].push_back(op);
+    }
+    if (!have_header)
+        sim::fatal("empty trace file: " + path);
+
+    // Distinct pages + first toucher, preserving first-touch order.
+    std::vector<std::pair<mem::Vpn, int>> first_by_page;
+    {
+        std::vector<std::pair<mem::Vpn, int>> sorted = touches;
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        for (const auto &t : sorted) {
+            if (first_by_page.empty() ||
+                first_by_page.back().first != t.first)
+                first_by_page.push_back(t);
+        }
+    }
+    for (const auto &[vpn, cta] : first_by_page) {
+        pages_.push_back(vpn);
+        firstToucher_.push_back(cta);
+    }
+    baseVpn_ = pages_.empty() ? 0 : pages_.front();
+}
+
+std::unique_ptr<CtaStream>
+TraceWorkload::makeStream(int cta, int num_gpus, std::uint64_t seed) const
+{
+    (void)num_gpus;
+    (void)seed;
+    return std::make_unique<TraceStream>(
+        opsPerCta_[static_cast<std::size_t>(cta)]);
+}
+
+mem::DeviceId
+TraceWorkload::initialOwner(mem::Vpn vpn4k, int num_gpus) const
+{
+    auto it = std::lower_bound(pages_.begin(), pages_.end(), vpn4k);
+    if (it == pages_.end() || *it != vpn4k)
+        return mem::kCpuDevice;
+    int cta = firstToucher_[static_cast<std::size_t>(
+        std::distance(pages_.begin(), it))];
+    return homeGpu(cta, numCtas_, num_gpus);
+}
+
+void
+TraceWorkload::forEachPage(
+    const std::function<void(mem::Vpn)> &fn) const
+{
+    for (mem::Vpn vpn : pages_)
+        fn(vpn);
+}
+
+std::uint64_t
+TraceWorkload::totalOps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ops : opsPerCta_)
+        total += ops.size();
+    return total;
+}
+
+void
+recordTrace(const Workload &workload, int num_gpus, std::uint64_t seed,
+            const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("cannot write trace file: " + path);
+    out << "# recorded from workload '" << workload.name() << "'\n";
+    out << "trace-v1 " << workload.numCtas() << "\n";
+    for (int cta = 0; cta < workload.numCtas(); ++cta) {
+        auto stream = workload.makeStream(cta, num_gpus, seed);
+        MemOp op;
+        while (stream->next(op)) {
+            out << cta << ' ' << op.computeGap;
+            for (int i = 0; i < op.numPages; ++i) {
+                const PageAccess &access =
+                    op.pages[static_cast<std::size_t>(i)];
+                out << ' ' << (access.write ? 'w' : 'r') << std::hex
+                    << access.vpn << std::dec;
+            }
+            out << '\n';
+        }
+    }
+}
+
+} // namespace transfw::wl

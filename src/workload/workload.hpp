@@ -1,0 +1,113 @@
+#ifndef TRANSFW_WORKLOAD_WORKLOAD_HPP
+#define TRANSFW_WORKLOAD_WORKLOAD_HPP
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mem/address.hpp"
+
+namespace transfw::wl {
+
+/** One coalesced page touch issued by a wavefront. */
+struct PageAccess
+{
+    mem::Vpn vpn = 0;
+    bool write = false;
+};
+
+/**
+ * One wavefront step: some compute cycles followed by a coalesced
+ * memory instruction touching up to kMaxPages distinct pages.
+ */
+struct MemOp
+{
+    static constexpr int kMaxPages = 4;
+
+    std::uint32_t computeGap = 0;   ///< compute cycles before the access
+    std::uint32_t instructions = 1; ///< instructions this step represents
+    std::array<PageAccess, kMaxPages> pages{};
+    int numPages = 0;
+};
+
+/**
+ * The per-CTA instruction stream. Streams are cheap generators — ops
+ * are produced on demand, never materialized as traces.
+ */
+class CtaStream
+{
+  public:
+    virtual ~CtaStream() = default;
+
+    /** Produce the next op. @return false when the CTA has finished. */
+    virtual bool next(MemOp &op) = 0;
+};
+
+/**
+ * A multi-GPU application: a set of CTAs over a UVM footprint. The CTA
+ * scheduler places CTAs greedily (fill one GPU's CUs, then the next),
+ * so a CTA's *home GPU* — used by the generators to slice partitioned
+ * data — is its index-proportional position: homeGpu = cta·G/numCtas.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const std::string &name() const = 0;
+    virtual int numCtas() const = 0;
+
+    /** Pages of UVM footprint, initially resident on the CPU. */
+    virtual std::uint64_t footprintPages() const = 0;
+
+    /** First VPN of the footprint (pages are contiguous from here). */
+    virtual mem::Vpn baseVpn() const = 0;
+
+    /**
+     * Create the generator for CTA @p cta in a system with
+     * @p num_gpus GPUs, seeded deterministically from @p seed.
+     */
+    virtual std::unique_ptr<CtaStream>
+    makeStream(int cta, int num_gpus, std::uint64_t seed) const = 0;
+
+    /**
+     * The device expected to touch @p vpn4k (4 KB units) first, used by
+     * the system's steady-state pre-placement (so measurements capture
+     * sharing-driven migration, not the one-time cold-touch storm the
+     * paper's long-running kernels amortize away). Default: the CPU,
+     * i.e., cold UVM placement.
+     */
+    virtual mem::DeviceId
+    initialOwner(mem::Vpn vpn4k, int num_gpus) const
+    {
+        (void)vpn4k;
+        (void)num_gpus;
+        return mem::kCpuDevice;
+    }
+
+    /**
+     * Enumerate every page (4 KB VPN) of the footprint. The default
+     * assumes a contiguous layout; workloads with sparse VA layouts
+     * override this.
+     */
+    virtual void
+    forEachPage(const std::function<void(mem::Vpn)> &fn) const
+    {
+        for (std::uint64_t i = 0; i < footprintPages(); ++i)
+            fn(baseVpn() + i);
+    }
+};
+
+/** Home GPU of a CTA under greedy placement. */
+inline int
+homeGpu(int cta, int num_ctas, int num_gpus)
+{
+    return static_cast<int>(static_cast<long long>(cta) * num_gpus /
+                            num_ctas);
+}
+
+} // namespace transfw::wl
+
+#endif // TRANSFW_WORKLOAD_WORKLOAD_HPP

@@ -1,0 +1,68 @@
+#ifndef TRANSFW_TESTS_HELPERS_HPP
+#define TRANSFW_TESTS_HELPERS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "config/config.hpp"
+#include "mmu/gpu_iface.hpp"
+#include "mmu/request.hpp"
+#include "pwc/utc.hpp"
+#include "transfw/prt.hpp"
+
+namespace transfw::test {
+
+/**
+ * Minimal GpuIface implementation for driving the UVM machinery
+ * (migration engine, host MMU, driver) without a full gpu::Gpu.
+ */
+class FakeGpu : public mmu::GpuIface
+{
+  public:
+    FakeGpu(const cfg::SystemConfig &config, int id)
+        : id_(id), pt_(config.geometry()),
+          frames_(config.gpuMemBytes, config.pageShift),
+          pwc_(config.pwcEntries, config.geometry())
+    {
+        if (config.transFw.enabled)
+            prt_ = std::make_unique<core::PendingRequestTable>(
+                config.transFw, id);
+    }
+
+    mem::PageTable &localPageTable() override { return pt_; }
+    mem::FrameAllocator &frames() override { return frames_; }
+    void invalidateTlbs(mem::Vpn vpn) override
+    {
+        lastInvalidated = vpn;
+        ++invalidations;
+    }
+    core::PendingRequestTable *prt() override { return prt_.get(); }
+    const pwc::PageWalkCache &gmmuPwc() const override { return pwc_; }
+
+    pwc::UnifiedTranslationCache &pwc() { return pwc_; }
+
+    int invalidations = 0;
+    mem::Vpn lastInvalidated = 0;
+
+  private:
+    int id_;
+    mem::PageTable pt_;
+    mem::FrameAllocator frames_;
+    pwc::UnifiedTranslationCache pwc_;
+    std::unique_ptr<core::PendingRequestTable> prt_;
+};
+
+/** Build a translation request for tests. */
+inline mmu::XlatPtr
+makeReq(mem::Vpn vpn, int gpu = 0, bool write = false)
+{
+    auto req = std::make_shared<mmu::XlatRequest>();
+    req->vpn = vpn;
+    req->gpu = gpu;
+    req->isWrite = write;
+    return req;
+}
+
+} // namespace transfw::test
+
+#endif // TRANSFW_TESTS_HELPERS_HPP

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "mem/address.hpp"
+
+using namespace transfw::mem;
+
+TEST(PagingGeometry, FiveLevel4K)
+{
+    PagingGeometry geo{5, kSmallPageShift};
+    EXPECT_EQ(geo.leafLevel(), 1);
+    EXPECT_EQ(geo.walkAccesses(), 5);
+    EXPECT_EQ(geo.lowestCachedLevel(), 2);
+    EXPECT_EQ(geo.pageBytes(), 4096u);
+}
+
+TEST(PagingGeometry, FourLevel4K)
+{
+    PagingGeometry geo{4, kSmallPageShift};
+    EXPECT_EQ(geo.leafLevel(), 1);
+    EXPECT_EQ(geo.walkAccesses(), 4);
+    EXPECT_EQ(geo.lowestCachedLevel(), 2);
+}
+
+TEST(PagingGeometry, FiveLevel2M)
+{
+    PagingGeometry geo{5, kLargePageShift};
+    EXPECT_EQ(geo.leafLevel(), 2);
+    EXPECT_EQ(geo.walkAccesses(), 4);
+    EXPECT_EQ(geo.lowestCachedLevel(), 3);
+    EXPECT_EQ(geo.pageBytes(), 2u << 20);
+}
+
+TEST(PagingGeometry, IndexExtraction)
+{
+    PagingGeometry geo{5, kSmallPageShift};
+    // Build a VPN from explicit 9-bit indices L5..L1.
+    Vpn vpn = (Vpn{0x123} << 36) | (Vpn{0x0A8} << 27) | (Vpn{0x11C} << 18) |
+              (Vpn{0x009} << 9) | Vpn{0x1B8};
+    EXPECT_EQ(geo.index(vpn, 5), 0x123u);
+    EXPECT_EQ(geo.index(vpn, 4), 0x0A8u);
+    EXPECT_EQ(geo.index(vpn, 3), 0x11Cu);
+    EXPECT_EQ(geo.index(vpn, 2), 0x009u);
+    EXPECT_EQ(geo.index(vpn, 1), 0x1B8u);
+}
+
+TEST(PagingGeometry, PrefixNesting)
+{
+    PagingGeometry geo{5, kSmallPageShift};
+    Vpn a = 0x123456789ULL;
+    Vpn b = a + 1; // differs only in the L1 index (unless it carries)
+    // The level-2 prefix drops the L1 index.
+    EXPECT_EQ(geo.prefix(a, 2), a >> 9);
+    // Prefixes must nest: equal level-k prefixes imply equal level-k+1.
+    for (int level = 2; level < 5; ++level) {
+        if (geo.prefix(a, level) == geo.prefix(b, level)) {
+            EXPECT_EQ(geo.prefix(a, level + 1), geo.prefix(b, level + 1));
+        }
+    }
+}
+
+TEST(PagingGeometry, LargePageIndexBasedAtLeaf)
+{
+    PagingGeometry geo{5, kLargePageShift};
+    // A 2 MB VPN's lowest 9 bits are the L2 index.
+    Vpn vpn = (Vpn{5} << 9) | Vpn{7};
+    EXPECT_EQ(geo.index(vpn, 2), 7u);
+    EXPECT_EQ(geo.index(vpn, 3), 5u);
+}
+
+TEST(PagingGeometry, VpnOf)
+{
+    PagingGeometry small{5, kSmallPageShift};
+    PagingGeometry large{5, kLargePageShift};
+    VirtAddr va = (VirtAddr{3} << 21) + 0x1234;
+    EXPECT_EQ(small.vpnOf(va), (va >> 12));
+    EXPECT_EQ(large.vpnOf(va), 3u);
+}

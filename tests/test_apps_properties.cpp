@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+/**
+ * Property sweep over all ten Table III applications: invariants every
+ * app model must satisfy regardless of its constants.
+ */
+class AppProperties : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(AppProperties, SpecIsWellFormed)
+{
+    wl::SyntheticSpec spec = wl::appSpec(GetParam());
+    EXPECT_FALSE(spec.regions.empty());
+    EXPECT_GT(spec.numCtas, 0);
+    EXPECT_GT(spec.memOpsPerCta, 0);
+    EXPECT_GE(spec.phases, 1);
+    double weight = 0;
+    for (const auto &region : spec.regions) {
+        EXPECT_GT(region.pages, 0u);
+        EXPECT_GT(region.weight, 0.0);
+        EXPECT_GE(region.writeFrac, 0.0);
+        EXPECT_LE(region.writeFrac, 1.0);
+        EXPECT_GE(region.reuse, 1u);
+        weight += region.weight;
+    }
+    EXPECT_GT(weight, 0.0);
+}
+
+TEST_P(AppProperties, StreamsTerminateAndStayInFootprint)
+{
+    auto workload = wl::makeApp(GetParam(), 0.3);
+    std::unordered_set<mem::Vpn> valid;
+    workload->forEachPage([&](mem::Vpn vpn) { valid.insert(vpn); });
+    for (int cta : {0, workload->numCtas() / 2, workload->numCtas() - 1}) {
+        auto stream = workload->makeStream(cta, 4, 11);
+        wl::MemOp op;
+        int ops = 0;
+        while (stream->next(op)) {
+            ++ops;
+            ASSERT_LE(ops, 10000) << "stream did not terminate";
+            for (int i = 0; i < op.numPages; ++i) {
+                EXPECT_TRUE(valid.count(
+                    op.pages[static_cast<std::size_t>(i)].vpn));
+            }
+        }
+        EXPECT_GT(ops, 0);
+    }
+}
+
+TEST_P(AppProperties, InitialOwnerCoversFootprint)
+{
+    auto workload = wl::makeApp(GetParam(), 0.3);
+    workload->forEachPage([&](mem::Vpn vpn) {
+        mem::DeviceId owner = workload->initialOwner(vpn, 4);
+        EXPECT_GE(owner, 0);
+        EXPECT_LT(owner, 4);
+    });
+}
+
+TEST_P(AppProperties, RunsDeterministically)
+{
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.cusPerGpu = 8; // keep the sweep fast
+    sys::SimResults a = sys::runApp(GetParam(), config, 0.2);
+    sys::SimResults b = sys::runApp(GetParam(), config, 0.2);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.farFaults, b.farFaults);
+}
+
+TEST_P(AppProperties, TransFwNeverCatastrophic)
+{
+    // Trans-FW may be neutral on compute-bound apps but must never
+    // slow an application down badly on the default configuration.
+    cfg::SystemConfig base = sys::baselineConfig();
+    cfg::SystemConfig fw = sys::transFwConfig();
+    sys::SimResults a = sys::runApp(GetParam(), base, 0.4);
+    sys::SimResults b = sys::runApp(GetParam(), fw, 0.4);
+    EXPECT_GT(sys::speedup(a, b), 0.9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppProperties,
+                         ::testing::Values("AES", "FIR", "KM", "PR", "MM",
+                                           "MT", "SC", "ST", "Conv2d",
+                                           "Im2col"));

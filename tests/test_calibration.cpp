@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+/**
+ * Calibration guardrails: the qualitative claims the reproduction rests
+ * on (Table III ordering, Fig. 11 shape) must keep holding as the model
+ * evolves. These run the real 4-GPU configuration at reduced scale, so
+ * thresholds are deliberately loose.
+ */
+namespace {
+
+constexpr double kScale = 0.6;
+
+sys::SimResults
+run(const std::string &app, bool transfw)
+{
+    return sys::runApp(app,
+                       transfw ? sys::transFwConfig()
+                               : sys::baselineConfig(),
+                       kScale);
+}
+
+} // namespace
+
+TEST(Calibration, PfpkiOrderingMatchesTable3)
+{
+    double fir = run("FIR", false).pfpki();
+    double aes = run("AES", false).pfpki();
+    double km = run("KM", false).pfpki();
+    double pr = run("PR", false).pfpki();
+    double mt = run("MT", false).pfpki();
+
+    // Compute-bound apps sit at the bottom, MT at the top (Table III).
+    EXPECT_LT(fir, 0.1);
+    EXPECT_LT(aes, 0.5);
+    EXPECT_GT(km, aes);
+    EXPECT_GT(pr, km);
+    EXPECT_GT(mt, pr);
+    EXPECT_GT(mt, 10.0);
+}
+
+TEST(Calibration, TransFwHelpsHighSharingApps)
+{
+    for (const char *app : {"PR", "KM", "MT"}) {
+        sys::SimResults base = run(app, false);
+        sys::SimResults fw = run(app, true);
+        EXPECT_GT(sys::speedup(base, fw), 1.1) << app;
+    }
+}
+
+TEST(Calibration, ComputeBoundAppsInsensitive)
+{
+    for (const char *app : {"AES", "FIR"}) {
+        sys::SimResults base = run(app, false);
+        sys::SimResults fw = run(app, true);
+        double s = sys::speedup(base, fw);
+        EXPECT_GT(s, 0.95) << app;
+        EXPECT_LT(s, 1.25) << app;
+    }
+}
+
+TEST(Calibration, SharingRatioShapesMatchFig7)
+{
+    // AES: partitioned, almost no shared accesses.
+    sys::SimResults aes = run("AES", false);
+    double aes_shared = 1.0 - aes.sharingAccesses.fraction(1);
+    EXPECT_LT(aes_shared, 0.1);
+
+    // PR: random over shared data -> most accesses to multi-GPU pages.
+    sys::SimResults pr = run("PR", false);
+    double pr_shared = 1.0 - pr.sharingAccesses.fraction(1);
+    EXPECT_GT(pr_shared, 0.5);
+}
+
+TEST(Calibration, Fig24WriteIntensity)
+{
+    // MT writes its shared pages; MM mostly reads them.
+    sys::SimResults mt = run("MT", false);
+    EXPECT_GT(mt.sharedPageWrites, mt.sharedPageReads / 2);
+    sys::SimResults mm = run("MM", false);
+    EXPECT_GT(mm.sharedPageReads, mm.sharedPageWrites);
+}
+
+TEST(Calibration, RemoteHitRateIsHigh)
+{
+    // Fig. 8: most faults could be served by the owner GPU's PW-cache.
+    sys::SimResults mt = run("MT", false);
+    std::uint64_t total = mt.remoteProbeLevels.total();
+    ASSERT_GT(total, 0u);
+    double hit =
+        1.0 - static_cast<double>(mt.remoteProbeLevels.bucket(0)) / total;
+    EXPECT_GT(hit, 0.5);
+}

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "filter/cuckoo_filter.hpp"
+
+using transfw::filter::CuckooFilter;
+using transfw::filter::CuckooParams;
+
+namespace {
+
+CuckooParams
+prtParams()
+{
+    return {.numBuckets = 125, .slotsPerBucket = 4, .fingerprintBits = 13};
+}
+
+CuckooParams
+ftParams()
+{
+    return {.numBuckets = 1000, .slotsPerBucket = 2, .fingerprintBits = 11};
+}
+
+} // namespace
+
+TEST(CuckooFilter, InsertContains)
+{
+    CuckooFilter filter(prtParams());
+    EXPECT_FALSE(filter.contains(42));
+    EXPECT_TRUE(filter.insert(42));
+    EXPECT_TRUE(filter.contains(42));
+    EXPECT_EQ(filter.size(), 1u);
+}
+
+TEST(CuckooFilter, EraseRemovesOneCopy)
+{
+    CuckooFilter filter(prtParams());
+    filter.insert(7);
+    filter.insert(7); // duplicate copies are allowed
+    EXPECT_TRUE(filter.contains(7));
+    EXPECT_TRUE(filter.erase(7));
+    EXPECT_TRUE(filter.contains(7)); // one copy left
+    EXPECT_TRUE(filter.erase(7));
+    EXPECT_FALSE(filter.contains(7));
+    EXPECT_FALSE(filter.erase(7));
+}
+
+TEST(CuckooFilter, NoFalseNegativesBeforeOverflow)
+{
+    CuckooFilter filter(prtParams()); // capacity 500
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t key = 1000; key < 1400; ++key)
+        keys.push_back(key * 7919);
+    for (auto key : keys)
+        ASSERT_TRUE(filter.insert(key));
+    EXPECT_EQ(filter.overflowEvictions(), 0u);
+    for (auto key : keys)
+        EXPECT_TRUE(filter.contains(key)) << key;
+}
+
+TEST(CuckooFilter, FalsePositiveRateNearDesign)
+{
+    CuckooFilter filter(ftParams()); // 11-bit fp, eps ~ 0.2%
+    for (std::uint64_t key = 0; key < 1600; ++key)
+        filter.insert(key * 104729);
+    std::uint64_t false_positives = 0;
+    constexpr std::uint64_t kProbes = 200000;
+    for (std::uint64_t probe = 0; probe < kProbes; ++probe) {
+        // Probe keys disjoint from the inserted set.
+        if (filter.contains(probe * 104729 + 1))
+            ++false_positives;
+    }
+    double rate = static_cast<double>(false_positives) / kProbes;
+    EXPECT_LT(rate, 0.01);  // well under 1%
+    EXPECT_GT(rate, 0.0001); // but FP do exist at 80% load
+}
+
+TEST(CuckooFilter, OverflowEvictionCountsAndKeepsWorking)
+{
+    CuckooParams params{.numBuckets = 8, .slotsPerBucket = 2,
+                        .fingerprintBits = 8, .maxKicks = 50};
+    CuckooFilter filter(params); // capacity 16
+    int failures = 0;
+    for (std::uint64_t key = 0; key < 64; ++key)
+        failures += filter.insert(key * 31) ? 0 : 1;
+    EXPECT_GT(failures, 0);
+    EXPECT_EQ(filter.overflowEvictions(),
+              static_cast<std::uint64_t>(failures));
+    EXPECT_LE(filter.size(), filter.capacity());
+}
+
+TEST(CuckooFilter, LoadFactorAndBits)
+{
+    CuckooFilter filter(prtParams());
+    EXPECT_EQ(filter.capacity(), 500u);
+    EXPECT_EQ(filter.bits(), 500u * 13u);
+    for (std::uint64_t key = 0; key < 250; ++key)
+        filter.insert(key * 3);
+    EXPECT_NEAR(filter.loadFactor(), 0.5, 0.01);
+}
+
+TEST(CuckooFilter, RejectsBadParams)
+{
+    CuckooParams params;
+    params.fingerprintBits = 17;
+    EXPECT_EXIT({ CuckooFilter filter(params); (void)filter; },
+                ::testing::ExitedWithCode(1), "fingerprint");
+}
+
+/** Parameterized: delete-after-insert round trips across shapes. */
+class CuckooShapes : public ::testing::TestWithParam<CuckooParams>
+{};
+
+TEST_P(CuckooShapes, InsertEraseRoundTrip)
+{
+    CuckooFilter filter(GetParam());
+    std::size_t n = filter.capacity() / 2;
+    for (std::uint64_t key = 0; key < n; ++key)
+        ASSERT_TRUE(filter.insert(key * 2654435761ULL));
+    for (std::uint64_t key = 0; key < n; ++key)
+        EXPECT_TRUE(filter.contains(key * 2654435761ULL));
+    for (std::uint64_t key = 0; key < n; ++key)
+        EXPECT_TRUE(filter.erase(key * 2654435761ULL));
+    EXPECT_EQ(filter.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CuckooShapes,
+    ::testing::Values(
+        CuckooParams{.numBuckets = 125, .slotsPerBucket = 4,
+                     .fingerprintBits = 13},
+        CuckooParams{.numBuckets = 1000, .slotsPerBucket = 2,
+                     .fingerprintBits = 11},
+        CuckooParams{.numBuckets = 63, .slotsPerBucket = 4,
+                     .fingerprintBits = 13},
+        CuckooParams{.numBuckets = 250, .slotsPerBucket = 2,
+                     .fingerprintBits = 11},
+        CuckooParams{.numBuckets = 500, .slotsPerBucket = 2,
+                     .fingerprintBits = 11}));

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "interconnect/network.hpp"
+#include "mmu/host_mmu.hpp"
+#include "transfw/transfw.hpp"
+#include "workload/trace.hpp"
+
+using namespace transfw;
+
+/** Race and boundary conditions that the main suites don't isolate. */
+
+TEST(EdgeCases, HostWalkWinsRaceAgainstRemoteLookup)
+{
+    // A remote success arriving after the host walk already resolved
+    // the request must be absorbed without double-resolution.
+    cfg::SystemConfig config;
+    config.transFw.enabled = true;
+    sim::EventQueue eq;
+    sim::Rng rng(1);
+    mem::PageTable central(config.geometry());
+    ic::Network net(eq, config.numGpus, config.hostLink, config.peerLink);
+    std::vector<std::unique_ptr<test::FakeGpu>> gpus;
+    std::vector<mmu::GpuIface *> ifaces;
+    for (int g = 0; g < config.numGpus; ++g) {
+        gpus.push_back(std::make_unique<test::FakeGpu>(config, g));
+        ifaces.push_back(gpus.back().get());
+    }
+    core::ForwardingTable ft(config.transFw);
+    uvm::MigrationEngine engine(eq, config, central, ifaces, net, &ft);
+    mmu::HostMmu host(eq, config, central, engine, &ft, ifaces, rng);
+    int resolutions = 0;
+    host.onResolved = [&](mmu::XlatPtr) { ++resolutions; };
+    host.forwardToGpu = [](mmu::RemoteLookupPtr) {};
+
+    mem::Ppn ppn = gpus[1]->frames().allocate();
+    gpus[1]->localPageTable().map(
+        0x10, mem::PageInfo{ppn, 1, 0b10, true, false});
+    central.map(0x10, mem::PageInfo{ppn, 1, 0b10, true, false});
+
+    auto req = test::makeReq(0x10, 0);
+    host.handleFault(req);
+    eq.run(); // walk completes, request resolves
+
+    // Late remote success: must be a no-op.
+    auto rl = std::make_shared<mmu::RemoteLookup>();
+    rl->req = req;
+    rl->success = true;
+    rl->result = tlb::TlbEntry{ppn, 1, true, false};
+    host.remoteLookupDone(rl);
+    eq.run();
+    EXPECT_EQ(resolutions, 1);
+    EXPECT_EQ(host.stats().forwardSuccess, 1u);
+}
+
+TEST(EdgeCases, SingleGpuSystemHasNoSharing)
+{
+    wl::SyntheticSpec spec;
+    spec.name = "solo";
+    spec.numCtas = 16;
+    spec.memOpsPerCta = 20;
+    spec.regions = {{.name = "r", .pages = 128,
+                     .pattern = wl::Pattern::Random, .shareDegree = 64,
+                     .weight = 1.0, .writeFrac = 0.5, .reuse = 2}};
+    wl::SyntheticWorkload workload(spec);
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.numGpus = 1;
+    config.cusPerGpu = 4;
+    sys::SimResults r = sys::runWorkload(workload, config);
+    // With one GPU and prewarm, "shared" data is simply local.
+    EXPECT_EQ(r.farFaults, 0u);
+    EXPECT_EQ(r.migrations, 0u);
+    EXPECT_EQ(r.sharingAccesses.fraction(1), 1.0);
+}
+
+TEST(EdgeCases, ThirtyTwoGpuSmoke)
+{
+    wl::SyntheticSpec spec;
+    spec.name = "wide";
+    spec.numCtas = 128;
+    spec.memOpsPerCta = 10;
+    spec.regions = {{.name = "hot", .pages = 128,
+                     .pattern = wl::Pattern::Random, .shareDegree = 64,
+                     .weight = 1.0, .writeFrac = 0.2, .reuse = 2}};
+    wl::SyntheticWorkload workload(spec);
+    cfg::SystemConfig config = sys::transFwConfig();
+    config.numGpus = 32;
+    config.cusPerGpu = 2;
+    sys::SimResults r = sys::runWorkload(workload, config);
+    EXPECT_EQ(r.memOps, 128u * 10u);
+    EXPECT_GT(r.farFaults, 0u);
+}
+
+TEST(EdgeCases, TraceReplayUnderTransFwAndLargePages)
+{
+    wl::SyntheticSpec spec;
+    spec.name = "combo";
+    spec.numCtas = 16;
+    spec.memOpsPerCta = 15;
+    spec.regions = {{.name = "r", .pages = 64, .weight = 1.0,
+                     .writeFrac = 0.3, .reuse = 2}};
+    wl::SyntheticWorkload original(spec);
+    std::string path = "/tmp/transfw_test_combo.trace";
+    wl::recordTrace(original, 4, 1, path);
+    wl::TraceWorkload replay(path);
+
+    cfg::SystemConfig config = sys::transFwConfig();
+    config.cusPerGpu = 4;
+    config.pageShift = mem::kLargePageShift;
+    config.transFw.vpnMaskBits = 0;
+    sys::SimResults r = sys::runWorkload(replay, config);
+    EXPECT_EQ(r.memOps, 16u * 15u);
+}
+
+TEST(EdgeCases, ProtectionFaultRetryTerminates)
+{
+    // Write-after-replicate storms must converge, not livelock: two
+    // GPUs alternately writing a replicated page.
+    wl::SyntheticSpec spec;
+    spec.name = "prot";
+    spec.numCtas = 8;
+    spec.memOpsPerCta = 30;
+    spec.regions = {{.name = "hot", .pages = 4,
+                     .pattern = wl::Pattern::Random, .shareDegree = 64,
+                     .weight = 1.0, .writeFrac = 0.5, .reuse = 1}};
+    wl::SyntheticWorkload workload(spec);
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.numGpus = 2;
+    config.cusPerGpu = 2;
+    config.migrationPolicy = cfg::MigrationPolicy::ReadReplicate;
+    sys::SimResults r = sys::runWorkload(workload, config);
+    EXPECT_EQ(r.memOps, 8u * 30u);
+    EXPECT_GT(r.writeInvalidations, 0u);
+}
+
+TEST(EdgeCases, ZeroWeightRegionNeverAccessed)
+{
+    wl::SyntheticSpec spec;
+    spec.name = "deadweight";
+    spec.numCtas = 8;
+    spec.memOpsPerCta = 20;
+    spec.regions = {
+        {.name = "live", .pages = 32, .weight = 1.0, .reuse = 2},
+        {.name = "dead", .pages = 32, .weight = 1e-12, .reuse = 2},
+    };
+    wl::SyntheticWorkload workload(spec);
+    mem::Vpn dead_base = workload.regionBase(1);
+    auto stream = workload.makeStream(0, 4, 1);
+    wl::MemOp op;
+    while (stream->next(op)) {
+        for (int i = 0; i < op.numPages; ++i)
+            EXPECT_LT(op.pages[static_cast<std::size_t>(i)].vpn,
+                      dead_base);
+    }
+}

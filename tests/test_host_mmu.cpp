@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "interconnect/network.hpp"
+#include "mmu/host_mmu.hpp"
+
+using namespace transfw;
+
+namespace {
+
+struct HostHarness
+{
+    cfg::SystemConfig config;
+    sim::EventQueue eq;
+    sim::Rng rng{1};
+    mem::PageTable central;
+    ic::Network net;
+    std::vector<std::unique_ptr<test::FakeGpu>> gpus;
+    std::unique_ptr<core::ForwardingTable> ft;
+    std::unique_ptr<uvm::MigrationEngine> engine;
+    std::unique_ptr<mmu::HostMmu> host;
+
+    std::vector<mmu::XlatPtr> resolved;
+    std::vector<mmu::RemoteLookupPtr> forwarded;
+
+    explicit HostHarness(cfg::SystemConfig c = {})
+        : config(std::move(c)), central(config.geometry()),
+          net(eq, config.numGpus, config.hostLink, config.peerLink)
+    {
+        std::vector<mmu::GpuIface *> ifaces;
+        for (int g = 0; g < config.numGpus; ++g) {
+            gpus.push_back(std::make_unique<test::FakeGpu>(config, g));
+            ifaces.push_back(gpus.back().get());
+        }
+        if (config.transFw.enabled)
+            ft = std::make_unique<core::ForwardingTable>(config.transFw);
+        engine = std::make_unique<uvm::MigrationEngine>(
+            eq, config, central, ifaces, net, ft.get());
+        host = std::make_unique<mmu::HostMmu>(eq, config, central, *engine,
+                                              ft.get(), ifaces, rng);
+        host->onResolved = [this](mmu::XlatPtr r) {
+            resolved.push_back(std::move(r));
+        };
+        host->forwardToGpu = [this](mmu::RemoteLookupPtr rl) {
+            forwarded.push_back(std::move(rl));
+        };
+    }
+
+    void
+    placeAt(mem::Vpn vpn, int owner)
+    {
+        mem::Ppn ppn =
+            gpus[static_cast<std::size_t>(owner)]->frames().allocate();
+        gpus[static_cast<std::size_t>(owner)]->localPageTable().map(
+            vpn, mem::PageInfo{ppn, owner, 1u << owner, true, false});
+        central.map(vpn,
+                    mem::PageInfo{ppn, owner, 1u << owner, true, false});
+        if (ft)
+            ft->pageArrived(vpn, owner);
+    }
+};
+
+} // namespace
+
+TEST(HostMmu, ResolvesFaultViaWalkAndMigration)
+{
+    HostHarness h;
+    h.placeAt(0x10, 1);
+    h.host->handleFault(test::makeReq(0x10, /*gpu=*/0));
+    h.eq.run();
+    ASSERT_EQ(h.resolved.size(), 1u);
+    EXPECT_EQ(h.resolved[0]->result.owner, 0);
+    EXPECT_EQ(h.host->stats().walks, 1u);
+    EXPECT_EQ(h.central.lookup(0x10)->owner, 0);
+}
+
+TEST(HostMmu, TlbHitSkipsWalk)
+{
+    HostHarness h;
+    h.placeAt(0x20, 1);
+    h.host->handleFault(test::makeReq(0x20, 0));
+    h.eq.run();
+    EXPECT_EQ(h.host->stats().walks, 1u);
+    // The migration invalidated the host TLB entry, so a second fault
+    // from another GPU walks again...
+    h.host->handleFault(test::makeReq(0x20, 2));
+    h.eq.run();
+    EXPECT_EQ(h.host->stats().walks, 2u);
+    // ...but a third fault right after hits the TLB entry just filled.
+    h.host->handleFault(test::makeReq(0x20, 3));
+    h.eq.run();
+    EXPECT_EQ(h.host->stats().walks, 3u); // still walks: migration again
+    EXPECT_GE(h.host->stats().tlbHits, 0u);
+}
+
+TEST(HostMmu, QueueBuildsWhenWalkersBusy)
+{
+    cfg::SystemConfig config;
+    config.hostWalkers = 1;
+    HostHarness h(config);
+    for (mem::Vpn vpn = 0; vpn < 8; ++vpn)
+        h.placeAt((vpn + 1) << 21, 1);
+    for (mem::Vpn vpn = 0; vpn < 8; ++vpn)
+        h.host->handleFault(test::makeReq((vpn + 1) << 21, 0));
+    h.eq.run();
+    EXPECT_EQ(h.resolved.size(), 8u);
+    EXPECT_GT(h.host->stats().queueWait.maximum(), 0.0);
+    EXPECT_GT(h.host->stats().maxQueueDepth, 1u);
+}
+
+TEST(HostMmu, ForwardsWhenCongestedAndFtHits)
+{
+    cfg::SystemConfig config;
+    config.transFw.enabled = true;
+    config.hostWalkers = 1;
+    config.transFw.forwardThreshold = 0.0; // forward on any queueing
+    HostHarness h(config);
+    for (mem::Vpn vpn = 0; vpn < 6; ++vpn)
+        h.placeAt((vpn + 1) << 21, 1);
+    for (mem::Vpn vpn = 0; vpn < 6; ++vpn)
+        h.host->handleFault(test::makeReq((vpn + 1) << 21, 0));
+    h.eq.run();
+    EXPECT_GT(h.host->stats().forwards, 0u);
+    EXPECT_EQ(h.forwarded.size(), h.host->stats().forwards);
+    for (const auto &rl : h.forwarded)
+        EXPECT_EQ(rl->targetGpu, 1);
+}
+
+TEST(HostMmu, NoForwardBelowThreshold)
+{
+    cfg::SystemConfig config;
+    config.transFw.enabled = true; // default threshold 0.5 x 16 = 8
+    HostHarness h(config);
+    h.placeAt(0x30 << 9, 1);
+    h.host->handleFault(test::makeReq(0x30 << 9, 0));
+    h.eq.run();
+    EXPECT_EQ(h.host->stats().forwards, 0u);
+}
+
+TEST(HostMmu, RemoteSuccessCancelsQueuedWalk)
+{
+    cfg::SystemConfig config;
+    config.transFw.enabled = true;
+    config.hostWalkers = 1;
+    config.transFw.forwardThreshold = 0.0;
+    HostHarness h(config);
+    for (mem::Vpn vpn = 0; vpn < 4; ++vpn)
+        h.placeAt((vpn + 1) << 21, 1);
+    for (mem::Vpn vpn = 0; vpn < 4; ++vpn)
+        h.host->handleFault(test::makeReq((vpn + 1) << 21, 0));
+    // Drain until forwards exist, then answer one of them successfully.
+    h.eq.run(10); // process admissions
+    if (!h.forwarded.empty()) {
+        mmu::RemoteLookupPtr rl = h.forwarded.front();
+        rl->success = true;
+        rl->result = tlb::TlbEntry{1, 1, true, false};
+        h.host->remoteLookupDone(rl);
+    }
+    h.eq.run();
+    EXPECT_EQ(h.resolved.size(), 4u);
+    EXPECT_GE(h.host->stats().forwardSuccess + h.host->stats().forwardFail +
+                  h.forwarded.size(),
+              h.host->stats().forwards);
+}
+
+TEST(HostMmu, FailedRemoteLookupFallsBackToWalk)
+{
+    cfg::SystemConfig config;
+    config.transFw.enabled = true;
+    config.hostWalkers = 1;
+    config.transFw.forwardThreshold = 0.0;
+    HostHarness h(config);
+    for (mem::Vpn vpn = 0; vpn < 4; ++vpn)
+        h.placeAt((vpn + 1) << 21, 1);
+    for (mem::Vpn vpn = 0; vpn < 4; ++vpn)
+        h.host->handleFault(test::makeReq((vpn + 1) << 21, 0));
+    h.eq.run(10);
+    std::size_t forwards = h.forwarded.size();
+    for (auto &rl : h.forwarded) {
+        rl->success = false;
+        h.host->remoteLookupDone(rl);
+    }
+    h.eq.run();
+    EXPECT_EQ(h.resolved.size(), 4u);
+    EXPECT_EQ(h.host->stats().forwardFail, forwards);
+}
+
+TEST(HostMmu, RemoteProbeCharacterizationRecorded)
+{
+    HostHarness h;
+    h.placeAt(0x40, 1);
+    // Warm the owner's GMMU PW-cache so the probe finds a prefix.
+    h.gpus[1]->pwc().fill(0x40, 2);
+    h.host->handleFault(test::makeReq(0x40, 0));
+    h.eq.run();
+    EXPECT_EQ(h.host->stats().remoteProbeLevels.bucket(2), 1u);
+}
+
+TEST(HostMmu, InfiniteWalkerOracle)
+{
+    cfg::SystemConfig config;
+    config.oracle.infiniteWalkers = true;
+    config.hostWalkers = 1;
+    HostHarness h(config);
+    for (mem::Vpn vpn = 0; vpn < 8; ++vpn) {
+        h.placeAt((vpn + 1) << 21, 1);
+        h.host->handleFault(test::makeReq((vpn + 1) << 21, 0));
+    }
+    h.eq.run();
+    EXPECT_EQ(h.resolved.size(), 8u);
+    EXPECT_EQ(h.host->stats().queueWait.count(), 0u);
+}

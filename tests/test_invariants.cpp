@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+/**
+ * End-to-end state invariants checked on the final machine state after
+ * a full Trans-FW run: the PRT, FT, local page tables and the central
+ * page table must agree — migrations may not leave any of them stale.
+ */
+namespace {
+
+wl::SyntheticSpec
+churnSpec()
+{
+    wl::SyntheticSpec spec;
+    spec.name = "invariants";
+    spec.numCtas = 64;
+    spec.memOpsPerCta = 40;
+    spec.computePerOp = 2;
+    spec.regions = {
+        {.name = "hot", .pages = 64, .pattern = wl::Pattern::Random,
+         .shareDegree = 64, .weight = 0.5, .writeFrac = 0.4, .reuse = 2},
+        {.name = "own", .pages = 256, .weight = 0.5, .reuse = 2},
+    };
+    return spec;
+}
+
+} // namespace
+
+TEST(StateInvariants, TablesConsistentAfterTransFwRun)
+{
+    wl::SyntheticWorkload workload(churnSpec());
+    cfg::SystemConfig config = sys::transFwConfig();
+    config.cusPerGpu = 8;
+
+    sys::MultiGpuSystem system(config, workload);
+    sys::SimResults r = system.run();
+    EXPECT_GT(r.migrations, 0u); // the run must actually churn pages
+
+    mem::PageTable &central = system.centralPageTable();
+    core::ForwardingTable *ft = system.forwardingTable();
+    ASSERT_NE(ft, nullptr);
+
+    std::uint64_t local_pages_total = 0;
+    for (int g = 0; g < config.numGpus; ++g) {
+        gpu::Gpu &gpu = system.gpuAt(g);
+        core::PendingRequestTable *prt = gpu.prt();
+        ASSERT_NE(prt, nullptr);
+
+        gpu.localPageTable().forEachMapped(
+            [&](mem::Vpn vpn, const mem::PageInfo &info) {
+                ++local_pages_total;
+                // Every locally mapped page must be PRT-visible (no
+                // false negatives barring filter overflow).
+                if (prt->overflowEvictions() == 0) {
+                    EXPECT_TRUE(prt->mayBeLocal(vpn))
+                        << "gpu" << g << " vpn " << vpn;
+                }
+                if (!info.remote) {
+                    // The central table must agree on ownership.
+                    const mem::PageInfo *c = central.lookup(vpn);
+                    ASSERT_NE(c, nullptr);
+                    EXPECT_TRUE(c->owner == g ||
+                                ((c->replicaMask >> g) & 1u))
+                        << "gpu" << g << " vpn " << vpn;
+                    // And the FT must know some GPU can serve it
+                    // (exclude_gpu = -1: no requester excluded).
+                    if (ft->overflowEvictions() == 0) {
+                        auto owner =
+                            ft->findOwner(vpn, config.numGpus, -1);
+                        EXPECT_TRUE(owner.has_value())
+                            << "gpu" << g << " vpn " << vpn;
+                    }
+                }
+            });
+    }
+    EXPECT_GT(local_pages_total, 0u);
+
+    // Central ownership must point at real local mappings.
+    central.forEachMapped([&](mem::Vpn vpn, const mem::PageInfo &info) {
+        if (info.owner == mem::kCpuDevice)
+            return;
+        const mem::PageInfo *local =
+            system.gpuAt(info.owner).localPageTable().lookup(vpn);
+        ASSERT_NE(local, nullptr) << "vpn " << vpn;
+        EXPECT_EQ(local->ppn, info.ppn) << "vpn " << vpn;
+        EXPECT_FALSE(local->remote) << "vpn " << vpn;
+    });
+}
+
+TEST(StateInvariants, FrameAccountingMatchesMappings)
+{
+    wl::SyntheticWorkload workload(churnSpec());
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.cusPerGpu = 8;
+    sys::MultiGpuSystem system(config, workload);
+    system.run();
+
+    for (int g = 0; g < config.numGpus; ++g) {
+        std::uint64_t mapped_local = 0;
+        system.gpuAt(g).localPageTable().forEachMapped(
+            [&](mem::Vpn, const mem::PageInfo &info) {
+                if (!info.remote)
+                    ++mapped_local;
+            });
+        EXPECT_EQ(system.gpuAt(g).frames().allocated(), mapped_local)
+            << "gpu" << g;
+    }
+}
+
+TEST(PageTableIteration, ForEachMappedVisitsExactly)
+{
+    mem::PageTable pt(mem::PagingGeometry{5, mem::kSmallPageShift});
+    std::unordered_map<mem::Vpn, mem::Ppn> expected;
+    for (mem::Vpn vpn = 0; vpn < 500; ++vpn) {
+        mem::Vpn key = vpn * 7919;
+        expected[key] = vpn;
+        pt.map(key, mem::PageInfo{vpn, 0, 1, true, false});
+    }
+    std::size_t visited = 0;
+    pt.forEachMapped([&](mem::Vpn vpn, const mem::PageInfo &info) {
+        ++visited;
+        auto it = expected.find(vpn);
+        ASSERT_NE(it, expected.end()) << vpn;
+        EXPECT_EQ(info.ppn, it->second);
+    });
+    EXPECT_EQ(visited, expected.size());
+}

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "interconnect/link.hpp"
+#include "interconnect/network.hpp"
+
+using namespace transfw;
+using namespace transfw::ic;
+
+TEST(Link, PropagationLatency)
+{
+    sim::EventQueue eq;
+    Link link(eq, "l", LinkConfig{150, 256.0});
+    bool arrived = false;
+    sim::Tick when = link.send(256, [&] { arrived = true; });
+    EXPECT_EQ(when, 151u); // 1 cycle of serialization + 150 latency
+    eq.run();
+    EXPECT_TRUE(arrived);
+    EXPECT_EQ(eq.now(), when);
+}
+
+TEST(Link, BulkTransfersSerialize)
+{
+    sim::EventQueue eq;
+    Link link(eq, "l", LinkConfig{100, 16.0});
+    sim::Tick first = link.send(1600, [] {});  // 100 cycles ser
+    sim::Tick second = link.send(1600, [] {}); // queues behind the first
+    EXPECT_EQ(first, 200u);
+    EXPECT_EQ(second, 300u);
+    eq.run();
+}
+
+TEST(Link, CtrlChannelBypassesBulkQueue)
+{
+    sim::EventQueue eq;
+    Link link(eq, "l", LinkConfig{100, 16.0});
+    link.send(16000, [] {}); // 1000 cycles of bulk serialization
+    sim::Tick ctrl = link.sendCtrl(32, [] {});
+    EXPECT_EQ(ctrl, 102u); // 2-cycle token + latency, no queuing
+    eq.run();
+}
+
+TEST(Link, AccountsTraffic)
+{
+    sim::EventQueue eq;
+    Link link(eq, "l", LinkConfig{10, 32.0});
+    link.send(4096, [] {});
+    link.sendCtrl(32, [] {});
+    EXPECT_EQ(link.bytesSent(), 4128u);
+    EXPECT_EQ(link.messages(), 2u);
+    eq.run();
+}
+
+TEST(Network, TopologyAndTotals)
+{
+    sim::EventQueue eq;
+    Network net(eq, 4, LinkConfig{150, 32}, LinkConfig{150, 64});
+    EXPECT_EQ(net.numGpus(), 4);
+    net.toHost(0).send(100, [] {});
+    net.fromHost(3).send(200, [] {});
+    net.peer(1, 2).send(300, [] {});
+    eq.run();
+    EXPECT_EQ(net.totalBytes(), 600u);
+    // Distinct directions are distinct links.
+    EXPECT_NE(&net.peer(1, 2), &net.peer(2, 1));
+    EXPECT_NE(&net.toHost(0), &net.fromHost(0));
+}
+
+TEST(Network, SelfPeerPanics)
+{
+    sim::EventQueue eq;
+    Network net(eq, 2, LinkConfig{}, LinkConfig{});
+    EXPECT_DEATH({ net.peer(1, 1); }, "self");
+}

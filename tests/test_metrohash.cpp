@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "filter/metrohash.hpp"
+
+using transfw::filter::metroHash64;
+
+TEST(MetroHash, Deterministic)
+{
+    EXPECT_EQ(metroHash64(0x1234ULL, 7), metroHash64(0x1234ULL, 7));
+    const char data[] = "trans-fw remote forwarding";
+    EXPECT_EQ(metroHash64(data, sizeof(data), 1),
+              metroHash64(data, sizeof(data), 1));
+}
+
+TEST(MetroHash, SeedChangesOutput)
+{
+    EXPECT_NE(metroHash64(0x1234ULL, 1), metroHash64(0x1234ULL, 2));
+}
+
+TEST(MetroHash, InputChangesOutput)
+{
+    EXPECT_NE(metroHash64(0x1234ULL, 1), metroHash64(0x1235ULL, 1));
+}
+
+TEST(MetroHash, AllLengthsHashable)
+{
+    std::vector<unsigned char> buf(100, 0xAB);
+    std::uint64_t prev = 0;
+    for (std::size_t len = 0; len <= buf.size(); ++len) {
+        std::uint64_t h = metroHash64(buf.data(), len, 3);
+        if (len > 0) {
+            EXPECT_NE(h, prev);
+        }
+        prev = h;
+    }
+}
+
+TEST(MetroHash, AvalancheOnSingleBitFlips)
+{
+    // Flipping any input bit should flip roughly half the output bits.
+    double total = 0;
+    int cases = 0;
+    for (std::uint64_t key = 1; key < 200; key += 13) {
+        std::uint64_t base = metroHash64(key, 9);
+        for (int bit = 0; bit < 64; bit += 7) {
+            std::uint64_t flipped = metroHash64(key ^ (1ULL << bit), 9);
+            total += std::popcount(base ^ flipped);
+            ++cases;
+        }
+    }
+    double mean = total / cases;
+    EXPECT_GT(mean, 24.0);
+    EXPECT_LT(mean, 40.0);
+}
+
+TEST(MetroHash, BucketUniformity)
+{
+    // Sequential keys must spread evenly over a modest bucket count.
+    constexpr int kBuckets = 64;
+    constexpr int kKeys = 64000;
+    std::vector<int> counts(kBuckets, 0);
+    for (std::uint64_t key = 0; key < kKeys; ++key)
+        ++counts[metroHash64(key, 5) % kBuckets];
+    double expected = static_cast<double>(kKeys) / kBuckets;
+    for (int count : counts) {
+        EXPECT_GT(count, expected * 0.8);
+        EXPECT_LT(count, expected * 1.2);
+    }
+}

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "interconnect/network.hpp"
+#include "transfw/forwarding_table.hpp"
+#include "uvm/migration.hpp"
+
+using namespace transfw;
+
+namespace {
+
+struct EngineHarness
+{
+    cfg::SystemConfig config;
+    sim::EventQueue eq;
+    mem::PageTable central;
+    ic::Network net;
+    std::vector<std::unique_ptr<test::FakeGpu>> gpus;
+    std::unique_ptr<core::ForwardingTable> ft;
+    std::unique_ptr<uvm::MigrationEngine> engine;
+
+    std::vector<tlb::TlbEntry> results;
+    std::vector<mem::Vpn> ownerChanges;
+
+    explicit EngineHarness(cfg::SystemConfig c = {}, bool with_ft = false)
+        : config(std::move(c)), central(config.geometry()),
+          net(eq, config.numGpus, config.hostLink, config.peerLink)
+    {
+        std::vector<mmu::GpuIface *> ifaces;
+        for (int g = 0; g < config.numGpus; ++g) {
+            gpus.push_back(std::make_unique<test::FakeGpu>(config, g));
+            ifaces.push_back(gpus.back().get());
+        }
+        if (with_ft) {
+            config.transFw.enabled = true;
+            ft = std::make_unique<core::ForwardingTable>(config.transFw);
+        }
+        engine = std::make_unique<uvm::MigrationEngine>(
+            eq, config, central, ifaces, net, ft.get());
+        engine->onOwnerChanged = [this](mem::Vpn vpn) {
+            ownerChanges.push_back(vpn);
+        };
+    }
+
+    /** Map a page at `owner` in both local and central tables. */
+    void
+    placeAt(mem::Vpn vpn, int owner, bool writable = true)
+    {
+        mem::Ppn ppn = gpus[static_cast<std::size_t>(owner)]
+                           ->frames()
+                           .allocate();
+        gpus[static_cast<std::size_t>(owner)]->localPageTable().map(
+            vpn, mem::PageInfo{ppn, owner, 1u << owner, writable, false});
+        central.map(vpn, mem::PageInfo{ppn, owner, 1u << owner, writable,
+                                       false});
+    }
+
+    void
+    placeOnCpu(mem::Vpn vpn)
+    {
+        central.map(vpn,
+                    mem::PageInfo{vpn, mem::kCpuDevice, 0, true, false});
+    }
+
+    void
+    resolve(mmu::XlatPtr req)
+    {
+        engine->resolve(std::move(req), [this](const tlb::TlbEntry &e) {
+            results.push_back(e);
+        });
+    }
+};
+
+} // namespace
+
+TEST(MigrationOnTouch, MovesPageAndUpdatesTables)
+{
+    EngineHarness h;
+    h.placeAt(0x100, /*owner=*/1);
+    h.resolve(test::makeReq(0x100, /*gpu=*/0));
+    h.eq.run();
+
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_EQ(h.results[0].owner, 0);
+    EXPECT_TRUE(h.results[0].writable);
+
+    // Old owner lost the page (PTE + TLB), new owner has it.
+    EXPECT_EQ(h.gpus[1]->localPageTable().lookup(0x100), nullptr);
+    EXPECT_EQ(h.gpus[1]->invalidations, 1);
+    const mem::PageInfo *local = h.gpus[0]->localPageTable().lookup(0x100);
+    ASSERT_NE(local, nullptr);
+    EXPECT_EQ(local->owner, 0);
+    EXPECT_EQ(h.central.lookup(0x100)->owner, 0);
+    EXPECT_EQ(h.engine->stats().migrations, 1u);
+    EXPECT_EQ(h.ownerChanges.size(), 1u);
+    EXPECT_EQ(h.engine->stats().bytesMoved, 4096u);
+}
+
+TEST(MigrationOnTouch, CpuColdFault)
+{
+    EngineHarness h;
+    h.placeOnCpu(0x200);
+    h.resolve(test::makeReq(0x200, 2));
+    h.eq.run();
+    EXPECT_EQ(h.central.lookup(0x200)->owner, 2);
+    EXPECT_NE(h.gpus[2]->localPageTable().lookup(0x200), nullptr);
+}
+
+TEST(MigrationOnTouch, AlreadyLocalShortPath)
+{
+    EngineHarness h;
+    h.placeAt(0x300, 0);
+    h.resolve(test::makeReq(0x300, 0));
+    h.eq.run();
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_EQ(h.engine->stats().migrations, 0u);
+    EXPECT_EQ(h.engine->stats().alreadyLocal, 1u);
+}
+
+TEST(MigrationOnTouch, PerPageSerializationPingPong)
+{
+    EngineHarness h;
+    h.placeAt(0x400, 0);
+    // GPUs 1 and 2 fault concurrently on the same page.
+    h.resolve(test::makeReq(0x400, 1));
+    h.resolve(test::makeReq(0x400, 2));
+    h.eq.run();
+    ASSERT_EQ(h.results.size(), 2u);
+    // Both moves happened, serialized; the final owner is GPU 2.
+    EXPECT_EQ(h.engine->stats().migrations, 2u);
+    EXPECT_EQ(h.central.lookup(0x400)->owner, 2);
+}
+
+TEST(MigrationOnTouch, UpdatesPrtAndFt)
+{
+    cfg::SystemConfig config;
+    config.transFw.enabled = true;
+    EngineHarness h(config, /*with_ft=*/true);
+    h.placeAt(0x500, 1);
+    h.gpus[1]->prt()->pageArrived(0x500);
+    h.ft->pageArrived(0x500, 1);
+
+    h.resolve(test::makeReq(0x500, 0));
+    h.eq.run();
+    EXPECT_FALSE(h.gpus[1]->prt()->mayBeLocal(0x500));
+    EXPECT_TRUE(h.gpus[0]->prt()->mayBeLocal(0x500));
+    auto owner = h.ft->findOwner(0x500, 4, /*exclude=*/2);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(*owner, 0);
+}
+
+TEST(MigrationOnTouch, ZeroCostOracleStillFunctional)
+{
+    cfg::SystemConfig config;
+    config.oracle.zeroMigrationCost = true;
+    EngineHarness h(config);
+    h.placeAt(0x600, 1);
+    h.resolve(test::makeReq(0x600, 0));
+    h.eq.run();
+    EXPECT_EQ(h.central.lookup(0x600)->owner, 0);
+    EXPECT_EQ(h.engine->stats().bytesMoved, 0u);
+    // Only the shootdown remains on the clock.
+    EXPECT_LE(h.eq.now(), h.config.shootdownCost + 1);
+}
+
+TEST(Replication, ReadFaultCreatesSharedCopies)
+{
+    cfg::SystemConfig config;
+    config.migrationPolicy = cfg::MigrationPolicy::ReadReplicate;
+    EngineHarness h(config);
+    h.placeAt(0x700, 0);
+    h.resolve(test::makeReq(0x700, 1, /*write=*/false));
+    h.eq.run();
+
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_FALSE(h.results[0].writable); // S state
+    // Both copies exist; the owner's PTE downgraded to read-only.
+    EXPECT_FALSE(h.gpus[0]->localPageTable().lookup(0x700)->writable);
+    EXPECT_FALSE(h.gpus[1]->localPageTable().lookup(0x700)->writable);
+    EXPECT_EQ(h.central.lookup(0x700)->replicaMask, 0b11u);
+    EXPECT_EQ(h.engine->stats().replications, 1u);
+}
+
+TEST(Replication, WriteInvalidatesAllReplicas)
+{
+    cfg::SystemConfig config;
+    config.migrationPolicy = cfg::MigrationPolicy::ReadReplicate;
+    EngineHarness h(config);
+    h.placeAt(0x800, 0);
+    h.resolve(test::makeReq(0x800, 1, false));
+    h.resolve(test::makeReq(0x800, 2, false));
+    h.eq.run();
+    EXPECT_EQ(h.central.lookup(0x800)->replicaMask, 0b111u);
+
+    // GPU 1 writes: everyone else must lose the page (E state at 1).
+    h.resolve(test::makeReq(0x800, 1, /*write=*/true));
+    h.eq.run();
+    EXPECT_EQ(h.engine->stats().writeInvalidations, 1u);
+    EXPECT_EQ(h.central.lookup(0x800)->owner, 1);
+    EXPECT_EQ(h.central.lookup(0x800)->replicaMask, 0b10u);
+    EXPECT_TRUE(h.central.lookup(0x800)->writable);
+    EXPECT_EQ(h.gpus[0]->localPageTable().lookup(0x800), nullptr);
+    EXPECT_EQ(h.gpus[2]->localPageTable().lookup(0x800), nullptr);
+    const mem::PageInfo *writer = h.gpus[1]->localPageTable().lookup(0x800);
+    ASSERT_NE(writer, nullptr);
+    EXPECT_TRUE(writer->writable);
+}
+
+TEST(Replication, WriterWithoutReplicaPullsData)
+{
+    cfg::SystemConfig config;
+    config.migrationPolicy = cfg::MigrationPolicy::ReadReplicate;
+    EngineHarness h(config);
+    h.placeAt(0x900, 0);
+    h.resolve(test::makeReq(0x900, 3, /*write=*/true));
+    h.eq.run();
+    EXPECT_EQ(h.central.lookup(0x900)->owner, 3);
+    EXPECT_GT(h.engine->stats().bytesMoved, 0u);
+}
+
+TEST(RemoteMapping, FaultMapsWithoutMigration)
+{
+    cfg::SystemConfig config;
+    config.migrationPolicy = cfg::MigrationPolicy::RemoteMap;
+    EngineHarness h(config);
+    h.placeAt(0xA00, 1);
+    h.resolve(test::makeReq(0xA00, 0));
+    h.eq.run();
+
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_TRUE(h.results[0].remote);
+    EXPECT_EQ(h.results[0].owner, 1);
+    EXPECT_EQ(h.engine->stats().migrations, 0u);
+    EXPECT_EQ(h.engine->stats().remoteMappings, 1u);
+    // Owner keeps the page.
+    EXPECT_EQ(h.central.lookup(0xA00)->owner, 1);
+    const mem::PageInfo *mapped = h.gpus[0]->localPageTable().lookup(0xA00);
+    ASSERT_NE(mapped, nullptr);
+    EXPECT_TRUE(mapped->remote);
+}
+
+TEST(RemoteMapping, AccessCounterTriggersMigration)
+{
+    cfg::SystemConfig config;
+    config.migrationPolicy = cfg::MigrationPolicy::RemoteMap;
+    config.remoteMapMigrateThreshold = 4;
+    EngineHarness h(config);
+    h.placeAt(0xB00, 1);
+    h.resolve(test::makeReq(0xB00, 0));
+    h.eq.run();
+
+    for (int access = 0; access < 4; ++access)
+        h.engine->noteRemoteAccess(0xB00, 0);
+    h.eq.run();
+
+    EXPECT_EQ(h.engine->stats().counterMigrations, 1u);
+    EXPECT_EQ(h.central.lookup(0xB00)->owner, 0);
+    const mem::PageInfo *local = h.gpus[0]->localPageTable().lookup(0xB00);
+    ASSERT_NE(local, nullptr);
+    EXPECT_FALSE(local->remote);
+    // The old owner's copy and every remote mapping are gone.
+    EXPECT_EQ(h.gpus[1]->localPageTable().lookup(0xB00), nullptr);
+}
+
+TEST(RemoteMapping, CounterIgnoredWhileBusy)
+{
+    cfg::SystemConfig config;
+    config.migrationPolicy = cfg::MigrationPolicy::RemoteMap;
+    config.remoteMapMigrateThreshold = 1;
+    EngineHarness h(config);
+    h.placeAt(0xC00, 1);
+    h.resolve(test::makeReq(0xC00, 0)); // in flight (busy)
+    h.engine->noteRemoteAccess(0xC00, 0);
+    h.eq.run();
+    // No crash, and the page ended up somewhere consistent.
+    EXPECT_NE(h.central.lookup(0xC00), nullptr);
+}
+
+TEST(Migration, FrameAccountingBalances)
+{
+    EngineHarness h;
+    h.placeAt(0xD00, 0);
+    std::uint64_t before = h.gpus[0]->frames().allocated();
+    // Bounce the page 0 -> 1 -> 0.
+    h.resolve(test::makeReq(0xD00, 1));
+    h.eq.run();
+    h.resolve(test::makeReq(0xD00, 0));
+    h.eq.run();
+    EXPECT_EQ(h.gpus[0]->frames().allocated(), before);
+    EXPECT_EQ(h.gpus[1]->frames().allocated(), 0u);
+}

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hpp"
+
+using transfw::cache::Mshr;
+
+TEST(Mshr, PrimaryThenMerge)
+{
+    Mshr<int> mshr;
+    EXPECT_TRUE(mshr.allocate(10, 1));
+    EXPECT_FALSE(mshr.allocate(10, 2));
+    EXPECT_FALSE(mshr.allocate(10, 3));
+    EXPECT_TRUE(mshr.outstanding(10));
+    EXPECT_EQ(mshr.allocations(), 1u);
+    EXPECT_EQ(mshr.merges(), 2u);
+
+    auto waiters = mshr.release(10);
+    EXPECT_EQ(waiters, (std::vector<int>{1, 2, 3}));
+    EXPECT_FALSE(mshr.outstanding(10));
+}
+
+TEST(Mshr, IndependentKeys)
+{
+    Mshr<int> mshr;
+    EXPECT_TRUE(mshr.allocate(1, 11));
+    EXPECT_TRUE(mshr.allocate(2, 22));
+    EXPECT_EQ(mshr.inflight(), 2u);
+    EXPECT_EQ(mshr.release(1), std::vector<int>{11});
+    EXPECT_EQ(mshr.inflight(), 1u);
+}
+
+TEST(Mshr, ReleaseUnknownKeyIsEmpty)
+{
+    Mshr<int> mshr;
+    EXPECT_TRUE(mshr.release(99).empty());
+}
+
+TEST(Mshr, ReallocateAfterRelease)
+{
+    Mshr<int> mshr;
+    mshr.allocate(5, 1);
+    mshr.release(5);
+    // The key is free again: next allocate is primary.
+    EXPECT_TRUE(mshr.allocate(5, 2));
+}

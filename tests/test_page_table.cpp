@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hpp"
+
+using namespace transfw::mem;
+
+namespace {
+
+PageTable
+makeTable(int levels = 5, unsigned shift = kSmallPageShift)
+{
+    return PageTable(PagingGeometry{levels, shift});
+}
+
+} // namespace
+
+TEST(PageTable, MapLookupUnmap)
+{
+    PageTable pt = makeTable();
+    EXPECT_EQ(pt.lookup(42), nullptr);
+    pt.map(42, PageInfo{7, 1, 0x2, true, false});
+    const PageInfo *info = pt.lookup(42);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->ppn, 7u);
+    EXPECT_EQ(info->owner, 1);
+    EXPECT_EQ(pt.mappedPages(), 1u);
+    EXPECT_TRUE(pt.unmap(42));
+    EXPECT_EQ(pt.lookup(42), nullptr);
+    EXPECT_FALSE(pt.unmap(42));
+    EXPECT_EQ(pt.mappedPages(), 0u);
+}
+
+TEST(PageTable, MapOverwriteKeepsCount)
+{
+    PageTable pt = makeTable();
+    pt.map(10, PageInfo{1, 0, 1, true, false});
+    pt.map(10, PageInfo{2, 1, 2, false, false});
+    EXPECT_EQ(pt.mappedPages(), 1u);
+    EXPECT_EQ(pt.lookup(10)->ppn, 2u);
+    EXPECT_FALSE(pt.lookup(10)->writable);
+}
+
+TEST(PageTable, FullWalkAccessCount)
+{
+    PageTable pt = makeTable();
+    pt.map(0x12345, PageInfo{9, 0, 1, true, false});
+    WalkResult walk = pt.walk(0x12345);
+    EXPECT_TRUE(walk.present);
+    EXPECT_EQ(walk.accesses, 5); // five levels, no PW-cache help
+    EXPECT_EQ(walk.info.ppn, 9u);
+}
+
+TEST(PageTable, WalkWithPwcHitSkipsLevels)
+{
+    PageTable pt = makeTable();
+    pt.map(0x12345, PageInfo{9, 0, 1, true, false});
+    // Hit at entry level 2 leaves only the leaf PTE read.
+    WalkResult walk = pt.walk(0x12345, 2);
+    EXPECT_TRUE(walk.present);
+    EXPECT_EQ(walk.accesses, 1);
+    // Hit at level 3 -> L2 node + leaf.
+    walk = pt.walk(0x12345, 3);
+    EXPECT_EQ(walk.accesses, 2);
+    // Hit at the top level -> 4 accesses.
+    walk = pt.walk(0x12345, 5);
+    EXPECT_EQ(walk.accesses, 4);
+}
+
+TEST(PageTable, EarlyTerminationOnUnmappedRegion)
+{
+    PageTable pt = makeTable();
+    pt.map(0, PageInfo{1, 0, 1, true, false});
+    // A VA in a totally different top-level subtree faults after the
+    // very first node access.
+    Vpn far = Vpn{1} << 36;
+    WalkResult walk = pt.walk(far);
+    EXPECT_FALSE(walk.present);
+    EXPECT_EQ(walk.accesses, 1);
+}
+
+TEST(PageTable, FaultAfterUnmapStillWalksDeep)
+{
+    PageTable pt = makeTable();
+    pt.map(0x12345, PageInfo{9, 0, 1, true, false});
+    pt.unmap(0x12345);
+    // Intermediate nodes persist, so the walk reaches the leaf level
+    // before discovering the missing PTE.
+    WalkResult walk = pt.walk(0x12345);
+    EXPECT_FALSE(walk.present);
+    EXPECT_EQ(walk.accesses, 5);
+    EXPECT_EQ(walk.deepestFilled, 2);
+}
+
+TEST(PageTable, DeepestFilledTracksPresentLevels)
+{
+    PageTable pt = makeTable();
+    pt.map(0x12345, PageInfo{9, 0, 1, true, false});
+    WalkResult walk = pt.walk(0x12345);
+    EXPECT_EQ(walk.deepestFilled, 2); // L2 entry was present
+}
+
+TEST(PageTable, FourLevelWalk)
+{
+    PageTable pt = makeTable(4);
+    pt.map(0xABCDE, PageInfo{3, 2, 4, true, false});
+    WalkResult walk = pt.walk(0xABCDE);
+    EXPECT_TRUE(walk.present);
+    EXPECT_EQ(walk.accesses, 4);
+    walk = pt.walk(0xABCDE, 2);
+    EXPECT_EQ(walk.accesses, 1);
+}
+
+TEST(PageTable, LargePageWalk)
+{
+    PageTable pt = makeTable(5, kLargePageShift);
+    pt.map(0x777, PageInfo{11, 0, 1, true, false});
+    WalkResult walk = pt.walk(0x777);
+    EXPECT_TRUE(walk.present);
+    EXPECT_EQ(walk.accesses, 4); // leaf lives at level 2
+    walk = pt.walk(0x777, 3);
+    EXPECT_EQ(walk.accesses, 1);
+}
+
+TEST(PageTable, ManyMappingsDistinct)
+{
+    PageTable pt = makeTable();
+    for (Vpn vpn = 0; vpn < 2000; ++vpn)
+        pt.map(vpn * 513, PageInfo{vpn, 0, 1, true, false});
+    EXPECT_EQ(pt.mappedPages(), 2000u);
+    for (Vpn vpn = 0; vpn < 2000; ++vpn) {
+        const PageInfo *info = pt.lookup(vpn * 513);
+        ASSERT_NE(info, nullptr);
+        EXPECT_EQ(info->ppn, vpn);
+    }
+}
+
+/** Walk access counts for every (levels, pageShift) geometry. */
+class PageTableGeo
+    : public ::testing::TestWithParam<std::pair<int, unsigned>>
+{};
+
+TEST_P(PageTableGeo, WalkAccessesMatchGeometry)
+{
+    auto [levels, shift] = GetParam();
+    PagingGeometry geo{levels, shift};
+    PageTable pt(geo);
+    pt.map(0x321, PageInfo{1, 0, 1, true, false});
+    WalkResult walk = pt.walk(0x321);
+    EXPECT_TRUE(walk.present);
+    EXPECT_EQ(walk.accesses, geo.walkAccesses());
+    // Every cacheable hit level shortens the walk consistently.
+    for (int k = geo.lowestCachedLevel(); k <= levels; ++k) {
+        WalkResult w = pt.walk(0x321, k);
+        EXPECT_TRUE(w.present);
+        EXPECT_EQ(w.accesses, k - geo.leafLevel());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PageTableGeo,
+    ::testing::Values(std::pair{5, transfw::mem::kSmallPageShift},
+                      std::pair{4, transfw::mem::kSmallPageShift},
+                      std::pair{5, transfw::mem::kLargePageShift},
+                      std::pair{4, transfw::mem::kLargePageShift}));

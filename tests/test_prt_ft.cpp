@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "config/config.hpp"
+#include "transfw/forwarding_table.hpp"
+#include "transfw/prt.hpp"
+
+using namespace transfw;
+using core::ForwardingTable;
+using core::PendingRequestTable;
+
+namespace {
+
+cfg::TransFwConfig
+tf(unsigned mask_bits = 0)
+{
+    cfg::TransFwConfig config;
+    config.enabled = true;
+    if (mask_bits)
+        config.vpnMaskBits = mask_bits;
+    return config;
+}
+
+} // namespace
+
+TEST(Prt, TracksResidency)
+{
+    PendingRequestTable prt(tf(3), 0);
+    EXPECT_FALSE(prt.mayBeLocal(0x1000));
+    prt.pageArrived(0x1000);
+    EXPECT_TRUE(prt.mayBeLocal(0x1000));
+    prt.pageDeparted(0x1000);
+    EXPECT_FALSE(prt.mayBeLocal(0x1000));
+}
+
+TEST(Prt, GroupMaskingSharesFingerprint)
+{
+    PendingRequestTable prt(tf(3), 0);
+    prt.pageArrived(0x1000);
+    // Pages in the same 8-page group alias to the same fingerprint:
+    // a false positive by design.
+    EXPECT_TRUE(prt.mayBeLocal(0x1001));
+    // A different group misses.
+    EXPECT_FALSE(prt.mayBeLocal(0x1008));
+}
+
+TEST(Prt, GroupCountPreventsPrematureDelete)
+{
+    PendingRequestTable prt(tf(3), 0);
+    prt.pageArrived(0x2000);
+    prt.pageArrived(0x2001); // same group
+    prt.pageDeparted(0x2000);
+    EXPECT_TRUE(prt.mayBeLocal(0x2001)); // one page still resident
+    prt.pageDeparted(0x2001);
+    EXPECT_FALSE(prt.mayBeLocal(0x2001));
+}
+
+TEST(Prt, DepartUntrackedPageIsNoop)
+{
+    PendingRequestTable prt(tf(), 0);
+    prt.pageDeparted(0x5000); // never arrived
+    EXPECT_FALSE(prt.mayBeLocal(0x5000));
+}
+
+TEST(Prt, StatsAndSize)
+{
+    PendingRequestTable prt(tf(), 0);
+    prt.mayBeLocal(1);
+    prt.pageArrived(1 << 10);
+    prt.mayBeLocal(1 << 10);
+    EXPECT_EQ(prt.lookups(), 2u);
+    EXPECT_EQ(prt.hits(), 1u);
+    // Paper Section IV-E: 500 fingerprints x 13 bits = 0.79 KB.
+    EXPECT_EQ(prt.bits(), 500u * 13u);
+    EXPECT_NEAR(prt.bits() / 8.0 / 1024.0, 0.79, 0.01);
+}
+
+TEST(Ft, FindsOwnerAndFollowsMigration)
+{
+    ForwardingTable ft(tf(3));
+    ft.pageArrived(0x3000, 2);
+    auto owner = ft.findOwner(0x3000, 4, /*exclude=*/0);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(*owner, 2);
+
+    // Migration 2 -> 1.
+    ft.pageDeparted(0x3000, 2);
+    ft.pageArrived(0x3000, 1);
+    owner = ft.findOwner(0x3000, 4, 0);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(*owner, 1);
+}
+
+TEST(Ft, ExcludesRequester)
+{
+    ForwardingTable ft(tf(3));
+    ft.pageArrived(0x4000, 3);
+    EXPECT_FALSE(ft.findOwner(0x4000, 4, 3).has_value());
+}
+
+TEST(Ft, MultipleOwnersReturnsOneOfThem)
+{
+    ForwardingTable ft(tf(3));
+    ft.pageArrived(0x5000, 1); // e.g., read replicas
+    ft.pageArrived(0x5000, 2);
+    for (int i = 0; i < 20; ++i) {
+        auto owner = ft.findOwner(0x5000, 4, 0);
+        ASSERT_TRUE(owner.has_value());
+        EXPECT_TRUE(*owner == 1 || *owner == 2);
+    }
+}
+
+TEST(Ft, MissWhenNoGpuOwner)
+{
+    ForwardingTable ft(tf());
+    EXPECT_FALSE(ft.findOwner(0x9000, 4, 0).has_value());
+    EXPECT_EQ(ft.lookups(), 1u);
+    EXPECT_EQ(ft.hits(), 0u);
+}
+
+TEST(Ft, SizeMatchesPaper)
+{
+    ForwardingTable ft(tf());
+    // Section IV-E: 2000 fingerprints x 11 bits = 2.68 KB.
+    EXPECT_EQ(ft.bits(), 2000u * 11u);
+    EXPECT_NEAR(ft.bits() / 8.0 / 1024.0, 2.68, 0.01);
+}
+
+TEST(Ft, RefCountedGroups)
+{
+    ForwardingTable ft(tf(3));
+    ft.pageArrived(0x6000, 1);
+    ft.pageArrived(0x6001, 1); // same group, same owner
+    ft.pageDeparted(0x6000, 1);
+    EXPECT_TRUE(ft.findOwner(0x6001, 4, 0).has_value());
+    ft.pageDeparted(0x6001, 1);
+    EXPECT_FALSE(ft.findOwner(0x6001, 4, 0).has_value());
+}

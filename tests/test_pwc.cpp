@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "pwc/infinite.hpp"
+#include "pwc/pwc.hpp"
+#include "pwc/stc.hpp"
+#include "pwc/utc.hpp"
+
+using namespace transfw;
+using namespace transfw::pwc;
+
+namespace {
+
+mem::PagingGeometry
+geo5()
+{
+    return mem::PagingGeometry{5, mem::kSmallPageShift};
+}
+
+} // namespace
+
+TEST(Utc, LongestPrefixWins)
+{
+    UnifiedTranslationCache utc(128, geo5());
+    mem::Vpn vpn = 0x123456789ULL;
+    EXPECT_EQ(utc.lookup(vpn), 0);
+    utc.fill(vpn, 5);
+    EXPECT_EQ(utc.lookup(vpn), 5);
+    utc.fill(vpn, 3);
+    EXPECT_EQ(utc.lookup(vpn), 3); // longer prefix preferred
+    utc.fill(vpn, 2);
+    EXPECT_EQ(utc.lookup(vpn), 2);
+}
+
+TEST(Utc, PrefixSharingAcrossNeighbours)
+{
+    UnifiedTranslationCache utc(128, geo5());
+    mem::Vpn a = 0x123456789ULL;
+    mem::Vpn b = a ^ 0x1; // same L2 prefix, different leaf index
+    for (int level = 2; level <= 5; ++level)
+        utc.fill(a, level);
+    EXPECT_EQ(utc.lookup(b), 2);
+    // A page in the next L1 node misses at L2 but matches at L3.
+    mem::Vpn c = a + (1ULL << 9);
+    EXPECT_EQ(utc.lookup(c), 3);
+}
+
+TEST(Utc, PaperWalkExample)
+{
+    // Section II-B example: after walking (123,9a8,11c,009,1b8), a
+    // query for (123,9a8,11c,026,00b) matches the L3 entry.
+    UnifiedTranslationCache utc(128, geo5());
+    auto make = [](mem::Vpn i5, mem::Vpn i4, mem::Vpn i3, mem::Vpn i2,
+                   mem::Vpn i1) {
+        return (i5 << 36) | (i4 << 27) | (i3 << 18) | (i2 << 9) | i1;
+    };
+    mem::Vpn walked = make(0x123, 0x1A8, 0x11C, 0x009, 0x1B8);
+    for (int level = 2; level <= 5; ++level)
+        utc.fill(walked, level);
+    mem::Vpn query = make(0x123, 0x1A8, 0x11C, 0x026, 0x00B);
+    EXPECT_EQ(utc.lookup(query), 3);
+}
+
+TEST(Utc, EvictionUnderPressure)
+{
+    UnifiedTranslationCache utc(16, geo5());
+    for (mem::Vpn vpn = 0; vpn < 64; ++vpn)
+        utc.fill(vpn << 20, 2); // distinct L2 prefixes
+    int hits = 0;
+    for (mem::Vpn vpn = 0; vpn < 64; ++vpn)
+        hits += utc.probe(vpn << 20) ? 1 : 0;
+    EXPECT_LE(hits, 16);
+}
+
+TEST(Utc, HitLevelHistogram)
+{
+    UnifiedTranslationCache utc(128, geo5());
+    utc.lookup(0x1); // miss -> bucket 0
+    utc.fill(0x1, 2);
+    utc.lookup(0x1); // bucket 2
+    utc.lookup(0x1);
+    EXPECT_EQ(utc.hitLevels().bucket(0), 1u);
+    EXPECT_EQ(utc.hitLevels().bucket(2), 2u);
+    EXPECT_EQ(utc.lookups(), 3u);
+}
+
+TEST(Stc, PerLevelIsolation)
+{
+    SplitTranslationCache stc(geo5());
+    mem::Vpn vpn = 0xABCDEF012ULL;
+    stc.fill(vpn, 4);
+    EXPECT_EQ(stc.lookup(vpn), 4);
+    stc.fill(vpn, 2);
+    EXPECT_EQ(stc.lookup(vpn), 2);
+    // Thrashing the L2 array (distinct L2 prefixes) must not evict the
+    // L4 entry, and eventually evicts vpn's own L2 entry.
+    for (mem::Vpn other = 1; other <= 256; ++other)
+        stc.fill(vpn + (other << 9), 2);
+    EXPECT_EQ(stc.lookup(vpn), 4);
+}
+
+TEST(Stc, InvalidateAll)
+{
+    SplitTranslationCache stc(geo5());
+    stc.fill(0x123, 3);
+    stc.invalidateAll();
+    EXPECT_EQ(stc.probe(0x123), 0);
+}
+
+TEST(InfinitePwc, OnlyColdMisses)
+{
+    InfinitePwc pwc(geo5());
+    for (mem::Vpn vpn = 0; vpn < 100000; vpn += 97)
+        pwc.fill(vpn << 9, 2);
+    for (mem::Vpn vpn = 0; vpn < 100000; vpn += 97)
+        EXPECT_EQ(pwc.probe(vpn << 9), 2);
+}
+
+TEST(PwcFactory, BuildsEachKind)
+{
+    EXPECT_NE(makePwc(PwcKind::Utc, 128, geo5()), nullptr);
+    EXPECT_NE(makePwc(PwcKind::Stc, 128, geo5()), nullptr);
+    EXPECT_NE(makePwc(PwcKind::Infinite, 0, geo5()), nullptr);
+}
+
+/** Every PWC kind respects the geometry's cacheable level range. */
+class PwcKinds : public ::testing::TestWithParam<
+                     std::tuple<PwcKind, int, unsigned>>
+{};
+
+TEST_P(PwcKinds, LevelsWithinGeometry)
+{
+    auto [kind, levels, shift] = GetParam();
+    mem::PagingGeometry geo{levels, shift};
+    auto pwc = makePwc(kind, 128, geo);
+    mem::Vpn vpn = 0x3F3F3F3FULL;
+    for (int level = geo.lowestCachedLevel(); level <= levels; ++level) {
+        pwc->fill(vpn, level);
+        int hit = pwc->lookup(vpn);
+        EXPECT_GE(hit, geo.lowestCachedLevel());
+        EXPECT_LE(hit, levels);
+    }
+    // Longest prefix (lowest level) wins once all levels are present.
+    EXPECT_EQ(pwc->lookup(vpn), geo.lowestCachedLevel());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, PwcKinds,
+    ::testing::Combine(
+        ::testing::Values(PwcKind::Utc, PwcKind::Stc, PwcKind::Infinite),
+        ::testing::Values(4, 5),
+        ::testing::Values(transfw::mem::kSmallPageShift,
+                          transfw::mem::kLargePageShift)));

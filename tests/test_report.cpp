@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/report.hpp"
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+namespace {
+
+sys::SimResults
+sampleRun()
+{
+    wl::SyntheticSpec spec;
+    spec.name = "report-sample";
+    spec.numCtas = 16;
+    spec.memOpsPerCta = 10;
+    spec.regions = {{.name = "r", .pages = 64, .weight = 1.0,
+                     .writeFrac = 0.3, .reuse = 2}};
+    wl::SyntheticWorkload workload(spec);
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.cusPerGpu = 4;
+    return sys::runWorkload(workload, config);
+}
+
+} // namespace
+
+TEST(Report, RegistryHasCoreKeys)
+{
+    stats::Registry registry = sys::toRegistry(sampleRun());
+    for (const char *key :
+         {"exec.cycles", "fault.pfpki", "xlat.hostQueue",
+          "tlb.l2HitRate", "migration.count", "pwc.gmmu.L2",
+          "sharing.by4"}) {
+        EXPECT_TRUE(registry.has(key)) << key;
+    }
+    EXPECT_GT(registry.get("exec.cycles"), 0.0);
+    EXPECT_EQ(registry.get("exec.memOps"), 160.0);
+}
+
+TEST(Report, CsvRowMatchesHeaderArity)
+{
+    sys::SimResults r = sampleRun();
+    std::string header = sys::csvHeader();
+    std::string row = sys::csvRow(r);
+    auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row));
+    EXPECT_EQ(header.substr(0, 3), "app");
+    EXPECT_EQ(row.substr(0, r.app.size()), r.app);
+}
+
+TEST(Report, FormatContainsAppAndConfig)
+{
+    sys::SimResults r = sampleRun();
+    std::string text = sys::formatReport(r);
+    EXPECT_NE(text.find("report-sample"), std::string::npos);
+    EXPECT_NE(text.find("exec.cycles"), std::string::npos);
+    EXPECT_NE(text.find("GPUs"), std::string::npos);
+}

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc.hpp"
+
+using transfw::cache::SetAssoc;
+
+TEST(SetAssoc, HitAfterInsert)
+{
+    SetAssoc<int> cache(8, 4);
+    cache.insert(1, 100);
+    int *value = cache.lookup(1);
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(*value, 100);
+    EXPECT_EQ(cache.lookup(2), nullptr);
+}
+
+TEST(SetAssoc, LruEvictsOldest)
+{
+    SetAssoc<int> cache(4, 4); // fully associative, 4 entries
+    for (int i = 0; i < 4; ++i)
+        cache.insert(static_cast<std::uint64_t>(i), i);
+    // Touch 0 so 1 becomes LRU.
+    cache.lookup(0);
+    auto evicted = cache.insert(99, 99);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->first, 1u);
+    EXPECT_NE(cache.lookup(0), nullptr);
+    EXPECT_EQ(cache.lookup(1), nullptr);
+}
+
+TEST(SetAssoc, InsertRefreshesExisting)
+{
+    SetAssoc<int> cache(4, 4);
+    cache.insert(5, 1);
+    auto evicted = cache.insert(5, 2);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(*cache.lookup(5), 2);
+    EXPECT_EQ(cache.occupancy(), 1u);
+}
+
+TEST(SetAssoc, ProbeDoesNotTouchLru)
+{
+    SetAssoc<int> cache(2, 2);
+    cache.insert(1, 1);
+    cache.insert(2, 2);
+    // Probing 1 must not save it from eviction.
+    EXPECT_NE(cache.probe(1), nullptr);
+    auto evicted = cache.insert(3, 3);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->first, 1u);
+}
+
+TEST(SetAssoc, Invalidate)
+{
+    SetAssoc<int> cache(8, 2);
+    cache.insert(7, 7);
+    EXPECT_TRUE(cache.invalidate(7));
+    EXPECT_FALSE(cache.invalidate(7));
+    EXPECT_EQ(cache.lookup(7), nullptr);
+}
+
+TEST(SetAssoc, InvalidateAllAndForEach)
+{
+    SetAssoc<int> cache(16, 4);
+    for (int i = 0; i < 10; ++i)
+        cache.insert(static_cast<std::uint64_t>(i), i);
+    int count = 0;
+    cache.forEach([&](std::uint64_t, const int &) { ++count; });
+    EXPECT_EQ(count, 10);
+    cache.invalidateAll();
+    EXPECT_EQ(cache.occupancy(), 0u);
+}
+
+TEST(SetAssoc, SetConflictsEvictWithinSet)
+{
+    // 2 sets x 2 ways: inserting many keys never exceeds capacity and
+    // keys always land in a deterministic set.
+    SetAssoc<int> cache(4, 2);
+    for (std::uint64_t key = 0; key < 100; ++key)
+        cache.insert(key, static_cast<int>(key));
+    EXPECT_LE(cache.occupancy(), 4u);
+}
+
+/** Property sweep: capacity is always honored and hits are exact. */
+class SetAssocParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{};
+
+TEST_P(SetAssocParam, CapacityAndExactness)
+{
+    auto [entries, ways] = GetParam();
+    SetAssoc<std::uint64_t> cache(entries, ways);
+    for (std::uint64_t key = 0; key < 4 * entries; ++key)
+        cache.insert(key, key * 3);
+    EXPECT_LE(cache.occupancy(), entries);
+    std::size_t hits = 0;
+    for (std::uint64_t key = 0; key < 4 * entries; ++key) {
+        if (const std::uint64_t *v = cache.probe(key)) {
+            EXPECT_EQ(*v, key * 3);
+            ++hits;
+        }
+    }
+    EXPECT_EQ(hits, cache.occupancy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SetAssocParam,
+                         ::testing::Values(std::pair{32u, 32u},
+                                           std::pair{512u, 16u},
+                                           std::pair{2048u, 64u},
+                                           std::pair{128u, 4u},
+                                           std::pair{16u, 1u}));

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+/** End-to-end smoke: a tiny workload runs to completion on 2 GPUs. */
+TEST(Smoke, TinyRunCompletes)
+{
+    wl::SyntheticSpec spec;
+    spec.name = "tiny";
+    spec.numCtas = 16;
+    spec.memOpsPerCta = 10;
+    spec.computePerOp = 2;
+    spec.regions = {{.name = "data", .pages = 64, .weight = 1.0,
+                     .writeFrac = 0.2, .reuse = 2}};
+    wl::SyntheticWorkload workload(spec);
+
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.numGpus = 2;
+    config.cusPerGpu = 4;
+    config.wavefrontSlotsPerCu = 2;
+
+    sys::SimResults r = sys::runWorkload(workload, config);
+    EXPECT_GT(r.execTime, 0u);
+    EXPECT_EQ(r.memOps, 16u * 10u);
+    // Prewarmed + fully partitioned: no far faults at all.
+    EXPECT_EQ(r.farFaults, 0u);
+    EXPECT_GT(r.instructions, 0u);
+}
+
+/** Cold placement (everything on the CPU) must produce cold faults. */
+TEST(Smoke, ColdPlacementFaults)
+{
+    wl::SyntheticSpec spec;
+    spec.name = "tiny-cold";
+    spec.numCtas = 16;
+    spec.memOpsPerCta = 10;
+    spec.regions = {{.name = "data", .pages = 64, .weight = 1.0,
+                     .reuse = 2}};
+    wl::SyntheticWorkload workload(spec);
+
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.numGpus = 2;
+    config.cusPerGpu = 4;
+    config.wavefrontSlotsPerCu = 2;
+    config.prewarmPlacement = false;
+
+    sys::SimResults r = sys::runWorkload(workload, config);
+    EXPECT_GT(r.farFaults, 0u);
+    EXPECT_GT(r.migrations, 0u);
+}

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "tlb/tlb.hpp"
+
+using namespace transfw::tlb;
+
+TEST(Tlb, HitMissAccounting)
+{
+    Tlb tlb("t", TlbConfig{32, 32, 1});
+    EXPECT_EQ(tlb.lookup(1), nullptr);
+    tlb.fill(1, TlbEntry{100, 0, true, false});
+    const TlbEntry *entry = tlb.lookup(1);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->ppn, 100u);
+    EXPECT_EQ(tlb.lookups(), 2u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+    EXPECT_DOUBLE_EQ(tlb.hitRate(), 0.5);
+}
+
+TEST(Tlb, ShootdownCountsOnlyPresent)
+{
+    Tlb tlb("t", TlbConfig{32, 32, 1});
+    tlb.fill(5, TlbEntry{1, 0, true, false});
+    EXPECT_TRUE(tlb.invalidate(5));
+    EXPECT_FALSE(tlb.invalidate(5));
+    EXPECT_EQ(tlb.shootdowns(), 1u);
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Tlb tlb("t", TlbConfig{4, 4, 1});
+    for (transfw::mem::Vpn vpn = 0; vpn < 8; ++vpn)
+        tlb.fill(vpn, TlbEntry{vpn, 0, true, false});
+    int present = 0;
+    for (transfw::mem::Vpn vpn = 0; vpn < 8; ++vpn)
+        present += tlb.probe(vpn) ? 1 : 0;
+    EXPECT_EQ(present, 4);
+}
+
+TEST(Tlb, ProbeNeutral)
+{
+    Tlb tlb("t", TlbConfig{8, 8, 10});
+    tlb.fill(3, TlbEntry{30, 1, false, true});
+    std::uint64_t lookups_before = tlb.lookups();
+    const TlbEntry *entry = tlb.probe(3);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->remote);
+    EXPECT_FALSE(entry->writable);
+    EXPECT_EQ(tlb.lookups(), lookups_before);
+    EXPECT_EQ(tlb.lookupLatency(), 10u);
+}
+
+TEST(Tlb, Table2Configurations)
+{
+    // The three Table II TLBs construct with their exact shapes.
+    Tlb l1("l1", TlbConfig{32, 32, 1});
+    Tlb l2("l2", TlbConfig{512, 16, 10});
+    Tlb host("host", TlbConfig{2048, 64, 5});
+    EXPECT_EQ(l1.lookupLatency(), 1u);
+    EXPECT_EQ(l2.lookupLatency(), 10u);
+    EXPECT_EQ(host.lookupLatency(), 5u);
+}

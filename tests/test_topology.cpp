@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "interconnect/network.hpp"
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+using namespace transfw::ic;
+
+TEST(Topology, AllToAllSingleHop)
+{
+    sim::EventQueue eq;
+    Network net(eq, 4, LinkConfig{150, 256}, LinkConfig{150, 256});
+    EXPECT_EQ(net.peerHops(0, 3), 1);
+    EXPECT_EQ(net.peerLatency(0, 3), 150u);
+    sim::Tick done = 0;
+    net.sendPeer(0, 3, 256, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 151u);
+}
+
+TEST(Topology, RingHopCounts)
+{
+    sim::EventQueue eq;
+    Network net(eq, 8, LinkConfig{}, LinkConfig{}, Topology::Ring);
+    EXPECT_EQ(net.peerHops(0, 1), 1);
+    EXPECT_EQ(net.peerHops(0, 4), 4); // opposite side
+    EXPECT_EQ(net.peerHops(0, 7), 1); // wraparound
+    EXPECT_EQ(net.peerHops(2, 6), 4);
+    EXPECT_EQ(net.peerHops(3, 3), 0);
+    EXPECT_EQ(net.peerLatency(0, 4), 4 * 150u);
+}
+
+TEST(Topology, RingRoutesThroughHops)
+{
+    sim::EventQueue eq;
+    Network net(eq, 4, LinkConfig{100, 256}, LinkConfig{100, 256},
+                Topology::Ring);
+    sim::Tick direct = 0, two_hops = 0;
+    net.sendPeerCtrl(0, 1, 32, [&] { direct = eq.now(); });
+    eq.run();
+    net.sendPeerCtrl(0, 2, 32, [&] { two_hops = eq.now() - direct; });
+    eq.run();
+    EXPECT_EQ(direct, 102u);
+    EXPECT_EQ(two_hops, 2 * 102u);
+}
+
+TEST(Topology, RingHasNoChordLinks)
+{
+    sim::EventQueue eq;
+    Network net(eq, 4, LinkConfig{}, LinkConfig{}, Topology::Ring);
+    EXPECT_NO_THROW(net.peer(0, 1));
+    EXPECT_NO_THROW(net.peer(0, 3)); // wraparound neighbour
+    EXPECT_DEATH(net.peer(0, 2), "ring");
+}
+
+TEST(Topology, BulkTransferOccupiesEveryHop)
+{
+    sim::EventQueue eq;
+    Network net(eq, 4, LinkConfig{100, 16}, LinkConfig{100, 16},
+                Topology::Ring);
+    // 1600 bytes = 100 cycles of serialization per hop.
+    sim::Tick done = 0;
+    net.sendPeer(0, 2, 1600, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 2 * (100u + 100u));
+    // Both hop links carried the payload.
+    EXPECT_EQ(net.peer(0, 1).bytesSent(), 1600u);
+    EXPECT_EQ(net.peer(1, 2).bytesSent(), 1600u);
+}
+
+TEST(TopologySystem, RingSlowsRemoteTrafficButRuns)
+{
+    wl::SyntheticSpec spec;
+    spec.name = "topo";
+    spec.numCtas = 64;
+    spec.memOpsPerCta = 40;
+    spec.regions = {
+        {.name = "hot", .pages = 64, .pattern = wl::Pattern::Random,
+         .shareDegree = 64, .weight = 0.5, .writeFrac = 0.3, .reuse = 2},
+        {.name = "own", .pages = 256, .weight = 0.5, .reuse = 2},
+    };
+    wl::SyntheticWorkload workload(spec);
+
+    cfg::SystemConfig mesh = sys::baselineConfig();
+    mesh.cusPerGpu = 8;
+    cfg::SystemConfig ring = mesh;
+    ring.peerTopology = ic::Topology::Ring;
+
+    sys::SimResults a = sys::runWorkload(workload, mesh);
+    sys::SimResults b = sys::runWorkload(workload, ring);
+    EXPECT_EQ(a.memOps, b.memOps);
+    // Multi-hop migrations cost more on the ring.
+    EXPECT_GE(b.execTime, a.execTime);
+
+    // Trans-FW still helps on a ring.
+    cfg::SystemConfig ring_fw = ring;
+    ring_fw.transFw.enabled = true;
+    sys::SimResults c = sys::runWorkload(workload, ring_fw);
+    EXPECT_GT(sys::speedup(b, c), 1.0);
+}

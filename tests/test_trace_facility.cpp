@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+namespace trace = transfw::sim::trace;
+
+namespace {
+
+/** RAII: capture trace output, restore state on destruction. */
+struct TraceCapture
+{
+    std::vector<std::string> lines;
+
+    TraceCapture()
+    {
+        trace::setSink([this](const std::string &line) {
+            lines.push_back(line);
+        });
+    }
+    ~TraceCapture()
+    {
+        trace::setSink(nullptr);
+        trace::disableAll();
+    }
+};
+
+} // namespace
+
+TEST(TraceFacility, DisabledByDefault)
+{
+    TraceCapture capture;
+    EXPECT_FALSE(trace::enabled("gmmu"));
+    trace::enable("gmmu");
+    EXPECT_TRUE(trace::enabled("gmmu"));
+    EXPECT_FALSE(trace::enabled("host"));
+}
+
+TEST(TraceFacility, AllEnablesEverything)
+{
+    TraceCapture capture;
+    trace::enable("all");
+    EXPECT_TRUE(trace::enabled("gmmu"));
+    EXPECT_TRUE(trace::enabled("whatever"));
+}
+
+TEST(TraceFacility, LogFormatsTickCategoryMessage)
+{
+    TraceCapture capture;
+    trace::enable("test");
+    trace::log(1234, "test", "hello");
+    ASSERT_EQ(capture.lines.size(), 1u);
+    EXPECT_NE(capture.lines[0].find("1234"), std::string::npos);
+    EXPECT_NE(capture.lines[0].find("test: hello"), std::string::npos);
+}
+
+TEST(TraceFacility, MacroSkipsWhenDisabled)
+{
+    TraceCapture capture;
+    sim::EventQueue eq;
+    TFW_TRACE(eq, "off", "should not appear %d", 1);
+    EXPECT_TRUE(capture.lines.empty());
+    trace::enable("on");
+    TFW_TRACE(eq, "on", "value=%d", 42);
+    ASSERT_EQ(capture.lines.size(), 1u);
+    EXPECT_NE(capture.lines[0].find("value=42"), std::string::npos);
+}
+
+TEST(TraceFacility, SystemRunEmitsComponentRecords)
+{
+    TraceCapture capture;
+    trace::enable("gmmu");
+    trace::enable("host");
+    trace::enable("migration");
+
+    wl::SyntheticSpec spec;
+    spec.name = "traced";
+    spec.numCtas = 8;
+    spec.memOpsPerCta = 10;
+    spec.regions = {{.name = "hot", .pages = 16,
+                     .pattern = wl::Pattern::Random, .shareDegree = 64,
+                     .weight = 1.0, .writeFrac = 0.3, .reuse = 1}};
+    wl::SyntheticWorkload workload(spec);
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.numGpus = 2;
+    config.cusPerGpu = 2;
+    sys::runWorkload(workload, config);
+
+    bool saw_gmmu = false, saw_host = false, saw_migration = false;
+    for (const auto &line : capture.lines) {
+        saw_gmmu |= line.find("gmmu:") != std::string::npos;
+        saw_host |= line.find("host:") != std::string::npos;
+        saw_migration |= line.find("migration:") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_gmmu);
+    EXPECT_TRUE(saw_host);
+    EXPECT_TRUE(saw_migration);
+}

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "interconnect/network.hpp"
+#include "uvm/uvm_driver.hpp"
+
+using namespace transfw;
+
+namespace {
+
+struct DriverHarness
+{
+    cfg::SystemConfig config;
+    sim::EventQueue eq;
+    sim::Rng rng{1};
+    mem::PageTable central;
+    ic::Network net;
+    std::vector<std::unique_ptr<test::FakeGpu>> gpus;
+    std::unique_ptr<core::ForwardingTable> ft;
+    std::unique_ptr<uvm::MigrationEngine> engine;
+    std::unique_ptr<uvm::UvmDriver> driver;
+
+    std::vector<mmu::XlatPtr> resolved;
+    std::vector<mmu::RemoteLookupPtr> forwarded;
+
+    explicit DriverHarness(cfg::SystemConfig c = {})
+        : config(std::move(c)), central(config.geometry()),
+          net(eq, config.numGpus, config.hostLink, config.peerLink)
+    {
+        config.faultMode = cfg::FaultMode::UvmDriver;
+        std::vector<mmu::GpuIface *> ifaces;
+        for (int g = 0; g < config.numGpus; ++g) {
+            gpus.push_back(std::make_unique<test::FakeGpu>(config, g));
+            ifaces.push_back(gpus.back().get());
+        }
+        if (config.transFw.enabled)
+            ft = std::make_unique<core::ForwardingTable>(config.transFw);
+        engine = std::make_unique<uvm::MigrationEngine>(
+            eq, config, central, ifaces, net, ft.get());
+        driver = std::make_unique<uvm::UvmDriver>(eq, config, central,
+                                                  *engine, ft.get(), rng);
+        driver->onResolved = [this](mmu::XlatPtr r) {
+            resolved.push_back(std::move(r));
+        };
+        driver->forwardToGpu = [this](mmu::RemoteLookupPtr rl) {
+            forwarded.push_back(std::move(rl));
+        };
+    }
+
+    void
+    placeAt(mem::Vpn vpn, int owner)
+    {
+        mem::Ppn ppn =
+            gpus[static_cast<std::size_t>(owner)]->frames().allocate();
+        gpus[static_cast<std::size_t>(owner)]->localPageTable().map(
+            vpn, mem::PageInfo{ppn, owner, 1u << owner, true, false});
+        central.map(vpn,
+                    mem::PageInfo{ppn, owner, 1u << owner, true, false});
+        if (ft)
+            ft->pageArrived(vpn, owner);
+    }
+};
+
+} // namespace
+
+TEST(UvmDriver, WindowFlushResolvesSmallBatch)
+{
+    DriverHarness h;
+    h.placeAt(0x10, 1);
+    auto req = test::makeReq(0x10, 0);
+    req->tHostArrive = 0;
+    h.driver->handleFault(req);
+    h.eq.run();
+    ASSERT_EQ(h.resolved.size(), 1u);
+    EXPECT_EQ(h.driver->stats().batches, 1u);
+    // The batch had to wait for the flush window.
+    EXPECT_GE(h.eq.now(), h.config.driverBatchWindow);
+}
+
+TEST(UvmDriver, FullBatchSealsImmediately)
+{
+    cfg::SystemConfig config;
+    config.driverBatchSize = 4;
+    DriverHarness h(config);
+    for (mem::Vpn vpn = 0; vpn < 4; ++vpn)
+        h.placeAt((vpn + 1) << 21, 1);
+    for (mem::Vpn vpn = 0; vpn < 4; ++vpn)
+        h.driver->handleFault(test::makeReq((vpn + 1) << 21, 0));
+    h.eq.run();
+    EXPECT_EQ(h.resolved.size(), 4u);
+    EXPECT_EQ(h.driver->stats().batches, 1u);
+    EXPECT_DOUBLE_EQ(h.driver->stats().batchSize.mean(), 4.0);
+}
+
+TEST(UvmDriver, BatchesSerialize)
+{
+    cfg::SystemConfig config;
+    config.driverBatchSize = 2;
+    DriverHarness h(config);
+    for (mem::Vpn vpn = 0; vpn < 6; ++vpn)
+        h.placeAt((vpn + 1) << 21, 1);
+    for (mem::Vpn vpn = 0; vpn < 6; ++vpn)
+        h.driver->handleFault(test::makeReq((vpn + 1) << 21, 0));
+    h.eq.run();
+    EXPECT_EQ(h.driver->stats().batches, 3u);
+    EXPECT_EQ(h.resolved.size(), 6u);
+    // Three serialized batches cost at least 3x the fixed overhead.
+    EXPECT_GE(h.eq.now(), 3 * h.config.driverBatchFixedCost);
+}
+
+TEST(UvmDriver, SamePageFaultsCoalesce)
+{
+    cfg::SystemConfig config;
+    config.driverBatchSize = 4;
+    DriverHarness h(config);
+    h.placeAt(0x30, 1);
+    h.driver->handleFault(test::makeReq(0x30, 0));
+    h.driver->handleFault(test::makeReq(0x30, 2));
+    h.driver->handleFault(test::makeReq(0x30, 3));
+    h.eq.run();
+    EXPECT_EQ(h.resolved.size(), 3u);
+    EXPECT_GE(h.driver->stats().coalesced, 2u);
+}
+
+TEST(UvmDriver, FtForwardingOnDriverFaults)
+{
+    cfg::SystemConfig config;
+    config.transFw.enabled = true;
+    config.driverBatchSize = 2;
+    DriverHarness h(config);
+    h.placeAt(0x40 << 9, 1);
+    h.placeAt(0x41 << 9, 1);
+    h.driver->handleFault(test::makeReq(0x40 << 9, 0));
+    h.driver->handleFault(test::makeReq(0x41 << 9, 0));
+    h.eq.run(200000);
+    ASSERT_EQ(h.forwarded.size(), 2u);
+    // Answer the remote lookups; both must resolve without a local walk.
+    for (auto &rl : h.forwarded) {
+        rl->success = true;
+        rl->result = tlb::TlbEntry{1, 1, true, false};
+        h.driver->remoteLookupDone(rl);
+    }
+    h.eq.run();
+    EXPECT_EQ(h.resolved.size(), 2u);
+    EXPECT_EQ(h.driver->stats().forwardSuccess, 2u);
+    EXPECT_EQ(h.driver->stats().walks, 0u);
+}
+
+TEST(UvmDriver, FailedForwardFallsBackToSoftwareWalk)
+{
+    cfg::SystemConfig config;
+    config.transFw.enabled = true;
+    config.driverBatchSize = 1;
+    DriverHarness h(config);
+    h.placeAt(0x50 << 9, 1);
+    h.driver->handleFault(test::makeReq(0x50 << 9, 0));
+    h.eq.run(200000);
+    ASSERT_EQ(h.forwarded.size(), 1u);
+    h.forwarded[0]->success = false;
+    h.driver->remoteLookupDone(h.forwarded[0]);
+    h.eq.run();
+    EXPECT_EQ(h.resolved.size(), 1u);
+    EXPECT_EQ(h.driver->stats().walks, 1u);
+}

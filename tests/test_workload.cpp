@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workload/apps.hpp"
+#include "workload/ml_models.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace transfw;
+using namespace transfw::wl;
+
+namespace {
+
+SyntheticSpec
+simpleSpec()
+{
+    SyntheticSpec spec;
+    spec.name = "simple";
+    spec.numCtas = 64;
+    spec.memOpsPerCta = 50;
+    spec.computePerOp = 3;
+    spec.vaSpread = 512;
+    spec.regions = {{.name = "data", .pages = 128, .weight = 1.0,
+                     .writeFrac = 0.5, .reuse = 2}};
+    return spec;
+}
+
+/** Drain a stream, returning all accesses. */
+std::vector<PageAccess>
+drain(const Workload &workload, int cta, int num_gpus,
+      std::uint64_t seed = 7)
+{
+    std::vector<PageAccess> accesses;
+    auto stream = workload.makeStream(cta, num_gpus, seed);
+    MemOp op;
+    while (stream->next(op)) {
+        for (int i = 0; i < op.numPages; ++i)
+            accesses.push_back(op.pages[static_cast<std::size_t>(i)]);
+    }
+    return accesses;
+}
+
+} // namespace
+
+TEST(HomeGpu, ProportionalAssignment)
+{
+    EXPECT_EQ(homeGpu(0, 1024, 4), 0);
+    EXPECT_EQ(homeGpu(255, 1024, 4), 0);
+    EXPECT_EQ(homeGpu(256, 1024, 4), 1);
+    EXPECT_EQ(homeGpu(1023, 1024, 4), 3);
+}
+
+TEST(SyntheticWorkload, StreamsAreDeterministic)
+{
+    SyntheticWorkload workload(simpleSpec());
+    auto a = drain(workload, 5, 4);
+    auto b = drain(workload, 5, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].vpn, b[i].vpn);
+        EXPECT_EQ(a[i].write, b[i].write);
+    }
+    // Different CTAs produce different streams (different slice
+    // offsets and/or independent write draws).
+    auto c = drain(workload, 20, 4);
+    bool differs = c.size() != a.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].vpn != c[i].vpn || a[i].write != c[i].write;
+    EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticWorkload, OpCountAndInstructions)
+{
+    SyntheticWorkload workload(simpleSpec());
+    auto stream = workload.makeStream(0, 4, 1);
+    MemOp op;
+    int ops = 0;
+    std::uint64_t instrs = 0;
+    while (stream->next(op)) {
+        ++ops;
+        instrs += op.instructions;
+        EXPECT_EQ(op.computeGap, 3u);
+        EXPECT_GE(op.numPages, 1);
+    }
+    EXPECT_EQ(ops, 50);
+    EXPECT_EQ(instrs, 50u * 4u);
+}
+
+TEST(SyntheticWorkload, AccessesStayInsideFootprint)
+{
+    SyntheticWorkload workload(simpleSpec());
+    std::unordered_set<mem::Vpn> valid;
+    workload.forEachPage([&](mem::Vpn vpn) { valid.insert(vpn); });
+    EXPECT_EQ(valid.size(), workload.footprintPages());
+    for (int cta = 0; cta < 64; cta += 7)
+        for (const auto &access : drain(workload, cta, 4))
+            EXPECT_TRUE(valid.count(access.vpn)) << access.vpn;
+}
+
+TEST(SyntheticWorkload, VaSpreadLayout)
+{
+    SyntheticSpec spec = simpleSpec();
+    spec.vaSpread = 512;
+    SyntheticWorkload workload(spec);
+    EXPECT_EQ(workload.pageVpn(0, 1) - workload.pageVpn(0, 0), 512u);
+}
+
+TEST(SyntheticWorkload, PartitionedRegionsDoNotCrossGpus)
+{
+    SyntheticSpec spec = simpleSpec();
+    spec.regions[0].shareDegree = 1;
+    SyntheticWorkload workload(spec);
+    // Accesses of CTAs homed on GPU 0 stay inside GPU 0's slice, whose
+    // pages are exactly those initialOwner maps to GPU 0.
+    for (const auto &access : drain(workload, 3, 4))
+        EXPECT_EQ(workload.initialOwner(access.vpn, 4), 0);
+    for (const auto &access : drain(workload, 60, 4))
+        EXPECT_EQ(workload.initialOwner(access.vpn, 4), 3);
+}
+
+TEST(SyntheticWorkload, SharedRegionTouchedByAllGpus)
+{
+    SyntheticSpec spec = simpleSpec();
+    spec.regions[0].shareDegree = 64;
+    spec.regions[0].pattern = Pattern::Random;
+    SyntheticWorkload workload(spec);
+    std::unordered_map<mem::Vpn, unsigned> masks;
+    for (int cta = 0; cta < 64; ++cta) {
+        int gpu = homeGpu(cta, 64, 4);
+        for (const auto &access : drain(workload, cta, 4))
+            masks[access.vpn] |= 1u << gpu;
+    }
+    int shared_by_all = 0;
+    for (const auto &[vpn, mask] : masks)
+        shared_by_all += mask == 0xF ? 1 : 0;
+    EXPECT_GT(shared_by_all, 0);
+}
+
+TEST(SyntheticWorkload, ShareDegreeTwoPairsGpus)
+{
+    SyntheticSpec spec = simpleSpec();
+    spec.regions[0].shareDegree = 2;
+    SyntheticWorkload workload(spec);
+    // GPU0/GPU1 pages live in the first half; GPU2/3 in the second.
+    for (const auto &access : drain(workload, 1, 4)) {
+        int owner = workload.initialOwner(access.vpn, 4);
+        EXPECT_TRUE(owner == 0 || owner == 1) << owner;
+    }
+    for (const auto &access : drain(workload, 50, 4)) {
+        int owner = workload.initialOwner(access.vpn, 4);
+        EXPECT_TRUE(owner == 2 || owner == 3) << owner;
+    }
+}
+
+TEST(SyntheticWorkload, WriteFracRespected)
+{
+    SyntheticSpec spec = simpleSpec();
+    spec.regions[0].writeFrac = 1.0;
+    SyntheticWorkload workload(spec);
+    for (const auto &access : drain(workload, 0, 4))
+        EXPECT_TRUE(access.write);
+    spec.regions[0].writeFrac = 0.0;
+    SyntheticWorkload reads(spec);
+    for (const auto &access : drain(reads, 0, 4))
+        EXPECT_FALSE(access.write);
+}
+
+TEST(SyntheticWorkload, ActivePhasesGateRegions)
+{
+    SyntheticSpec spec = simpleSpec();
+    spec.phases = 2;
+    spec.regions[0].activePhases = {0};
+    spec.regions.push_back({.name = "late", .pages = 64, .weight = 1.0,
+                            .activePhases = {1}});
+    SyntheticWorkload workload(spec);
+    mem::Vpn late_base = workload.regionBase(1);
+    auto stream = workload.makeStream(0, 4, 1);
+    MemOp op;
+    int index = 0;
+    while (stream->next(op)) {
+        bool in_late = op.pages[0].vpn >= late_base;
+        if (index < 25)
+            EXPECT_FALSE(in_late) << index;
+        else
+            EXPECT_TRUE(in_late) << index;
+        ++index;
+    }
+}
+
+TEST(SyntheticWorkload, RotatePerPhaseMovesSlices)
+{
+    SyntheticSpec spec = simpleSpec();
+    spec.phases = 2;
+    spec.regions[0].rotatePerPhase = true;
+    SyntheticWorkload workload(spec);
+    auto accesses = drain(workload, 0, 4); // home GPU 0
+    // First-phase accesses hit GPU 0's slice; second phase, GPU 1's.
+    EXPECT_EQ(workload.initialOwner(accesses.front().vpn, 4), 0);
+    EXPECT_EQ(workload.initialOwner(accesses.back().vpn, 4), 1);
+}
+
+TEST(SyntheticWorkload, AlignAcrossGpusGivesSameOffsets)
+{
+    SyntheticSpec spec = simpleSpec();
+    spec.regions[0].shareDegree = 64;
+    spec.regions[0].alignAcrossGpus = true;
+    SyntheticWorkload workload(spec);
+    // CTA 0 (GPU 0) and CTA 16 (GPU 1) are the first CTAs of their
+    // GPUs: aligned mode gives them identical page sequences.
+    auto a = drain(workload, 0, 4);
+    auto b = drain(workload, 16, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].vpn, b[i].vpn);
+}
+
+TEST(SyntheticWorkload, AlignSkewSeparatesGpus)
+{
+    SyntheticSpec spec = simpleSpec();
+    spec.regions[0].shareDegree = 64;
+    spec.regions[0].alignAcrossGpus = true;
+    spec.regions[0].alignSkewPages = 16;
+    SyntheticWorkload workload(spec);
+    auto a = drain(workload, 0, 4);
+    auto b = drain(workload, 16, 4);
+    EXPECT_NE(a.front().vpn, b.front().vpn);
+}
+
+TEST(Apps, TableHasTenEntriesWithSpecs)
+{
+    EXPECT_EQ(appTable().size(), 10u);
+    for (const auto &info : appTable()) {
+        auto workload = makeApp(info.abbr);
+        EXPECT_EQ(workload->name(), info.abbr);
+        EXPECT_GT(workload->numCtas(), 0);
+        EXPECT_GT(workload->footprintPages(), 0u);
+        // Streams must terminate.
+        auto accesses = drain(*workload, 0, 4);
+        EXPECT_FALSE(accesses.empty());
+    }
+}
+
+TEST(Apps, UnknownAppIsFatal)
+{
+    EXPECT_EXIT({ auto w = makeApp("NOPE"); (void)w; },
+                ::testing::ExitedWithCode(1), "unknown application");
+}
+
+TEST(Apps, ScaleAdjustsWork)
+{
+    SyntheticSpec full = appSpec("MT", 1.0);
+    SyntheticSpec half = appSpec("MT", 0.5);
+    EXPECT_NEAR(half.memOpsPerCta, full.memOpsPerCta / 2, 1);
+}
+
+TEST(MlModels, LayerStructure)
+{
+    SyntheticSpec vgg = mlModelSpec("VGG16", 1.0 / 64, 1);
+    EXPECT_EQ(vgg.regions.size(), 16u * 3u); // w/grad/act per layer
+    EXPECT_EQ(vgg.phases, 32);
+    SyntheticSpec resnet = mlModelSpec("ResNet18", 1.0 / 64, 2);
+    EXPECT_EQ(resnet.regions.size(), 18u * 3u);
+    EXPECT_EQ(resnet.phases, 2 * 2 * 18);
+    // Weight regions are shared by every GPU; activations are private.
+    EXPECT_GE(vgg.regions[0].shareDegree, 4);
+    EXPECT_EQ(vgg.regions[2].shareDegree, 1);
+}
+
+TEST(MlModels, StreamsRunAndStayInFootprint)
+{
+    auto model = makeMlModel("ResNet18", 1.0 / 64, 1);
+    std::unordered_set<mem::Vpn> valid;
+    model->forEachPage([&](mem::Vpn vpn) { valid.insert(vpn); });
+    for (const auto &access : drain(*model, 0, 4))
+        EXPECT_TRUE(valid.count(access.vpn));
+}
