@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memmodel.dir/bench_ablation_memmodel.cpp.o"
+  "CMakeFiles/bench_ablation_memmodel.dir/bench_ablation_memmodel.cpp.o.d"
+  "bench_ablation_memmodel"
+  "bench_ablation_memmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_sw_vs_hw.dir/bench_fig02_sw_vs_hw.cpp.o"
+  "CMakeFiles/bench_fig02_sw_vs_hw.dir/bench_fig02_sw_vs_hw.cpp.o.d"
+  "bench_fig02_sw_vs_hw"
+  "bench_fig02_sw_vs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_sw_vs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

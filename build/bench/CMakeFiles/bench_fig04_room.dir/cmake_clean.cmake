@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_room.dir/bench_fig04_room.cpp.o"
+  "CMakeFiles/bench_fig04_room.dir/bench_fig04_room.cpp.o.d"
+  "bench_fig04_room"
+  "bench_fig04_room.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_gmmu_pwc.dir/bench_fig05_gmmu_pwc.cpp.o"
+  "CMakeFiles/bench_fig05_gmmu_pwc.dir/bench_fig05_gmmu_pwc.cpp.o.d"
+  "bench_fig05_gmmu_pwc"
+  "bench_fig05_gmmu_pwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_gmmu_pwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

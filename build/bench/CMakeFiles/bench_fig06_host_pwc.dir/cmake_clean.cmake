@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_host_pwc.dir/bench_fig06_host_pwc.cpp.o"
+  "CMakeFiles/bench_fig06_host_pwc.dir/bench_fig06_host_pwc.cpp.o.d"
+  "bench_fig06_host_pwc"
+  "bench_fig06_host_pwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_host_pwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

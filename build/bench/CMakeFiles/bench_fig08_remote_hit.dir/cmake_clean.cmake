@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_remote_hit.dir/bench_fig08_remote_hit.cpp.o"
+  "CMakeFiles/bench_fig08_remote_hit.dir/bench_fig08_remote_hit.cpp.o.d"
+  "bench_fig08_remote_hit"
+  "bench_fig08_remote_hit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_remote_hit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

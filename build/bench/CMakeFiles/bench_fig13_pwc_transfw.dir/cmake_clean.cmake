@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pwc_transfw.dir/bench_fig13_pwc_transfw.cpp.o"
+  "CMakeFiles/bench_fig13_pwc_transfw.dir/bench_fig13_pwc_transfw.cpp.o.d"
+  "bench_fig13_pwc_transfw"
+  "bench_fig13_pwc_transfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pwc_transfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

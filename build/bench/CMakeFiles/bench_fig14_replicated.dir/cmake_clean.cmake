@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_replicated.dir/bench_fig14_replicated.cpp.o"
+  "CMakeFiles/bench_fig14_replicated.dir/bench_fig14_replicated.cpp.o.d"
+  "bench_fig14_replicated"
+  "bench_fig14_replicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_replicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_threshold.dir/bench_fig15_threshold.cpp.o"
+  "CMakeFiles/bench_fig15_threshold.dir/bench_fig15_threshold.cpp.o.d"
+  "bench_fig15_threshold"
+  "bench_fig15_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

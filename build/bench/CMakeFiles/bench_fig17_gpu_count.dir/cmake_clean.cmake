@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_gpu_count.dir/bench_fig17_gpu_count.cpp.o"
+  "CMakeFiles/bench_fig17_gpu_count.dir/bench_fig17_gpu_count.cpp.o.d"
+  "bench_fig17_gpu_count"
+  "bench_fig17_gpu_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_gpu_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_walkers.dir/bench_fig18_walkers.cpp.o"
+  "CMakeFiles/bench_fig18_walkers.dir/bench_fig18_walkers.cpp.o.d"
+  "bench_fig18_walkers"
+  "bench_fig18_walkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_walkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

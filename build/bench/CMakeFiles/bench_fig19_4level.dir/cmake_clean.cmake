@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_4level.dir/bench_fig19_4level.cpp.o"
+  "CMakeFiles/bench_fig19_4level.dir/bench_fig19_4level.cpp.o.d"
+  "bench_fig19_4level"
+  "bench_fig19_4level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_4level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_hostmmu.dir/bench_fig20_hostmmu.cpp.o"
+  "CMakeFiles/bench_fig20_hostmmu.dir/bench_fig20_hostmmu.cpp.o.d"
+  "bench_fig20_hostmmu"
+  "bench_fig20_hostmmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_hostmmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_stc.dir/bench_fig22_stc.cpp.o"
+  "CMakeFiles/bench_fig22_stc.dir/bench_fig22_stc.cpp.o.d"
+  "bench_fig22_stc"
+  "bench_fig22_stc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_stc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

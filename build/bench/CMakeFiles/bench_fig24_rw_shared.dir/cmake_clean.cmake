@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_rw_shared.dir/bench_fig24_rw_shared.cpp.o"
+  "CMakeFiles/bench_fig24_rw_shared.dir/bench_fig24_rw_shared.cpp.o.d"
+  "bench_fig24_rw_shared"
+  "bench_fig24_rw_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_rw_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

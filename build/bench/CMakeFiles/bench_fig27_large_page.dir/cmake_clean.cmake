@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27_large_page.dir/bench_fig27_large_page.cpp.o"
+  "CMakeFiles/bench_fig27_large_page.dir/bench_fig27_large_page.cpp.o.d"
+  "bench_fig27_large_page"
+  "bench_fig27_large_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_large_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig28_asap.dir/bench_fig28_asap.cpp.o"
+  "CMakeFiles/bench_fig28_asap.dir/bench_fig28_asap.cpp.o.d"
+  "bench_fig28_asap"
+  "bench_fig28_asap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig28_asap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

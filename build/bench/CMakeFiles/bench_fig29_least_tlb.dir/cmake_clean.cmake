@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig29_least_tlb.dir/bench_fig29_least_tlb.cpp.o"
+  "CMakeFiles/bench_fig29_least_tlb.dir/bench_fig29_least_tlb.cpp.o.d"
+  "bench_fig29_least_tlb"
+  "bench_fig29_least_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig29_least_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

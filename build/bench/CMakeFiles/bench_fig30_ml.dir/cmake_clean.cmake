@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig30_ml.dir/bench_fig30_ml.cpp.o"
+  "CMakeFiles/bench_fig30_ml.dir/bench_fig30_ml.cpp.o.d"
+  "bench_fig30_ml"
+  "bench_fig30_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig30_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pfpki.dir/bench_table3_pfpki.cpp.o"
+  "CMakeFiles/bench_table3_pfpki.dir/bench_table3_pfpki.cpp.o.d"
+  "bench_table3_pfpki"
+  "bench_table3_pfpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pfpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

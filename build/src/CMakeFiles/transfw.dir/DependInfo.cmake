@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/config.cpp" "src/CMakeFiles/transfw.dir/config/config.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/config/config.cpp.o.d"
+  "/root/repo/src/filter/cuckoo_filter.cpp" "src/CMakeFiles/transfw.dir/filter/cuckoo_filter.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/filter/cuckoo_filter.cpp.o.d"
+  "/root/repo/src/filter/metrohash.cpp" "src/CMakeFiles/transfw.dir/filter/metrohash.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/filter/metrohash.cpp.o.d"
+  "/root/repo/src/gpu/compute_unit.cpp" "src/CMakeFiles/transfw.dir/gpu/compute_unit.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/gpu/compute_unit.cpp.o.d"
+  "/root/repo/src/gpu/gpu.cpp" "src/CMakeFiles/transfw.dir/gpu/gpu.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/gpu/gpu.cpp.o.d"
+  "/root/repo/src/mem/data_cache.cpp" "src/CMakeFiles/transfw.dir/mem/data_cache.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/mem/data_cache.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/transfw.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/frame_allocator.cpp" "src/CMakeFiles/transfw.dir/mem/frame_allocator.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/mem/frame_allocator.cpp.o.d"
+  "/root/repo/src/mem/mem_hierarchy.cpp" "src/CMakeFiles/transfw.dir/mem/mem_hierarchy.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/mem/mem_hierarchy.cpp.o.d"
+  "/root/repo/src/mem/page_table.cpp" "src/CMakeFiles/transfw.dir/mem/page_table.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/mem/page_table.cpp.o.d"
+  "/root/repo/src/mmu/gmmu.cpp" "src/CMakeFiles/transfw.dir/mmu/gmmu.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/mmu/gmmu.cpp.o.d"
+  "/root/repo/src/mmu/host_mmu.cpp" "src/CMakeFiles/transfw.dir/mmu/host_mmu.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/mmu/host_mmu.cpp.o.d"
+  "/root/repo/src/pwc/pwc.cpp" "src/CMakeFiles/transfw.dir/pwc/pwc.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/pwc/pwc.cpp.o.d"
+  "/root/repo/src/pwc/stc.cpp" "src/CMakeFiles/transfw.dir/pwc/stc.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/pwc/stc.cpp.o.d"
+  "/root/repo/src/pwc/utc.cpp" "src/CMakeFiles/transfw.dir/pwc/utc.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/pwc/utc.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/transfw.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/logging.cpp" "src/CMakeFiles/transfw.dir/sim/logging.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/sim/logging.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/transfw.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/transfw.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/CMakeFiles/transfw.dir/stats/stats.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/stats/stats.cpp.o.d"
+  "/root/repo/src/system/experiment.cpp" "src/CMakeFiles/transfw.dir/system/experiment.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/system/experiment.cpp.o.d"
+  "/root/repo/src/system/report.cpp" "src/CMakeFiles/transfw.dir/system/report.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/system/report.cpp.o.d"
+  "/root/repo/src/system/system.cpp" "src/CMakeFiles/transfw.dir/system/system.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/system/system.cpp.o.d"
+  "/root/repo/src/transfw/forwarding_table.cpp" "src/CMakeFiles/transfw.dir/transfw/forwarding_table.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/transfw/forwarding_table.cpp.o.d"
+  "/root/repo/src/transfw/prt.cpp" "src/CMakeFiles/transfw.dir/transfw/prt.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/transfw/prt.cpp.o.d"
+  "/root/repo/src/uvm/migration.cpp" "src/CMakeFiles/transfw.dir/uvm/migration.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/uvm/migration.cpp.o.d"
+  "/root/repo/src/uvm/uvm_driver.cpp" "src/CMakeFiles/transfw.dir/uvm/uvm_driver.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/uvm/uvm_driver.cpp.o.d"
+  "/root/repo/src/workload/apps.cpp" "src/CMakeFiles/transfw.dir/workload/apps.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/workload/apps.cpp.o.d"
+  "/root/repo/src/workload/ml_models.cpp" "src/CMakeFiles/transfw.dir/workload/ml_models.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/workload/ml_models.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/transfw.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/transfw.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/transfw.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

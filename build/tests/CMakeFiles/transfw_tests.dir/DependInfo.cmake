@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address.cpp" "tests/CMakeFiles/transfw_tests.dir/test_address.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_address.cpp.o.d"
+  "/root/repo/tests/test_apps_properties.cpp" "tests/CMakeFiles/transfw_tests.dir/test_apps_properties.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_apps_properties.cpp.o.d"
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/transfw_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_compute_unit.cpp" "tests/CMakeFiles/transfw_tests.dir/test_compute_unit.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_compute_unit.cpp.o.d"
+  "/root/repo/tests/test_config_matrix.cpp" "tests/CMakeFiles/transfw_tests.dir/test_config_matrix.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_config_matrix.cpp.o.d"
+  "/root/repo/tests/test_cuckoo_filter.cpp" "tests/CMakeFiles/transfw_tests.dir/test_cuckoo_filter.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_cuckoo_filter.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/transfw_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/transfw_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/transfw_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gmmu.cpp" "tests/CMakeFiles/transfw_tests.dir/test_gmmu.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_gmmu.cpp.o.d"
+  "/root/repo/tests/test_gpu_unit.cpp" "tests/CMakeFiles/transfw_tests.dir/test_gpu_unit.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_gpu_unit.cpp.o.d"
+  "/root/repo/tests/test_host_mmu.cpp" "tests/CMakeFiles/transfw_tests.dir/test_host_mmu.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_host_mmu.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/transfw_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_link.cpp" "tests/CMakeFiles/transfw_tests.dir/test_link.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_link.cpp.o.d"
+  "/root/repo/tests/test_mem_hierarchy.cpp" "tests/CMakeFiles/transfw_tests.dir/test_mem_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_mem_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_metrohash.cpp" "tests/CMakeFiles/transfw_tests.dir/test_metrohash.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_metrohash.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/transfw_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/transfw_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_mshr.cpp" "tests/CMakeFiles/transfw_tests.dir/test_mshr.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_mshr.cpp.o.d"
+  "/root/repo/tests/test_page_table.cpp" "tests/CMakeFiles/transfw_tests.dir/test_page_table.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_page_table.cpp.o.d"
+  "/root/repo/tests/test_prt_ft.cpp" "tests/CMakeFiles/transfw_tests.dir/test_prt_ft.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_prt_ft.cpp.o.d"
+  "/root/repo/tests/test_pwc.cpp" "tests/CMakeFiles/transfw_tests.dir/test_pwc.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_pwc.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/transfw_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_set_assoc.cpp" "tests/CMakeFiles/transfw_tests.dir/test_set_assoc.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_set_assoc.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/transfw_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/transfw_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/transfw_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_tlb.cpp" "tests/CMakeFiles/transfw_tests.dir/test_tlb.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_tlb.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/transfw_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/transfw_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_facility.cpp" "tests/CMakeFiles/transfw_tests.dir/test_trace_facility.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_trace_facility.cpp.o.d"
+  "/root/repo/tests/test_uvm_driver.cpp" "tests/CMakeFiles/transfw_tests.dir/test_uvm_driver.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_uvm_driver.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/transfw_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/transfw_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/transfw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
