@@ -17,7 +17,8 @@ main()
     bench::header("Fig. 3: L2 TLB miss latency breakdown (%)", baseline);
 
     bench::columns("app", {"gmmuQ", "gmmuMem", "hostQ", "hostMem", "migr",
-                           "net", "other", "avgLat"});
+                           "net", "other", "avgLat", "p50", "p99"});
+    std::vector<sys::SimResults> runs;
     for (const auto &app : bench::allApps()) {
         sys::SimResults r = sys::runApp(app, baseline);
         double total = r.xlat.total();
@@ -30,8 +31,14 @@ main()
                     100.0 * r.xlat.hostMem / total,
                     100.0 * r.xlat.migration / total,
                     100.0 * r.xlat.network / total,
-                    100.0 * r.xlat.other / total, r.avgXlatLatency},
+                    100.0 * r.xlat.other / total, r.avgXlatLatency,
+                    r.xlatLatencyHist.quantile(0.50),
+                    r.xlatLatencyHist.quantile(0.99)},
                    1);
+        runs.push_back(std::move(r));
     }
+    std::printf("\n");
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        bench::latencyPercentiles(runs[i].app, runs[i]);
     return 0;
 }

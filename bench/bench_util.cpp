@@ -33,6 +33,19 @@ geomean(const std::vector<double> &values)
 }
 
 void
+latencyPercentiles(const std::string &label, const sys::SimResults &r)
+{
+    const obs::LogHistogram &h = r.xlatLatencyHist;
+    std::printf("%-10s xlat p50/p90/p95/p99/p99.9 = "
+                "%.0f/%.0f/%.0f/%.0f/%.0f cycles (mean %.1f, n=%llu)\n",
+                label.c_str(), h.quantile(0.50), h.quantile(0.90),
+                h.quantile(0.95), h.quantile(0.99), h.quantile(0.999),
+                h.mean(),
+                static_cast<unsigned long long>(h.count()));
+    std::fflush(stdout);
+}
+
+void
 row(const std::string &label, const std::vector<double> &values,
     int precision)
 {

@@ -17,6 +17,15 @@ std::vector<std::string> allApps();
 /** Geometric mean of a vector of ratios. */
 double geomean(const std::vector<double> &values);
 
+/**
+ * Print the translation-latency percentile line for one run:
+ * "xlat p50/p90/p95/p99/p99.9 = ... (mean ..., n=...)". The percentile
+ * spread is the number the mean hides — a forwarding win shows up at
+ * p99 long before it moves the average.
+ */
+void latencyPercentiles(const std::string &label,
+                        const sys::SimResults &results);
+
 /** Print one row: label then columns with a fixed width. */
 void row(const std::string &label, const std::vector<double> &values,
          int precision = 3);

@@ -3,11 +3,17 @@
  * simulator collects — TLBs, PW-caches, queues, faults, migrations,
  * Trans-FW tables — for debugging and model exploration.
  *
- * Usage: inspect_stats [APP] [baseline|transfw|sw|sw-transfw]
+ * Usage: inspect_stats [APP] [baseline|transfw|sw|sw-transfw] [PAD]
+ *        inspect_stats --json [APP] [mode] [PAD]
+ *
+ * With --json the unified metrics registry (every component's live
+ * gauges, hierarchical "gpu0.gmmu.*" keys) is dumped as one JSON
+ * object instead of the human-readable report.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "transfw/transfw.hpp"
 
@@ -32,8 +38,13 @@ dump(const char *name, std::uint64_t v)
 int
 main(int argc, char **argv)
 {
-    std::string app = argc > 1 ? argv[1] : "MT";
-    std::string mode = argc > 2 ? argv[2] : "baseline";
+    std::vector<std::string> args(argv + 1, argv + argc);
+    bool json = !args.empty() && args[0] == "--json";
+    if (json)
+        args.erase(args.begin());
+
+    std::string app = args.size() > 0 ? args[0] : "MT";
+    std::string mode = args.size() > 1 ? args[1] : "baseline";
 
     cfg::SystemConfig config = (mode == "transfw" || mode == "sw-transfw")
                                    ? sys::transFwConfig()
@@ -41,9 +52,10 @@ main(int argc, char **argv)
     if (mode == "sw" || mode == "sw-transfw")
         config.faultMode = cfg::FaultMode::UvmDriver;
     // Optional third argument: multiply per-op compute (density knob).
-    std::uint32_t pad = argc > 3 ? static_cast<std::uint32_t>(
-                                       std::atoi(argv[3]))
-                                 : 1;
+    std::uint32_t pad =
+        args.size() > 2
+            ? static_cast<std::uint32_t>(std::atoi(args[2].c_str()))
+            : 1;
     wl::SyntheticSpec spec = wl::appSpec(app, sys::effectiveScale(0.0));
     spec.computePerOp *= std::max(1u, pad);
     wl::SyntheticWorkload workload_obj(spec);
@@ -51,6 +63,11 @@ main(int argc, char **argv)
 
     sys::MultiGpuSystem system(config, *workload);
     sys::SimResults r = system.run();
+
+    if (json) {
+        std::printf("%s", system.obs().metrics.toJson().c_str());
+        return 0;
+    }
 
     std::printf("== %s (%s) ==\n", app.c_str(), mode.c_str());
     std::printf("%s\n\n", r.configSummary.c_str());
@@ -74,6 +91,11 @@ main(int argc, char **argv)
     dump("network", r.xlat.network / n);
     dump("other", r.xlat.other / n);
     dump("total (avg measured)", r.avgXlatLatency);
+    dump("p50", r.xlatLatencyHist.quantile(0.50));
+    dump("p90", r.xlatLatencyHist.quantile(0.90));
+    dump("p95", r.xlatLatencyHist.quantile(0.95));
+    dump("p99", r.xlatLatencyHist.quantile(0.99));
+    dump("p99.9", r.xlatLatencyHist.quantile(0.999));
 
     std::printf("[TLBs]\n");
     dump("L1 hit rate", r.l1HitRate);

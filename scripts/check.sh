@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 check: build and run the full test suite, then rebuild with
+# AddressSanitizer + UBSan and run it again. Usage:
+#
+#   scripts/check.sh            # plain + sanitizer pass
+#   scripts/check.sh --fast     # plain pass only
+#
+# Exit code is non-zero when any build or test fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--fast" ]]; then
+    exit 0
+fi
+
+echo "== sanitizer build (address,undefined) =="
+cmake -B build-asan -S . -DTRANSFW_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"

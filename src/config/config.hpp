@@ -101,6 +101,19 @@ struct LeastTlbConfig
     sim::Tick remoteProbeLatency = 40; ///< probing a peer GPU's L2 TLB
 };
 
+/**
+ * Observability knobs (src/obs/): request-span recording for Perfetto
+ * export and the interval time-series sampler. Both default off —
+ * disabled they cost one predictable branch per instrumentation site
+ * (and nothing at all when compiled with TRANSFW_OBS=0).
+ */
+struct ObsConfig
+{
+    bool spans = false;            ///< record per-request lifecycle spans
+    sim::Tick sampleInterval = 0;  ///< time-series period (0 = off)
+    std::size_t maxSpans = std::size_t{1} << 22; ///< span buffer cap
+};
+
 /** Oracle switches for the Section III-B room-for-improvement study. */
 struct OracleConfig
 {
@@ -186,6 +199,7 @@ struct SystemConfig
     AsapConfig asap;
     LeastTlbConfig leastTlb;
     OracleConfig oracle;
+    ObsConfig obs;
 
     std::uint64_t seed = 1;
 

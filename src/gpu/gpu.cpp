@@ -92,7 +92,6 @@ Gpu::startTranslation(int cu, mem::Vpn vpn, bool write)
     req->cu = cu;
     req->isWrite = write;
     req->tIssue = curTick();
-    req->onComplete = [this, req]() { finishTranslation(req); };
 
     if (prt_ && cfg_.transFw.enableShortCircuit) {
         // Trans-FW short circuit (Section IV-B): a PRT miss means the
@@ -151,9 +150,14 @@ Gpu::translationReturned(mmu::XlatPtr req)
 void
 Gpu::finishTranslation(const mmu::XlatPtr &req)
 {
-    stats_.xlatLatency.record(
-        static_cast<double>(curTick() - req->tIssue));
+    double wall = static_cast<double>(curTick() - req->tIssue);
+    stats_.xlatLatency.record(wall);
+    stats_.xlatHist.record(wall);
     recordBreakdown(*req);
+    if (spans_)
+        spans_->record("xlat", static_cast<std::uint32_t>(id_), req->id,
+                       req->tIssue, curTick(), req->vpn,
+                       req->lat.total());
 
     l2tlb_.fill(req->vpn, req->result);
     for (int cu : l2Mshr_.release(req->vpn))
@@ -209,6 +213,29 @@ Gpu::invalidateTlbs(mem::Vpn vpn)
     l2tlb_.invalidate(vpn);
     for (auto &l1 : l1tlbs_)
         l1->invalidate(vpn);
+}
+
+void
+Gpu::registerMetrics(obs::MetricRegistry &reg,
+                     const std::string &prefix) const
+{
+    reg.registerGauge(prefix + ".accesses", [this] {
+        return static_cast<double>(stats_.accesses);
+    });
+    reg.registerGauge(prefix + ".l2Misses", [this] {
+        return static_cast<double>(stats_.l2Misses);
+    });
+    reg.registerGauge(prefix + ".shortCircuits", [this] {
+        return static_cast<double>(stats_.shortCircuits);
+    });
+    reg.registerGauge(prefix + ".remoteDataAccesses", [this] {
+        return static_cast<double>(stats_.remoteDataAccesses);
+    });
+    reg.registerHistogram(prefix + ".xlat", &stats_.xlatHist);
+    l2tlb_.registerMetrics(reg, prefix + ".l2tlb");
+    gmmu_.registerMetrics(reg, prefix + ".gmmu");
+    if (prt_)
+        prt_->registerMetrics(reg, prefix + ".prt");
 }
 
 } // namespace transfw::gpu

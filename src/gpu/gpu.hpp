@@ -14,6 +14,9 @@
 #include "mmu/gmmu.hpp"
 #include "mmu/gpu_iface.hpp"
 #include "mmu/request.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/random.hpp"
 #include "sim/sim_object.hpp"
 #include "tlb/tlb.hpp"
@@ -63,6 +66,8 @@ class Gpu : public sim::SimObject, public mmu::GpuIface
         std::uint64_t leastTlbRemoteHits = 0;
         std::uint64_t remoteDataAccesses = 0;
         stats::Distribution xlatLatency;  ///< L2-miss to completion
+        /** Same samples, log-bucketed for p50/p90/p95/p99/p99.9. */
+        obs::LogHistogram xlatHist;
     };
 
     Gpu(sim::EventQueue &eq, const cfg::SystemConfig &config, int gpu_id,
@@ -121,6 +126,17 @@ class Gpu : public sim::SimObject, public mmu::GpuIface
         breakdown_ += req.lat;
     }
 
+    /** Observability: record lifecycle spans (propagates to the GMMU). */
+    void
+    attachSpans(obs::SpanRecorder *spans)
+    {
+        spans_ = spans;
+        gmmu_.attachSpans(spans);
+    }
+    /** Register live gauges under "<prefix>." (e.g. "gpu0"). */
+    void registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     struct L1Waiter
     {
@@ -155,6 +171,7 @@ class Gpu : public sim::SimObject, public mmu::GpuIface
     std::uint64_t nextReqId_ = 1;
     Stats stats_;
     stats::LatencyBreakdown breakdown_;
+    obs::SpanRecorder *spans_ = nullptr;
 };
 
 } // namespace transfw::gpu

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "sim/sim_object.hpp"
 
 namespace transfw::ic {
@@ -67,6 +68,18 @@ class Link : public sim::SimObject
     sim::Tick latency() const { return config_.latency; }
     std::uint64_t bytesSent() const { return bytesSent_; }
     std::uint64_t messages() const { return messages_; }
+
+    /** Register "<link name>.bytes"/".messages" gauges. */
+    void
+    registerMetrics(obs::MetricRegistry &reg) const
+    {
+        reg.registerGauge(name() + ".bytes", [this] {
+            return static_cast<double>(bytesSent_);
+        });
+        reg.registerGauge(name() + ".messages", [this] {
+            return static_cast<double>(messages_);
+        });
+    }
 
   private:
     LinkConfig config_;

@@ -112,6 +112,19 @@ class Network
         return *link;
     }
 
+    /** Register per-link traffic gauges (keys are the link names). */
+    void
+    registerMetrics(obs::MetricRegistry &reg) const
+    {
+        for (const auto &l : up_)
+            l->registerMetrics(reg);
+        for (const auto &l : down_)
+            l->registerMetrics(reg);
+        for (const auto &l : peers_)
+            if (l)
+                l->registerMetrics(reg);
+    }
+
     /** Total bytes moved over every link (for traffic accounting). */
     std::uint64_t
     totalBytes() const

@@ -61,10 +61,17 @@ Gmmu::startWalk(Job job)
     stats_.queueWait.record(static_cast<double>(wait));
     if (job.local) {
         job.local->lat.gmmuQueue += static_cast<double>(wait);
+        if (spans_)
+            spans_->record("gmmu.queue", job.local->gpu, job.local->id,
+                           job.enqueued, curTick(), job.local->vpn);
     } else {
         // Remote GMMU contention is part of the fault-handling path but
         // not a host PW-queue wait; Fig. 3 buckets it as "other".
         job.remote->req->lat.other += static_cast<double>(wait);
+        if (spans_)
+            spans_->record("gmmu.remote.queue", job.remote->req->gpu,
+                           job.remote->req->id, job.enqueued, curTick(),
+                           job.remote->req->vpn);
     }
 
     ++busyWalkers_;
@@ -87,6 +94,12 @@ Gmmu::startWalk(Job job)
 
     sim::Tick walk_latency =
         static_cast<sim::Tick>(timing.serialAccesses) * cfg_.memLatency;
+    if (spans_) {
+        const XlatPtr &req = job.local ? job.local : job.remote->req;
+        spans_->record(job.local ? "gmmu.walk" : "gmmu.remote.walk",
+                       req->gpu, req->id, curTick(),
+                       curTick() + walk_latency, req->vpn);
+    }
     // Moving the job into the lambda keeps the request alive even if
     // the caller drops its reference.
     schedule(walk_latency,
@@ -159,6 +172,36 @@ Gmmu::finishWalk(Job job, const mem::WalkResult &walk, int hit_level)
                                    walk.info.writable, false};
     }
     onRemoteDone(rl);
+}
+
+void
+Gmmu::registerMetrics(obs::MetricRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.registerGauge(prefix + ".localWalks", [this] {
+        return static_cast<double>(stats_.localWalks);
+    });
+    reg.registerGauge(prefix + ".localFaults", [this] {
+        return static_cast<double>(stats_.localFaults);
+    });
+    reg.registerGauge(prefix + ".remoteLookups", [this] {
+        return static_cast<double>(stats_.remoteLookups);
+    });
+    reg.registerGauge(prefix + ".remoteHits", [this] {
+        return static_cast<double>(stats_.remoteHits);
+    });
+    reg.registerGauge(prefix + ".memAccesses", [this] {
+        return static_cast<double>(stats_.memAccesses);
+    });
+    reg.registerGauge(prefix + ".queueDepth", [this] {
+        return static_cast<double>(queue_.size());
+    });
+    reg.registerGauge(prefix + ".queueOverflows", [this] {
+        return static_cast<double>(stats_.queueOverflows);
+    });
+    reg.registerGauge(prefix + ".queueWaitMean",
+                      [this] { return stats_.queueWait.mean(); });
+    pwc_->registerMetrics(reg, prefix + ".pwc");
 }
 
 } // namespace transfw::mmu

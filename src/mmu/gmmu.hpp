@@ -8,6 +8,8 @@
 #include "config/config.hpp"
 #include "mem/page_table.hpp"
 #include "mmu/request.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pwc/pwc.hpp"
 #include "sim/random.hpp"
 #include "sim/sim_object.hpp"
@@ -65,6 +67,12 @@ class Gmmu : public sim::SimObject
     const pwc::PageWalkCache &pwc() const { return *pwc_; }
     const Stats &stats() const { return stats_; }
 
+    /** Observability: record lifecycle spans into @p spans (nullable). */
+    void attachSpans(obs::SpanRecorder *spans) { spans_ = spans; }
+    /** Register live gauges under "<prefix>." (e.g. "gpu0.gmmu"). */
+    void registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     struct Job
     {
@@ -86,6 +94,7 @@ class Gmmu : public sim::SimObject
     std::deque<Job> queue_;
     int busyWalkers_ = 0;
     Stats stats_;
+    obs::SpanRecorder *spans_ = nullptr;
 };
 
 } // namespace transfw::mmu

@@ -39,7 +39,12 @@ void
 HostMmu::admit(XlatPtr req)
 {
     req->lat.other += static_cast<double>(tlb_.lookupLatency());
-    schedule(tlb_.lookupLatency(), [this, req = std::move(req)]() mutable {
+    sim::Tick t_admit = curTick();
+    schedule(tlb_.lookupLatency(), [this, req = std::move(req),
+                                    t_admit]() mutable {
+        if (spans_)
+            spans_->record("host.tlb", req->gpu, req->id, t_admit,
+                           curTick(), req->vpn);
         // Fig. 8 characterization: could the owner GPU's PW-cache have
         // served (a prefix of) this translation?
         if (const mem::PageInfo *pi = central_.lookup(req->vpn)) {
@@ -111,6 +116,9 @@ HostMmu::tryDispatch()
         sim::Tick wait = curTick() - entry.enqueued;
         stats_.queueWait.record(static_cast<double>(wait));
         entry.req->lat.hostQueue += static_cast<double>(wait);
+        if (spans_)
+            spans_->record("host.queue", entry.req->gpu, entry.req->id,
+                           entry.enqueued, curTick(), entry.req->vpn);
         startWalk(std::move(entry.req));
     }
 }
@@ -132,6 +140,9 @@ HostMmu::startWalk(XlatPtr req)
 
     sim::Tick latency =
         static_cast<sim::Tick>(timing.serialAccesses) * cfg_.memLatency;
+    if (spans_)
+        spans_->record("host.walk", req->gpu, req->id, curTick(),
+                       curTick() + latency, req->vpn);
     schedule(latency, [this, req = std::move(req), walk,
                        hit_level]() mutable {
         int start_node =
@@ -161,6 +172,10 @@ void
 HostMmu::remoteLookupDone(RemoteLookupPtr rl)
 {
     XlatPtr req = rl->req;
+    if (spans_)
+        spans_->record(rl->success ? "host.forward" : "host.forward.fail",
+                       req->gpu, req->id, rl->tForwarded, curTick(),
+                       req->vpn);
     if (!rl->success) {
         ++stats_.forwardFail;
         return; // the host walk proceeds as queued
@@ -179,7 +194,12 @@ HostMmu::translationKnown(XlatPtr req, const tlb::TlbEntry &entry)
 {
     req->translationResolved = true;
     (void)entry; // placement decisions read the central entry directly
-    engine_.resolve(req, [this, req](const tlb::TlbEntry &final_entry) {
+    sim::Tick t_resolve = curTick();
+    engine_.resolve(req, [this, req,
+                          t_resolve](const tlb::TlbEntry &final_entry) {
+        if (spans_)
+            spans_->record("host.resolve", req->gpu, req->id, t_resolve,
+                           curTick(), req->vpn);
         finishFault(req, final_entry);
     });
 }
@@ -189,6 +209,55 @@ HostMmu::finishFault(XlatPtr req, const tlb::TlbEntry &entry)
 {
     req->result = entry;
     onResolved(std::move(req));
+}
+
+void
+HostMmu::registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.registerGauge(prefix + ".faults", [this] {
+        return static_cast<double>(stats_.faults);
+    });
+    reg.registerGauge(prefix + ".tlbHits", [this] {
+        return static_cast<double>(stats_.tlbHits);
+    });
+    reg.registerGauge(prefix + ".walks", [this] {
+        return static_cast<double>(stats_.walks);
+    });
+    reg.registerGauge(prefix + ".memAccesses", [this] {
+        return static_cast<double>(stats_.memAccesses);
+    });
+    reg.registerGauge(prefix + ".forwards", [this] {
+        return static_cast<double>(stats_.forwards);
+    });
+    reg.registerGauge(prefix + ".forwardSuccess", [this] {
+        return static_cast<double>(stats_.forwardSuccess);
+    });
+    reg.registerGauge(prefix + ".forwardFail", [this] {
+        return static_cast<double>(stats_.forwardFail);
+    });
+    reg.registerGauge(prefix + ".duplicateWalks", [this] {
+        return static_cast<double>(stats_.duplicateWalks);
+    });
+    reg.registerGauge(prefix + ".removedFromQueue", [this] {
+        return static_cast<double>(stats_.removedFromQueue);
+    });
+    reg.registerGauge(prefix + ".queueDepth", [this] {
+        return static_cast<double>(queue_.size());
+    });
+    reg.registerGauge(prefix + ".queueOverflows", [this] {
+        return static_cast<double>(stats_.queueOverflows);
+    });
+    reg.registerGauge(prefix + ".queueWaitMean",
+                      [this] { return stats_.queueWait.mean(); });
+    // Forwarding-threshold crossing indicator: 1 while the PW-queue sits
+    // at or past the Section IV-C forwarding trigger — sampled over time
+    // this shows *when* the congestion that drives forwarding occurs.
+    reg.registerGauge(prefix + ".queueAboveTrigger", [this] {
+        return queue_.size() >= cfg_.forwardQueueTrigger() ? 1.0 : 0.0;
+    });
+    tlb_.registerMetrics(reg, prefix + ".tlb");
+    pwc_->registerMetrics(reg, prefix + ".pwc");
 }
 
 } // namespace transfw::mmu

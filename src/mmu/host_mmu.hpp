@@ -11,6 +11,8 @@
 #include "mem/page_table.hpp"
 #include "mmu/gpu_iface.hpp"
 #include "mmu/request.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pwc/pwc.hpp"
 #include "sim/random.hpp"
 #include "sim/sim_object.hpp"
@@ -77,6 +79,12 @@ class HostMmu : public sim::SimObject
     std::size_t queueDepth() const { return queue_.size(); }
     const Stats &stats() const { return stats_; }
 
+    /** Observability: record lifecycle spans into @p spans (nullable). */
+    void attachSpans(obs::SpanRecorder *spans) { spans_ = spans; }
+    /** Register live gauges under "<prefix>." (e.g. "host.mmu"). */
+    void registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     void admit(XlatPtr req);
     void tryDispatch();
@@ -102,6 +110,7 @@ class HostMmu : public sim::SimObject
     int busyWalkers_ = 0;
 
     Stats stats_;
+    obs::SpanRecorder *spans_ = nullptr;
 };
 
 } // namespace transfw::mmu

@@ -2,7 +2,6 @@
 #define TRANSFW_MMU_REQUEST_HPP
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "mem/address.hpp"
@@ -47,9 +46,6 @@ struct XlatRequest
 
     /** Final translation delivered back to the requesting GPU. */
     tlb::TlbEntry result;
-
-    /** Invoked by the requesting GPU when the translation completes. */
-    std::function<void()> onComplete;
 };
 
 using XlatPtr = std::shared_ptr<XlatRequest>;

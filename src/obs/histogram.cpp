@@ -1,0 +1,72 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+
+namespace transfw::obs {
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.counts_.size() != counts_.size())
+        sim::panic("merging LogHistograms of different geometry");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    if (!count_)
+        return 0.0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= target)
+            return static_cast<double>(bucketLow(i));
+    }
+    return static_cast<double>(max_);
+}
+
+void
+LogHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<std::uint64_t>::max();
+    max_ = 0;
+}
+
+std::uint64_t
+LogHistogram::bucketLow(std::size_t i)
+{
+    if (i < kSubBuckets)
+        return i;
+    std::size_t k = i - kSubBuckets;
+    unsigned octave = kSubBits + static_cast<unsigned>(k / kSubBuckets);
+    std::uint64_t sub = k % kSubBuckets;
+    return (kSubBuckets + sub) << (octave - kSubBits);
+}
+
+std::uint64_t
+LogHistogram::bucketHigh(std::size_t i)
+{
+    if (i < kSubBuckets)
+        return i + 1;
+    std::size_t k = i - kSubBuckets;
+    unsigned octave = kSubBits + static_cast<unsigned>(k / kSubBuckets);
+    return bucketLow(i) + (std::uint64_t{1} << (octave - kSubBits));
+}
+
+} // namespace transfw::obs

@@ -1,0 +1,97 @@
+#ifndef TRANSFW_OBS_HISTOGRAM_HPP
+#define TRANSFW_OBS_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace transfw::obs {
+
+/**
+ * Log-bucketed latency histogram (HDR-histogram style): values are
+ * binned by power-of-two octave, each octave split into kSubBuckets
+ * linear sub-buckets, bounding the relative quantile error at
+ * 1/kSubBuckets (~3%) over the full 64-bit tick range with a fixed
+ * ~16 KB footprint. record() is a handful of integer ops — cheap
+ * enough to stay on the translation hot path unconditionally —
+ * unlike stats::Distribution this answers p50/p90/p95/p99/p99.9, not
+ * just the mean.
+ */
+class LogHistogram
+{
+  public:
+    static constexpr unsigned kSubBits = 5; ///< 32 sub-buckets/octave
+    static constexpr unsigned kSubBuckets = 1u << kSubBits;
+
+    LogHistogram() : counts_(kBuckets, 0) {}
+
+    /** Record one sample (negative values clamp to 0). */
+    void
+    record(double value)
+    {
+        std::uint64_t v =
+            value > 0 ? static_cast<std::uint64_t>(value) : 0;
+        ++counts_[bucketOf(v)];
+        ++count_;
+        sum_ += value > 0 ? value : 0.0;
+        min_ = v < min_ ? v : min_;
+        max_ = v > max_ ? v : max_;
+    }
+
+    /** Merge another histogram into this one (same geometry). */
+    void merge(const LogHistogram &other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t minimum() const { return count_ ? min_ : 0; }
+    std::uint64_t maximum() const { return count_ ? max_ : 0; }
+
+    /**
+     * Inverse CDF at @p q in [0, 1]: the representative value of the
+     * first bucket whose cumulative count reaches ceil(q * count).
+     * Matches a sorted-vector oracle to within one bucket width
+     * (relative error <= 1/kSubBuckets). Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+    void reset();
+
+    /** Bucket accessors for exporters/tests. */
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    /** Inclusive lower bound of the values mapping to bucket @p i. */
+    static std::uint64_t bucketLow(std::size_t i);
+    /** Exclusive upper bound of bucket @p i. */
+    static std::uint64_t bucketHigh(std::size_t i);
+
+  private:
+    // Values < kSubBuckets map 1:1 onto the first kSubBuckets buckets;
+    // beyond that, each octave e contributes kSubBuckets buckets.
+    static constexpr std::size_t kOctaves = 64 - kSubBits;
+    static constexpr std::size_t kBuckets =
+        kSubBuckets + kOctaves * kSubBuckets;
+
+    static std::size_t
+    bucketOf(std::uint64_t v)
+    {
+        if (v < kSubBuckets)
+            return static_cast<std::size_t>(v);
+        unsigned octave = 63u - static_cast<unsigned>(__builtin_clzll(v));
+        unsigned sub =
+            static_cast<unsigned>(v >> (octave - kSubBits)) & (kSubBuckets - 1);
+        return kSubBuckets +
+               static_cast<std::size_t>(octave - kSubBits) * kSubBuckets +
+               sub;
+    }
+
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+} // namespace transfw::obs
+
+#endif // TRANSFW_OBS_HISTOGRAM_HPP

@@ -1,0 +1,60 @@
+#ifndef TRANSFW_OBS_JSON_HPP
+#define TRANSFW_OBS_JSON_HPP
+
+#include <cmath>
+#include <ostream>
+#include <string>
+
+namespace transfw::obs {
+
+/**
+ * Minimal JSON emission helpers shared by the span, metrics and
+ * time-series exporters. Only what the observability dumps need: string
+ * escaping and finite-number formatting (NaN/inf become null, which
+ * keeps every emitted document strictly parseable).
+ */
+
+inline void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+inline void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    // Integral values print without a fraction so counters stay exact.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace transfw::obs
+
+#endif // TRANSFW_OBS_JSON_HPP

@@ -1,0 +1,103 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "sim/logging.hpp"
+
+namespace transfw::obs {
+
+void
+MetricRegistry::registerGauge(const std::string &name, Probe probe)
+{
+    gauges_[name] = std::move(probe);
+}
+
+void
+MetricRegistry::setScalar(const std::string &name, double value)
+{
+    scalars_[name] = value;
+}
+
+void
+MetricRegistry::registerHistogram(const std::string &name,
+                                  const LogHistogram *hist)
+{
+    histograms_[name] = hist;
+}
+
+bool
+MetricRegistry::has(const std::string &name) const
+{
+    return gauges_.count(name) > 0 || scalars_.count(name) > 0;
+}
+
+double
+MetricRegistry::value(const std::string &name) const
+{
+    if (auto it = gauges_.find(name); it != gauges_.end())
+        return it->second();
+    if (auto it = scalars_.find(name); it != scalars_.end())
+        return it->second;
+    sim::fatal("unknown metric: " + name);
+}
+
+std::vector<std::string>
+MetricRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(gauges_.size() + scalars_.size());
+    for (const auto &[name, probe] : gauges_)
+        out.push_back(name);
+    for (const auto &[name, value] : scalars_)
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+MetricRegistry::writeJson(std::ostream &os) const
+{
+    // Flatten every metric into (name, value) pairs; std::map keeps the
+    // combined emission sorted within each kind, and we merge-sort the
+    // three maps by emitting into one ordered map first.
+    std::map<std::string, double> flat;
+    for (const auto &[name, probe] : gauges_)
+        flat[name] = probe();
+    for (const auto &[name, value] : scalars_)
+        flat[name] = value;
+    for (const auto &[name, hist] : histograms_) {
+        flat[name + ".count"] = static_cast<double>(hist->count());
+        flat[name + ".mean"] = hist->mean();
+        flat[name + ".min"] = static_cast<double>(hist->minimum());
+        flat[name + ".max"] = static_cast<double>(hist->maximum());
+        flat[name + ".p50"] = hist->quantile(0.50);
+        flat[name + ".p90"] = hist->quantile(0.90);
+        flat[name + ".p95"] = hist->quantile(0.95);
+        flat[name + ".p99"] = hist->quantile(0.99);
+        flat[name + ".p999"] = hist->quantile(0.999);
+    }
+
+    os << "{";
+    bool first = true;
+    for (const auto &[name, value] : flat) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+        jsonEscape(os, name);
+        os << ": ";
+        jsonNumber(os, value);
+    }
+    os << "\n}\n";
+}
+
+std::string
+MetricRegistry::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace transfw::obs

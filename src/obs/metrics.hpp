@@ -1,0 +1,72 @@
+#ifndef TRANSFW_OBS_METRICS_HPP
+#define TRANSFW_OBS_METRICS_HPP
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace transfw::obs {
+
+/**
+ * Unified metrics registry: a flat namespace of hierarchical
+ * dot-separated keys ("gpu0.gmmu.prt.miss", "host.mmu.queueDepth")
+ * that every component registers into at system construction.
+ *
+ * Three metric kinds:
+ *  - gauge: a std::function probe evaluated at read time, so one
+ *    registration yields live values for both the end-of-run JSON dump
+ *    and the interval sampler (counters are gauges over a component's
+ *    internal counter — reads are always current, and registration
+ *    costs nothing on the simulation hot path);
+ *  - scalar: a one-shot value set after the run (derived results);
+ *  - histogram: a borrowed LogHistogram, dumped as count/mean/
+ *    percentiles.
+ *
+ * Probes capture raw component pointers, so the registry must not
+ * outlive the components it observes: sys::MultiGpuSystem declares its
+ * Observability last, destroying it first.
+ */
+class MetricRegistry
+{
+  public:
+    using Probe = std::function<double()>;
+
+    /** Register a live-evaluated gauge. Re-registering replaces. */
+    void registerGauge(const std::string &name, Probe probe);
+
+    /** Set a one-shot scalar (post-run derived values). */
+    void setScalar(const std::string &name, double value);
+
+    /** Register a histogram owned by the caller. */
+    void registerHistogram(const std::string &name,
+                           const LogHistogram *hist);
+
+    /** True when @p name resolves to a gauge or scalar. */
+    bool has(const std::string &name) const;
+
+    /** Evaluate one gauge/scalar by name (fatal when unknown). */
+    double value(const std::string &name) const;
+
+    /** Every gauge and scalar name, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Dump everything as one JSON object, keys sorted. Histograms
+     * expand to "<name>.count/.mean/.min/.max/.p50/.p90/.p95/.p99/
+     * .p999" leaves.
+     */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+
+  private:
+    std::map<std::string, Probe> gauges_;
+    std::map<std::string, double> scalars_;
+    std::map<std::string, const LogHistogram *> histograms_;
+};
+
+} // namespace transfw::obs
+
+#endif // TRANSFW_OBS_METRICS_HPP

@@ -1,0 +1,27 @@
+#ifndef TRANSFW_OBS_OBS_HPP
+#define TRANSFW_OBS_OBS_HPP
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/span.hpp"
+
+namespace transfw::obs {
+
+/**
+ * The per-system observability bundle: request-span recorder, unified
+ * metrics registry and interval sampler. Owned by sys::MultiGpuSystem
+ * (declared after every observed component so it is destroyed first —
+ * registry gauges hold raw component pointers) and handed to
+ * components as a raw pointer they may ignore.
+ */
+struct Observability
+{
+    SpanRecorder spans;
+    MetricRegistry metrics;
+    IntervalSampler sampler;
+};
+
+} // namespace transfw::obs
+
+#endif // TRANSFW_OBS_OBS_HPP

@@ -1,0 +1,88 @@
+#include "obs/sampler.hpp"
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace transfw::obs {
+
+void
+IntervalSampler::addColumn(std::string name, Probe probe)
+{
+    columns_.push_back(Column{std::move(name), std::move(probe)});
+}
+
+void
+IntervalSampler::addRegistryColumn(const MetricRegistry &registry,
+                                   const std::string &name)
+{
+    addColumn(name, [&registry, name]() { return registry.value(name); });
+}
+
+void
+IntervalSampler::start(sim::EventQueue &eq, sim::Tick interval)
+{
+    if (interval == 0 || columns_.empty())
+        return;
+    sample(eq, interval);
+}
+
+void
+IntervalSampler::sample(sim::EventQueue &eq, sim::Tick interval)
+{
+    ticks_.push_back(eq.now());
+    for (const Column &col : columns_)
+        values_.push_back(col.probe());
+    // Weak event: fires in order while real simulation work remains,
+    // but never keeps the queue alive or advances the clock past the
+    // last strong event — sampling cannot perturb execTime.
+    eq.scheduleWeak(interval,
+                    [this, &eq, interval]() { sample(eq, interval); });
+}
+
+void
+IntervalSampler::writeCsv(std::ostream &os) const
+{
+    os << "tick";
+    for (const Column &col : columns_)
+        os << ',' << col.name;
+    os << '\n';
+    for (std::size_t row = 0; row < ticks_.size(); ++row) {
+        os << ticks_[row];
+        for (std::size_t col = 0; col < columns_.size(); ++col) {
+            os << ',';
+            jsonNumber(os, cell(row, col));
+        }
+        os << '\n';
+    }
+}
+
+void
+IntervalSampler::writeJson(std::ostream &os) const
+{
+    os << "{\"columns\":[\"tick\"";
+    for (const Column &col : columns_) {
+        os << ',';
+        jsonEscape(os, col.name);
+    }
+    os << "],\"rows\":[";
+    for (std::size_t row = 0; row < ticks_.size(); ++row) {
+        if (row)
+            os << ',';
+        os << "\n[" << ticks_[row];
+        for (std::size_t col = 0; col < columns_.size(); ++col) {
+            os << ',';
+            jsonNumber(os, cell(row, col));
+        }
+        os << ']';
+    }
+    os << "\n]}\n";
+}
+
+void
+IntervalSampler::clear()
+{
+    ticks_.clear();
+    values_.clear();
+}
+
+} // namespace transfw::obs

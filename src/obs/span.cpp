@@ -1,0 +1,67 @@
+#include "obs/span.hpp"
+
+#include <set>
+
+#include "obs/json.hpp"
+#include "sim/logging.hpp"
+
+namespace transfw::obs {
+
+void
+SpanRecorder::setEnabled(bool on)
+{
+    enabled_ = on;
+    if (on && spans_.capacity() == 0)
+        spans_.reserve(4096);
+}
+
+void
+SpanRecorder::clear()
+{
+    spans_.clear();
+    dropped_ = 0;
+}
+
+void
+SpanRecorder::writeChromeTrace(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Process-name metadata first, one entry per distinct pid.
+    std::set<std::uint32_t> pids;
+    for (const Span &s : spans_)
+        pids.insert(s.pid);
+    for (std::uint32_t pid : pids) {
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":";
+        jsonEscape(os, pid == kHostPid ? std::string("host")
+                                       : sim::strfmt("gpu%u", pid));
+        os << "}}";
+    }
+
+    for (const Span &s : spans_) {
+        sep();
+        os << "{\"name\":";
+        jsonEscape(os, s.name);
+        os << ",\"cat\":\"xlat\",\"ph\":\"X\",\"ts\":" << s.start
+           << ",\"dur\":" << (s.end >= s.start ? s.end - s.start : 0)
+           << ",\"pid\":" << s.pid << ",\"tid\":" << s.tid
+           << ",\"args\":{\"vpn\":" << s.vpn;
+        if (s.arg >= 0.0) {
+            os << ",\"breakdown\":";
+            jsonNumber(os, s.arg);
+        }
+        os << "}}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace transfw::obs

@@ -1,11 +1,29 @@
 #include "pwc/pwc.hpp"
 
+#include "obs/metrics.hpp"
 #include "pwc/infinite.hpp"
 #include "pwc/stc.hpp"
 #include "pwc/utc.hpp"
 #include "sim/logging.hpp"
 
 namespace transfw::pwc {
+
+void
+PageWalkCache::registerMetrics(obs::MetricRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.registerGauge(prefix + ".lookups", [this] {
+        return static_cast<double>(lookups());
+    });
+    reg.registerGauge(prefix + ".hitRate", [this] { return hitRate(); });
+    for (int level = geo_.lowestCachedLevel(); level <= geo_.levels;
+         ++level) {
+        reg.registerGauge(
+            prefix + sim::strfmt(".hitLevel%d", level), [this, level] {
+                return hitLevels_.fraction(static_cast<std::size_t>(level));
+            });
+    }
+}
 
 std::unique_ptr<PageWalkCache>
 makePwc(PwcKind kind, std::size_t entries, mem::PagingGeometry geo)

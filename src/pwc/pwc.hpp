@@ -7,6 +7,10 @@
 #include "mem/address.hpp"
 #include "stats/stats.hpp"
 
+namespace transfw::obs {
+class MetricRegistry;
+}
+
 namespace transfw::pwc {
 
 /**
@@ -47,6 +51,17 @@ class PageWalkCache
      */
     const stats::BucketHistogram &hitLevels() const { return hitLevels_; }
     std::uint64_t lookups() const { return lookups_; }
+
+    /** Fraction of lookups matching some entry (bucket 0 = miss). */
+    double
+    hitRate() const
+    {
+        return lookups_ ? 1.0 - hitLevels_.fraction(0) : 0.0;
+    }
+
+    /** Register "<prefix>.lookups"/".hitRate"/".hitLevelN" gauges. */
+    void registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix) const;
 
     /** Record a lookup outcome (shared by implementations). */
     void

@@ -11,32 +11,53 @@ EventQueue::scheduleAt(Tick when, Callback cb)
         panic(strfmt("event scheduled in the past: %llu < %llu",
                      static_cast<unsigned long long>(when),
                      static_cast<unsigned long long>(now_)));
-    heap_.push(Entry{when, next_seq_++, std::move(cb)});
+    heap_.push(Entry{when, next_seq_++, std::move(cb), false});
+    ++strong_;
+}
+
+void
+EventQueue::scheduleWeakAt(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic(strfmt("weak event scheduled in the past: %llu < %llu",
+                     static_cast<unsigned long long>(when),
+                     static_cast<unsigned long long>(now_)));
+    heap_.push(Entry{when, next_seq_++, std::move(cb), true});
 }
 
 std::uint64_t
 EventQueue::run(Tick until)
 {
     std::uint64_t executed = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
+    while (strong_ > 0 && heap_.top().when <= until) {
         // Move the callback out before popping so re-entrant schedules
         // during the callback see a consistent heap.
         Entry e = std::move(const_cast<Entry &>(heap_.top()));
         heap_.pop();
+        if (!e.weak)
+            --strong_;
         now_ = e.when;
         e.cb();
         ++executed;
     }
+    // Once only weak events remain they must neither run nor advance
+    // the clock: the simulation ends exactly at its last strong event.
+    if (strong_ == 0)
+        heap_ = {};
     return executed;
 }
 
 bool
 EventQueue::runOne()
 {
-    if (heap_.empty())
+    if (strong_ == 0) {
+        heap_ = {};
         return false;
+    }
     Entry e = std::move(const_cast<Entry &>(heap_.top()));
     heap_.pop();
+    if (!e.weak)
+        --strong_;
     now_ = e.when;
     e.cb();
     return true;

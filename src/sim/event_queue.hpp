@@ -35,11 +35,31 @@ class EventQueue
      */
     void scheduleAt(Tick when, Callback cb);
 
+    /**
+     * Schedule @p cb like schedule(), but weakly: weak events never
+     * keep the simulation alive. They execute in normal (tick,
+     * insertion) order while at least one strong event remains
+     * pending; once only weak events are left, they are discarded
+     * unrun and now() does not advance to them. Observers (e.g. the
+     * interval sampler) use this so instrumentation cannot perturb
+     * the measured end of the simulation.
+     */
+    void scheduleWeak(Tick delay, Callback cb)
+    {
+        scheduleWeakAt(now_ + delay, std::move(cb));
+    }
+
+    /** Absolute-tick variant of scheduleWeak(). */
+    void scheduleWeakAt(Tick when, Callback cb);
+
     /** True when no events remain. */
     bool empty() const { return heap_.empty(); }
 
-    /** Number of pending events. */
+    /** Number of pending events (strong and weak). */
     std::size_t pending() const { return heap_.size(); }
+
+    /** Number of pending strong (simulation-driving) events. */
+    std::size_t strongPending() const { return strong_; }
 
     /**
      * Execute events until the queue drains or the next event lies past
@@ -56,6 +76,7 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         Callback cb;
+        bool weak = false;
     };
 
     struct Later
@@ -71,6 +92,7 @@ class EventQueue
 
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
+    std::size_t strong_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 };
 

@@ -2,7 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+#include <memory>
 #include <sstream>
 #include <unordered_set>
 
@@ -12,13 +12,20 @@ namespace transfw::sim::trace {
 
 namespace {
 
+using Sink = std::function<void(const std::string &)>;
+
 struct State
 {
     bool any = false;
     bool all = false;
     bool envChecked = false;
     std::unordered_set<std::string> categories;
-    std::function<void(const std::string &)> sink;
+    /**
+     * Held by shared_ptr so log() can pin the sink it is invoking: a
+     * sink that calls setSink() (tests swapping capture buffers
+     * mid-run) must not destroy the std::function currently executing.
+     */
+    std::shared_ptr<const Sink> sink;
 };
 
 State &
@@ -86,7 +93,8 @@ enabled(const std::string &category)
 void
 setSink(std::function<void(const std::string &)> sink)
 {
-    state().sink = std::move(sink);
+    state().sink =
+        sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
 }
 
 void
@@ -95,9 +103,11 @@ log(Tick tick, const std::string &category, const std::string &message)
     std::string line = strfmt("%12llu: %s: %s",
                               static_cast<unsigned long long>(tick),
                               category.c_str(), message.c_str());
-    State &s = state();
-    if (s.sink)
-        s.sink(line);
+    // Pin the current sink across the call so it stays alive even if it
+    // swaps itself out via setSink().
+    std::shared_ptr<const Sink> sink = state().sink;
+    if (sink)
+        (*sink)(line);
     else
         std::fprintf(stderr, "%s\n", line.c_str());
 }

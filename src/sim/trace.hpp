@@ -17,6 +17,13 @@ namespace transfw::sim::trace {
  * so instrumented hot paths stay cheap when tracing is off.
  *
  * Output goes to stderr by default; tests install a custom sink.
+ *
+ * Threading contract: the facility is single-threaded, like the
+ * simulator itself — enable/disableAll/setSink and traced simulation
+ * code must run on the same thread. Within that contract every
+ * operation is safe at any point mid-run, including from inside a sink:
+ * log() pins the sink it invokes, so a sink may call setSink() (or
+ * disableAll()) without destroying the closure currently executing.
  */
 
 /** Enable one category ("all" enables everything). */

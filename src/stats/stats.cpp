@@ -12,7 +12,9 @@ Distribution::record(double x)
 {
     ++count_;
     sum_ += x;
-    sumsq_ += x * x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
 }
@@ -22,8 +24,7 @@ Distribution::variance() const
 {
     if (count_ < 2)
         return 0.0;
-    double m = mean();
-    return std::max(0.0, sumsq_ / count_ - m * m);
+    return std::max(0.0, m2_ / static_cast<double>(count_));
 }
 
 std::uint64_t

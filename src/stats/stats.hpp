@@ -23,8 +23,12 @@ class Counter
 };
 
 /**
- * Scalar sample distribution: tracks count / sum / min / max and the sum
- * of squares, enough to report mean and variance without storing samples.
+ * Scalar sample distribution: tracks count / sum / min / max and a
+ * running second central moment (Welford's algorithm), enough to report
+ * mean and variance without storing samples. The naive sum-of-squares
+ * form cancels catastrophically when the mean dwarfs the spread (e.g.
+ * tick timestamps near 1e9 with unit variance); Welford's update keeps
+ * full precision regardless of the samples' magnitude.
  */
 class Distribution
 {
@@ -33,7 +37,7 @@ class Distribution
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
     double minimum() const { return count_ ? min_ : 0.0; }
     double maximum() const { return count_ ? max_ : 0.0; }
     double variance() const;
@@ -42,7 +46,8 @@ class Distribution
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
-    double sumsq_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0; ///< sum of squared deviations from the mean
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };

@@ -38,6 +38,21 @@ const Field kFields[] = {
     {"xlat.avgLatency", [](const SimResults &r) {
          return r.avgXlatLatency;
      }},
+    {"xlat.p50", [](const SimResults &r) {
+         return r.xlatLatencyHist.quantile(0.50);
+     }},
+    {"xlat.p90", [](const SimResults &r) {
+         return r.xlatLatencyHist.quantile(0.90);
+     }},
+    {"xlat.p95", [](const SimResults &r) {
+         return r.xlatLatencyHist.quantile(0.95);
+     }},
+    {"xlat.p99", [](const SimResults &r) {
+         return r.xlatLatencyHist.quantile(0.99);
+     }},
+    {"xlat.p999", [](const SimResults &r) {
+         return r.xlatLatencyHist.quantile(0.999);
+     }},
     {"xlat.gmmuQueue", [](const SimResults &r) {
          return r.xlat.gmmuQueue;
      }},

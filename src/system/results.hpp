@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.hpp"
 #include "sim/ticks.hpp"
 #include "stats/stats.hpp"
 
@@ -38,6 +39,9 @@ struct SimResults
     // --- L2-TLB-miss latency decomposition (Fig. 3 / Fig. 12) -------------
     stats::LatencyBreakdown xlat;  ///< summed over all L2 TLB misses
     double avgXlatLatency = 0.0;
+    /** Full latency distribution, merged over every GPU: p50/p90/p95/
+     *  p99/p99.9 via quantile() — tail behaviour the mean hides. */
+    obs::LogHistogram xlatLatencyHist;
 
     // --- TLBs --------------------------------------------------------------
     double l1HitRate = 0.0;

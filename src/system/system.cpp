@@ -103,6 +103,65 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
                 workload_, scheduler_, cu_seed));
         }
     }
+
+    setupObservability();
+}
+
+void
+MultiGpuSystem::setupObservability()
+{
+    obs_ = std::make_unique<obs::Observability>();
+    obs_->spans.setCapacity(cfg_.obs.maxSpans);
+    obs_->spans.setEnabled(cfg_.obs.spans);
+
+    obs::MetricRegistry &reg = obs_->metrics;
+    for (int g = 0; g < cfg_.numGpus; ++g) {
+        gpu::Gpu &gpu = *gpus_[static_cast<std::size_t>(g)];
+        gpu.attachSpans(&obs_->spans);
+        gpu.registerMetrics(reg, sim::strfmt("gpu%d", g));
+    }
+    if (hostMmu_) {
+        hostMmu_->attachSpans(&obs_->spans);
+        hostMmu_->registerMetrics(reg, "host.mmu");
+    }
+    if (driver_) {
+        driver_->attachSpans(&obs_->spans);
+        driver_->registerMetrics(reg, "host.driver");
+    }
+    engine_->registerMetrics(reg, "host.migration");
+    if (ft_)
+        ft_->registerMetrics(reg, "host.ft");
+    net_.registerMetrics(reg);
+    reg.registerGauge("sim.farFaults", [this] {
+        return static_cast<double>(farFaults_);
+    });
+    reg.registerGauge("sim.tick",
+                      [this] { return static_cast<double>(eq_.now()); });
+
+    // Interval time series (Section IV-C dynamics): PW-queue pressure
+    // and the forwarding trigger, filter load, translation-cache health.
+    obs::IntervalSampler &sampler = obs_->sampler;
+    if (hostMmu_) {
+        sampler.addRegistryColumn(reg, "host.mmu.queueDepth");
+        sampler.addRegistryColumn(reg, "host.mmu.queueAboveTrigger");
+        sampler.addRegistryColumn(reg, "host.mmu.tlb.hitRate");
+        sampler.addRegistryColumn(reg, "host.mmu.pwc.hitRate");
+    }
+    if (driver_) {
+        sampler.addRegistryColumn(reg, "host.driver.walkQueueDepth");
+        sampler.addRegistryColumn(reg, "host.driver.bufferedFaults");
+        sampler.addRegistryColumn(reg, "host.driver.pwc.hitRate");
+    }
+    if (ft_)
+        sampler.addRegistryColumn(reg, "host.ft.loadFactor");
+    for (int g = 0; g < cfg_.numGpus; ++g) {
+        std::string prefix = sim::strfmt("gpu%d", g);
+        sampler.addRegistryColumn(reg, prefix + ".gmmu.queueDepth");
+        sampler.addRegistryColumn(reg, prefix + ".l2tlb.hitRate");
+        sampler.addRegistryColumn(reg, prefix + ".gmmu.pwc.hitRate");
+        if (gpus_[static_cast<std::size_t>(g)]->prt())
+            sampler.addRegistryColumn(reg, prefix + ".prt.loadFactor");
+    }
 }
 
 void
@@ -245,6 +304,7 @@ MultiGpuSystem::run()
 
     for (auto &cu : cus_)
         cu->start();
+    obs_->sampler.start(eq_, cfg_.obs.sampleInterval);
     eq_.run();
 
     if (scheduler_.remaining() != 0)
@@ -279,6 +339,7 @@ MultiGpuSystem::collect()
         r.xlat += g->xlatBreakdown();
         // Distributions merge by sum; divided by the miss count below.
         r.avgXlatLatency += gs.xlatLatency.sum();
+        r.xlatLatencyHist.merge(gs.xlatHist);
 
         l2_lookups += g->l2Tlb().lookups();
         l2_hits += g->l2Tlb().hits();

@@ -11,6 +11,7 @@
 #include "gpu/gpu.hpp"
 #include "interconnect/network.hpp"
 #include "mmu/host_mmu.hpp"
+#include "obs/obs.hpp"
 #include "system/results.hpp"
 #include "transfw/forwarding_table.hpp"
 #include "uvm/migration.hpp"
@@ -45,6 +46,10 @@ class MultiGpuSystem
     sim::EventQueue &eventq() { return eq_; }
     const cfg::SystemConfig &config() const { return cfg_; }
 
+    /** Observability bundle: spans, metric registry, sampler. */
+    obs::Observability &obs() { return *obs_; }
+    const obs::Observability &obs() const { return *obs_; }
+
   private:
     struct PageSharing
     {
@@ -56,6 +61,7 @@ class MultiGpuSystem
     void placeInitialPages();
     void wireGpu(int gpu);
     void sendFaultToHost(mmu::XlatPtr req);
+    void setupObservability();
     SimResults collect();
 
     cfg::SystemConfig cfg_;
@@ -78,6 +84,13 @@ class MultiGpuSystem
     std::unordered_map<mem::Vpn, PageSharing> sharing_;
     std::uint64_t farFaults_ = 0;
     bool ran_ = false;
+
+    /**
+     * Declared last on purpose: destroyed first, so registry gauges
+     * (which hold raw pointers into the components above) can never be
+     * evaluated against dead components.
+     */
+    std::unique_ptr<obs::Observability> obs_;
 
     static constexpr std::uint64_t kCtrlMsgBytes = 32;
 };

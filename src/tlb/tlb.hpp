@@ -6,6 +6,7 @@
 
 #include "cache/set_assoc.hpp"
 #include "mem/address.hpp"
+#include "obs/metrics.hpp"
 #include "sim/ticks.hpp"
 #include "stats/stats.hpp"
 
@@ -84,6 +85,24 @@ class Tlb
     hitRate() const
     {
         return lookups_ ? static_cast<double>(hits_) / lookups_ : 0.0;
+    }
+
+    /** Register "<prefix>.lookups"/".hits"/".hitRate"/".shootdowns". */
+    void
+    registerMetrics(obs::MetricRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.registerGauge(prefix + ".lookups", [this] {
+            return static_cast<double>(lookups_);
+        });
+        reg.registerGauge(prefix + ".hits", [this] {
+            return static_cast<double>(hits_);
+        });
+        reg.registerGauge(prefix + ".hitRate",
+                          [this] { return hitRate(); });
+        reg.registerGauge(prefix + ".shootdowns", [this] {
+            return static_cast<double>(shootdowns_);
+        });
     }
 
   private:

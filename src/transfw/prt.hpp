@@ -7,6 +7,7 @@
 #include "config/config.hpp"
 #include "filter/cuckoo_filter.hpp"
 #include "mem/address.hpp"
+#include "obs/metrics.hpp"
 
 namespace transfw::core {
 
@@ -51,6 +52,24 @@ class PendingRequestTable
     std::uint64_t overflowEvictions() const
     {
         return filter_.overflowEvictions();
+    }
+
+    /** Register filter health gauges under "<prefix>.". */
+    void
+    registerMetrics(obs::MetricRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.registerGauge(prefix + ".lookups", [this] {
+            return static_cast<double>(lookups_);
+        });
+        reg.registerGauge(prefix + ".hits", [this] {
+            return static_cast<double>(hits_);
+        });
+        reg.registerGauge(prefix + ".loadFactor",
+                          [this] { return loadFactor(); });
+        reg.registerGauge(prefix + ".overflowEvictions", [this] {
+            return static_cast<double>(overflowEvictions());
+        });
     }
 
   private:

@@ -11,6 +11,7 @@
 #include "mem/page_table.hpp"
 #include "mmu/gpu_iface.hpp"
 #include "mmu/request.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sim_object.hpp"
 #include "transfw/forwarding_table.hpp"
 
@@ -65,6 +66,37 @@ class MigrationEngine : public sim::SimObject
     std::function<void(mem::Vpn)> onOwnerChanged;
 
     const Stats &stats() const { return stats_; }
+
+    /** Register live gauges under "<prefix>." (e.g. "host.migration"). */
+    void
+    registerMetrics(obs::MetricRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.registerGauge(prefix + ".migrations", [this] {
+            return static_cast<double>(stats_.migrations);
+        });
+        reg.registerGauge(prefix + ".alreadyLocal", [this] {
+            return static_cast<double>(stats_.alreadyLocal);
+        });
+        reg.registerGauge(prefix + ".replications", [this] {
+            return static_cast<double>(stats_.replications);
+        });
+        reg.registerGauge(prefix + ".writeInvalidations", [this] {
+            return static_cast<double>(stats_.writeInvalidations);
+        });
+        reg.registerGauge(prefix + ".remoteMappings", [this] {
+            return static_cast<double>(stats_.remoteMappings);
+        });
+        reg.registerGauge(prefix + ".counterMigrations", [this] {
+            return static_cast<double>(stats_.counterMigrations);
+        });
+        reg.registerGauge(prefix + ".bytesMoved", [this] {
+            return static_cast<double>(stats_.bytesMoved);
+        });
+        reg.registerGauge(prefix + ".busyPages", [this] {
+            return static_cast<double>(busy_.size());
+        });
+    }
 
   private:
     struct Pending

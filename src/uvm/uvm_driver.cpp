@@ -98,6 +98,9 @@ UvmDriver::dispatchWalks()
         walkQueue_.pop_front();
         sim::Tick wait = curTick() - req->tHostArrive;
         req->lat.hostQueue += static_cast<double>(wait);
+        if (spans_)
+            spans_->record("driver.queue", req->gpu, req->id,
+                           req->tHostArrive, curTick(), req->vpn);
         startWalk(std::move(req));
     }
     if (walkQueue_.empty() && processing_) {
@@ -108,6 +111,9 @@ UvmDriver::dispatchWalks()
         processing_ = false;
         stats_.batchLatency.record(
             static_cast<double>(curTick() - batchStart_));
+        if (spans_)
+            spans_->record("driver.batch", obs::SpanRecorder::kHostPid,
+                           stats_.batches, batchStart_, curTick());
         processNextBatch();
     }
 }
@@ -160,6 +166,9 @@ UvmDriver::softwareWalk(mmu::XlatPtr req)
         cfg_.driverPerFaultCost +
         static_cast<sim::Tick>(walk.accesses) * cfg_.memLatency;
     req->lat.hostMem += static_cast<double>(latency);
+    if (spans_)
+        spans_->record("driver.walk", req->gpu, req->id, curTick(),
+                       curTick() + latency, req->vpn);
     int start_node =
         hit_level ? hit_level - 1 : central_.geometry().levels;
     schedule(latency, [this, req, walk, start_node]() mutable {
@@ -189,6 +198,11 @@ void
 UvmDriver::remoteLookupDone(mmu::RemoteLookupPtr rl)
 {
     mmu::XlatPtr req = rl->req;
+    if (spans_)
+        spans_->record(rl->success ? "driver.forward"
+                                   : "driver.forward.fail",
+                       req->gpu, req->id, rl->tForwarded, curTick(),
+                       req->vpn);
     if (!rl->success) {
         // FT false positive: fall back to a software walk (the
         // remoteForwarded flag keeps startWalk from re-forwarding).
@@ -224,6 +238,47 @@ UvmDriver::resolved(mmu::XlatPtr req)
         }
     }
     onResolved(std::move(req));
+}
+
+void
+UvmDriver::registerMetrics(obs::MetricRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.registerGauge(prefix + ".faults", [this] {
+        return static_cast<double>(stats_.faults);
+    });
+    reg.registerGauge(prefix + ".coalesced", [this] {
+        return static_cast<double>(stats_.coalesced);
+    });
+    reg.registerGauge(prefix + ".batches", [this] {
+        return static_cast<double>(stats_.batches);
+    });
+    reg.registerGauge(prefix + ".walks", [this] {
+        return static_cast<double>(stats_.walks);
+    });
+    reg.registerGauge(prefix + ".forwards", [this] {
+        return static_cast<double>(stats_.forwards);
+    });
+    reg.registerGauge(prefix + ".forwardSuccess", [this] {
+        return static_cast<double>(stats_.forwardSuccess);
+    });
+    reg.registerGauge(prefix + ".forwardFail", [this] {
+        return static_cast<double>(stats_.forwardFail);
+    });
+    reg.registerGauge(prefix + ".batchSizeMean",
+                      [this] { return stats_.batchSize.mean(); });
+    reg.registerGauge(prefix + ".batchLatencyMean",
+                      [this] { return stats_.batchLatency.mean(); });
+    reg.registerGauge(prefix + ".bufferedFaults", [this] {
+        return static_cast<double>(buffer_.size());
+    });
+    reg.registerGauge(prefix + ".walkQueueDepth", [this] {
+        return static_cast<double>(walkQueue_.size());
+    });
+    reg.registerGauge(prefix + ".busyThreads", [this] {
+        return static_cast<double>(busyThreads_);
+    });
+    pwc_->registerMetrics(reg, prefix + ".pwc");
 }
 
 } // namespace transfw::uvm

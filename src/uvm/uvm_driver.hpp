@@ -9,6 +9,8 @@
 #include "config/config.hpp"
 #include "mem/page_table.hpp"
 #include "mmu/request.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pwc/pwc.hpp"
 #include "sim/random.hpp"
 #include "sim/sim_object.hpp"
@@ -59,6 +61,12 @@ class UvmDriver : public sim::SimObject
 
     const Stats &stats() const { return stats_; }
 
+    /** Observability: record lifecycle spans into @p spans (nullable). */
+    void attachSpans(obs::SpanRecorder *spans) { spans_ = spans; }
+    /** Register live gauges under "<prefix>." (e.g. "host.driver"). */
+    void registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     struct Batch
     {
@@ -98,6 +106,7 @@ class UvmDriver : public sim::SimObject
     std::unordered_map<mem::Vpn, std::vector<mmu::XlatPtr>> inflight_;
 
     Stats stats_;
+    obs::SpanRecorder *spans_ = nullptr;
 };
 
 } // namespace transfw::uvm

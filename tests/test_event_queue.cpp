@@ -55,3 +55,67 @@ TEST(EventQueue, RunUntilStopsEarly)
     eq.run();
     EXPECT_EQ(fired, 2);
 }
+
+TEST(EventQueue, WeakEventsRunWhileStrongWorkRemains)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.scheduleWeak(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TrailingWeakEventsNeitherRunNorAdvanceClock)
+{
+    sim::EventQueue eq;
+    int weakFired = 0;
+    eq.schedule(10, [] {});
+    eq.scheduleWeak(25, [&] { ++weakFired; });
+    eq.run();
+    EXPECT_EQ(weakFired, 0);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, WeakOnlyQueueDrainsImmediately)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.scheduleWeak(5, [&] { ++fired; });
+    EXPECT_EQ(eq.run(), 0u);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, SelfReschedulingWeakEventEndsWithStrongWork)
+{
+    // The interval-sampler shape: a weak event that reschedules itself
+    // forever must stop exactly when strong work stops.
+    sim::EventQueue eq;
+    std::vector<sim::Tick> samples;
+    std::function<void()> tick = [&] {
+        samples.push_back(eq.now());
+        eq.scheduleWeak(10, tick);
+    };
+    eq.scheduleWeak(0, tick);
+    eq.schedule(35, [] {});
+    eq.run();
+    EXPECT_EQ(samples, (std::vector<sim::Tick>{0, 10, 20, 30}));
+    EXPECT_EQ(eq.now(), 35u);
+    EXPECT_EQ(eq.strongPending(), 0u);
+}
+
+TEST(EventQueue, StrongPendingCountsOnlyStrong)
+{
+    sim::EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    eq.scheduleWeak(3, [] {});
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_EQ(eq.strongPending(), 2u);
+}

@@ -29,6 +29,27 @@ TEST(Distribution, Moments)
     EXPECT_NEAR(dist.variance(), 1.25, 1e-9);
 }
 
+TEST(Distribution, WelfordStableAtLargeMagnitude)
+{
+    // Regression: the old sum/sumsq formulation cancels catastrophically
+    // when the mean dwarfs the spread — samples around 1e9 with unit
+    // spread produced wildly wrong (even negative) variances. Welford's
+    // update keeps full precision.
+    Distribution dist;
+    for (double x : {1e9, 1e9 + 1.0, 1e9 + 2.0})
+        dist.record(x);
+    EXPECT_DOUBLE_EQ(dist.mean(), 1e9 + 1.0);
+    EXPECT_NEAR(dist.variance(), 2.0 / 3.0, 1e-3);
+    EXPECT_GE(dist.variance(), 0.0);
+
+    // Harsher still: tick-scale offsets with tiny jitter.
+    Distribution ticks;
+    for (int i = 0; i < 1000; ++i)
+        ticks.record(4e15 + (i % 2));
+    EXPECT_NEAR(ticks.variance(), 0.25, 1e-3);
+    EXPECT_GE(ticks.variance(), 0.0);
+}
+
 TEST(Distribution, EmptyIsZero)
 {
     Distribution dist;

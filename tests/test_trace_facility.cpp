@@ -69,6 +69,65 @@ TEST(TraceFacility, MacroSkipsWhenDisabled)
     EXPECT_NE(capture.lines[0].find("value=42"), std::string::npos);
 }
 
+TEST(TraceFacility, SinkMaySwapItselfMidInvocation)
+{
+    // Contract (sim/trace.hpp): log() pins the active sink before
+    // calling it, so a sink may call setSink() — including replacing
+    // itself — without pulling the function object out from under its
+    // own frame.
+    std::vector<std::string> first, second;
+    trace::enable("swap");
+    trace::setSink([&](const std::string &line) {
+        first.push_back(line);
+        trace::setSink([&second](const std::string &l) {
+            second.push_back(l);
+        });
+    });
+    trace::log(1, "swap", "a");
+    trace::log(2, "swap", "b");
+    trace::setSink(nullptr);
+    trace::disableAll();
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_NE(first[0].find(": a"), std::string::npos);
+    EXPECT_NE(second[0].find(": b"), std::string::npos);
+}
+
+TEST(TraceFacility, SinkMayDisableFromWithin)
+{
+    std::vector<std::string> lines;
+    trace::enable("kill");
+    trace::setSink([&](const std::string &line) {
+        lines.push_back(line);
+        trace::setSink(nullptr);
+        trace::disableAll();
+    });
+    trace::log(1, "kill", "only");
+    trace::log(2, "kill", "never");
+    EXPECT_EQ(lines.size(), 1u);
+    EXPECT_FALSE(trace::enabled("kill"));
+}
+
+TEST(TraceFacility, NoStateLeaksBetweenCaptures)
+{
+    // A destroyed capture must leave no categories enabled and no sink
+    // installed: logging afterwards is a no-op, not a dangling call.
+    {
+        TraceCapture capture;
+        trace::enable("leak");
+        trace::log(1, "leak", "inside");
+        EXPECT_EQ(capture.lines.size(), 1u);
+    }
+    EXPECT_FALSE(trace::enabled("leak"));
+    trace::log(2, "leak", "outside"); // must not crash or deliver
+    {
+        TraceCapture capture;
+        trace::enable("leak");
+        trace::log(3, "leak", "again");
+        EXPECT_EQ(capture.lines.size(), 1u);
+    }
+}
+
 TEST(TraceFacility, SystemRunEmitsComponentRecords)
 {
     TraceCapture capture;
