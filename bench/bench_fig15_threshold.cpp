@@ -16,23 +16,32 @@ main()
     const std::vector<double> thresholds = {0.0, 0.5, 1.0, 2.0};
     bench::columns("app", {"t=0", "t=0.5", "t=1", "t=2"});
 
-    std::vector<std::vector<double>> per_threshold(thresholds.size());
-    std::vector<sys::SimResults> bases;
-    for (const auto &app : bench::allApps())
-        bases.push_back(sys::runApp(app, baseline));
+    // One sweep batch: per app a baseline point plus one point per
+    // threshold, all run concurrently by the shared SweepRunner.
+    const std::vector<std::string> apps = bench::allApps();
+    std::vector<sys::RunSpec> specs;
+    for (const auto &app : apps) {
+        specs.push_back({app, baseline, 0.0});
+        for (double t : thresholds) {
+            cfg::SystemConfig fw = sys::transFwConfig();
+            fw.transFw.forwardThreshold = t;
+            specs.push_back({app, fw, 0.0});
+        }
+    }
+    std::vector<sys::SimResults> results =
+        sys::SweepRunner::shared().run(specs);
 
-    std::size_t app_idx = 0;
-    for (const auto &app : bench::allApps()) {
+    std::vector<std::vector<double>> per_threshold(thresholds.size());
+    const std::size_t stride = 1 + thresholds.size();
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const sys::SimResults &base = results[a * stride];
         std::vector<double> row_vals;
         for (std::size_t t = 0; t < thresholds.size(); ++t) {
-            cfg::SystemConfig fw = sys::transFwConfig();
-            fw.transFw.forwardThreshold = thresholds[t];
-            double s = sys::speedup(bases[app_idx], sys::runApp(app, fw));
+            double s = sys::speedup(base, results[a * stride + 1 + t]);
             per_threshold[t].push_back(s);
             row_vals.push_back(s);
         }
-        bench::row(app, row_vals);
-        ++app_idx;
+        bench::row(apps[a], row_vals);
     }
     std::vector<double> means;
     for (const auto &series : per_threshold)

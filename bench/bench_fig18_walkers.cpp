@@ -20,14 +20,11 @@ main()
     bench::columns("app", {"b(4,8)", "fw(4,8)", "b(8,16)", "fw(8,16)",
                            "b(16,32)", "fw(16,32)", "b(64,128)",
                            "fw(64,128)"});
-    std::vector<std::vector<double>> series(pools.size() * 2);
-    for (const auto &app : bench::allApps()) {
-        cfg::SystemConfig ref = sys::baselineConfig();
-        ref.gmmuWalkers = 4;
-        ref.hostWalkers = 8;
-        sys::SimResults reference = sys::runApp(app, ref);
-
-        std::vector<double> vals;
+    // One sweep batch per the whole figure: the (4,8) baseline point
+    // doubles as the reference, which the SweepRunner memo dedupes.
+    const std::vector<std::string> apps = bench::allApps();
+    std::vector<sys::RunSpec> specs;
+    for (const auto &app : apps) {
         for (std::size_t p = 0; p < pools.size(); ++p) {
             cfg::SystemConfig base = sys::baselineConfig();
             base.gmmuWalkers = pools[p].first;
@@ -35,14 +32,31 @@ main()
             cfg::SystemConfig fw = sys::transFwConfig();
             fw.gmmuWalkers = pools[p].first;
             fw.hostWalkers = pools[p].second;
-            double sb = sys::speedup(reference, sys::runApp(app, base));
-            double sf = sys::speedup(reference, sys::runApp(app, fw));
+            specs.push_back({app, base, 0.0});
+            specs.push_back({app, fw, 0.0});
+        }
+    }
+    std::vector<sys::SimResults> results =
+        sys::SweepRunner::shared().run(specs);
+
+    std::vector<std::vector<double>> series(pools.size() * 2);
+    const std::size_t stride = pools.size() * 2;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        // pools[0] == (4,8): the baseline at index a*stride is the
+        // normalization reference for this app.
+        const sys::SimResults &reference = results[a * stride];
+        std::vector<double> vals;
+        for (std::size_t p = 0; p < pools.size(); ++p) {
+            double sb = sys::speedup(reference,
+                                     results[a * stride + 2 * p]);
+            double sf = sys::speedup(reference,
+                                     results[a * stride + 2 * p + 1]);
             series[2 * p].push_back(sb);
             series[2 * p + 1].push_back(sf);
             vals.push_back(sb);
             vals.push_back(sf);
         }
-        bench::row(app, vals, 2);
+        bench::row(apps[a], vals, 2);
     }
     std::vector<double> means;
     for (const auto &s : series)

@@ -71,13 +71,21 @@ speedupSeries(const cfg::SystemConfig &baseline,
               const std::string &series_name)
 {
     columns("app", {series_name});
-    std::vector<double> speedups;
+    // All 2×apps runs go through the shared SweepRunner: independent
+    // points execute concurrently and a baseline an earlier series in
+    // the same binary already ran is served from the memo.
+    std::vector<sys::RunSpec> specs;
     for (const auto &app : allApps()) {
-        sys::SimResults base = sys::runApp(app, baseline);
-        sys::SimResults var = sys::runApp(app, variant);
-        double s = sys::speedup(base, var);
+        specs.push_back({app, baseline, 0.0});
+        specs.push_back({app, variant, 0.0});
+    }
+    std::vector<sys::SimResults> results =
+        sys::SweepRunner::shared().run(specs);
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < results.size(); i += 2) {
+        double s = sys::speedup(results[i], results[i + 1]);
         speedups.push_back(s);
-        row(app, {s});
+        row(specs[i].app, {s});
     }
     row("geomean", {geomean(speedups)});
     return speedups;

@@ -5,12 +5,15 @@
  * questions.
  *
  * Usage:
- *   sweep --app MT --dim walkers --dim threshold > mt.csv
+ *   sweep --app MT --dim walkers --dim threshold [-j N] > mt.csv
  *
  * Supported dimensions: gpus, cus, walkers, threshold, pwc, peerlat,
- * slots.
+ * slots. -j N runs the independent grid points on N worker threads
+ * (default: TRANSFW_JOBS or the hardware thread count); the CSV rows
+ * and their values are identical to a serial run.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -75,16 +78,24 @@ main(int argc, char **argv)
 {
     std::string app = "MT";
     std::vector<Dimension> dims;
+    int jobs = 0; // 0: SweepRunner default (TRANSFW_JOBS / hardware)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--app" && i + 1 < argc) {
             app = argv[++i];
         } else if (arg == "--dim" && i + 1 < argc) {
             dims.push_back(makeDimension(argv[++i]));
+        } else if (arg == "-j" && i + 1 < argc) {
+            jobs = std::atoi(argv[++i]);
+            if (jobs < 1) {
+                std::fprintf(stderr, "-j expects a positive count\n");
+                return 2;
+            }
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--app ABBR] --dim NAME [--dim NAME]\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--app ABBR] --dim NAME [--dim NAME] [-j N]\n",
+                argv[0]);
             return 2;
         }
     }
@@ -95,8 +106,10 @@ main(int argc, char **argv)
     if (dims.size() == 1)
         dims.push_back(Dimension{"", {0}});
 
-    std::printf("%s,%s,speedup,%s\n", dims[0].name.c_str(),
-                dims[1].name.c_str(), sys::csvHeader().c_str());
+    // Build the whole grid (baseline + Trans-FW per point), run it on
+    // the SweepRunner, then print rows in grid order — byte-identical
+    // CSV to the old serial loop regardless of -j.
+    std::vector<sys::RunSpec> specs;
     for (double v0 : dims[0].values) {
         for (double v1 : dims[1].values) {
             cfg::SystemConfig baseline = sys::baselineConfig();
@@ -104,9 +117,20 @@ main(int argc, char **argv)
             apply(baseline, dims[1].name, v1);
             cfg::SystemConfig fw = baseline;
             fw.transFw.enabled = true;
+            specs.push_back({app, baseline, 0.0});
+            specs.push_back({app, fw, 0.0});
+        }
+    }
+    sys::SweepRunner runner(jobs);
+    std::vector<sys::SimResults> results = runner.run(specs);
 
-            sys::SimResults base = sys::runApp(app, baseline);
-            sys::SimResults trans = sys::runApp(app, fw);
+    std::printf("%s,%s,speedup,%s\n", dims[0].name.c_str(),
+                dims[1].name.c_str(), sys::csvHeader().c_str());
+    std::size_t idx = 0;
+    for (double v0 : dims[0].values) {
+        for (double v1 : dims[1].values) {
+            const sys::SimResults &base = results[idx++];
+            const sys::SimResults &trans = results[idx++];
             std::printf("%g,%g,%.4f,%s\n", v0, v1,
                         sys::speedup(base, trans),
                         sys::csvRow(trans).c_str());

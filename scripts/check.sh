@@ -16,6 +16,35 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== microbench smoke (BENCH_core.json schema) =="
+SMOKE_JSON=$(mktemp /tmp/bench_core_smoke.XXXXXX.json)
+./build/bench/bench_micro_structures --json "$SMOKE_JSON" --smoke
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SMOKE_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "transfw-bench-core-v1", doc.get("schema")
+for section, fields in {
+    "event_kernel": ["legacy_events_per_sec", "fast_events_per_sec",
+                     "speedup"],
+    "request_pool": ["shared_ptr_ops_per_sec", "pooled_ops_per_sec",
+                     "speedup"],
+    "sweep": ["serial_seconds", "parallel_seconds", "parallel_jobs",
+              "identical_results"],
+}.items():
+    for f in fields:
+        assert f in doc[section], f"{section}.{f} missing"
+assert doc["sweep"]["identical_results"] is True
+assert doc["peak_rss_bytes"] > 0
+print("BENCH_core.json schema OK")
+EOF
+else
+    grep -q '"schema": "transfw-bench-core-v1"' "$SMOKE_JSON"
+    grep -q '"identical_results": true' "$SMOKE_JSON"
+    echo "BENCH_core.json schema OK (grep fallback)"
+fi
+rm -f "$SMOKE_JSON"
+
 if [[ "${1:-}" == "--fast" ]]; then
     exit 0
 fi

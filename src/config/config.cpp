@@ -21,6 +21,90 @@ SystemConfig::summary() const
         transFw.enabled ? ", Trans-FW" : "");
 }
 
+std::string
+SystemConfig::key() const
+{
+    std::string k;
+    k.reserve(512);
+    auto u = [&k](std::uint64_t v) {
+        k += sim::strfmt("%llu;", static_cast<unsigned long long>(v));
+    };
+    auto d = [&k](double v) { k += sim::strfmt("%.17g;", v); };
+
+    u(static_cast<std::uint64_t>(numGpus));
+    u(static_cast<std::uint64_t>(cusPerGpu));
+    u(static_cast<std::uint64_t>(wavefrontSlotsPerCu));
+    u(gpuMemBytes);
+    u(static_cast<std::uint64_t>(pageTableLevels));
+    u(pageShift);
+    u(memLatency);
+    u(static_cast<std::uint64_t>(memModel));
+    for (const mem::DataCacheConfig *c :
+         {&memHierarchy.l1Vector, &memHierarchy.l2}) {
+        u(c->sizeBytes);
+        u(c->ways);
+        u(c->lineBytes);
+        u(c->hitLatency);
+    }
+    u(static_cast<std::uint64_t>(memHierarchy.dram.banks));
+    u(memHierarchy.dram.rowHitLatency);
+    u(memHierarchy.dram.rowMissLatency);
+    u(memHierarchy.dram.dataBeat);
+    u(memHierarchy.dram.rowShift);
+    for (const tlb::TlbConfig *t : {&l1Tlb, &l2Tlb, &hostTlb}) {
+        u(t->entries);
+        u(t->ways);
+        u(t->lookupLatency);
+    }
+    u(static_cast<std::uint64_t>(gmmuWalkers));
+    u(static_cast<std::uint64_t>(hostWalkers));
+    u(gmmuPwQueue);
+    u(hostPwQueue);
+    u(pwcEntries);
+    u(static_cast<std::uint64_t>(pwcKind));
+    for (const ic::LinkConfig *l : {&hostLink, &peerLink}) {
+        u(l->latency);
+        d(l->bytesPerCycle);
+    }
+    u(static_cast<std::uint64_t>(peerTopology));
+    u(prewarmPlacement);
+    u(static_cast<std::uint64_t>(faultMode));
+    u(static_cast<std::uint64_t>(migrationPolicy));
+    u(remoteMapMigrateThreshold);
+    u(faultFixedCost);
+    u(shootdownCost);
+    u(replayCost);
+    u(driverBatchSize);
+    u(driverBatchWindow);
+    u(driverBatchFixedCost);
+    u(driverPerFaultCost);
+    u(static_cast<std::uint64_t>(driverWalkThreads));
+    u(transFw.enabled);
+    u(transFw.enableShortCircuit);
+    u(transFw.enableForwarding);
+    d(transFw.forwardThreshold);
+    u(transFw.prtBuckets);
+    u(transFw.prtSlotsPerBucket);
+    u(transFw.prtFingerprintBits);
+    u(transFw.ftBuckets);
+    u(transFw.ftSlotsPerBucket);
+    u(transFw.ftFingerprintBits);
+    u(transFw.vpnMaskBits);
+    u(asap.enabled);
+    d(asap.accuracy);
+    u(leastTlb.enabled);
+    u(leastTlb.remoteProbeLatency);
+    u(oracle.infinitePwc);
+    u(oracle.infiniteWalkers);
+    u(oracle.zeroMigrationCost);
+    u(oracle.noLocalFaults);
+    u(obs.spans);
+    u(obs.sampleInterval);
+    u(obs.maxSpans);
+    u(seed);
+    return k;
+}
+
 void
 SystemConfig::validate() const
 {

@@ -223,6 +223,15 @@ struct SystemConfig
     /** One-line summary for bench headers. */
     std::string summary() const;
 
+    /**
+     * Canonical serialization of EVERY field, used as the memoisation
+     * key for sweep runs: two configs with equal key() produce
+     * bit-identical simulations. When adding a config field, add it
+     * here too (test_sweep's KeyCoversConfigFields guards the obvious
+     * ones).
+     */
+    std::string key() const;
+
     /** Sanity-check invariants; fatal on nonsense combinations. */
     void validate() const;
 };

@@ -85,7 +85,7 @@ void
 Gpu::startTranslation(int cu, mem::Vpn vpn, bool write)
 {
     ++stats_.l2Misses;
-    auto req = std::make_shared<mmu::XlatRequest>();
+    mmu::XlatPtr req = mmu::makeRequest();
     req->id = nextReqId_++;
     req->vpn = vpn;
     req->gpu = id_;

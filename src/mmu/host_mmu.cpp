@@ -81,7 +81,7 @@ HostMmu::admit(XlatPtr req)
                           "forward vpn=%llx -> gpu%d (queue=%zu)",
                           static_cast<unsigned long long>(req->vpn),
                           *owner, queue_.size());
-                auto rl = std::make_shared<RemoteLookup>();
+                RemoteLookupPtr rl = makeRemoteLookup();
                 rl->req = req;
                 rl->targetGpu = *owner;
                 rl->tForwarded = curTick();

@@ -2,9 +2,9 @@
 #define TRANSFW_MMU_REQUEST_HPP
 
 #include <cstdint>
-#include <memory>
 
 #include "mem/address.hpp"
+#include "sim/pool.hpp"
 #include "sim/ticks.hpp"
 #include "stats/stats.hpp"
 #include "tlb/tlb.hpp"
@@ -14,10 +14,12 @@ namespace transfw::mmu {
 /**
  * One outstanding address translation that missed the GPU L2 TLB (the
  * unit of work for the whole GMMU / host MMU machinery). Requests are
- * heap-allocated and shared between the GMMU, the host MMU's per-page
- * fault lists, and any in-flight remote lookup referencing them.
+ * slab-pooled (sim::ObjectPool) and shared by intrusive refcount
+ * between the GMMU, the host MMU's per-page fault lists, and any
+ * in-flight remote lookup referencing them — create with makeRequest(),
+ * never by hand, so the hot path stays allocation-free.
  */
-struct XlatRequest
+struct XlatRequest : public sim::Pooled<XlatRequest>
 {
     std::uint64_t id = 0;
     mem::Vpn vpn = 0;   ///< in system page units (4 KB or 2 MB)
@@ -48,13 +50,20 @@ struct XlatRequest
     tlb::TlbEntry result;
 };
 
-using XlatPtr = std::shared_ptr<XlatRequest>;
+using XlatPtr = sim::PoolRef<XlatRequest>;
+
+/** Allocate a fresh (default-initialised) request from this thread's pool. */
+inline XlatPtr
+makeRequest()
+{
+    return sim::makePooled<XlatRequest>();
+}
 
 /**
  * A Trans-FW remote lookup: the host MMU borrowing a peer GPU's
  * PT-walk machinery for a congested fault (Section IV-C).
  */
-struct RemoteLookup
+struct RemoteLookup : public sim::Pooled<RemoteLookup>
 {
     XlatPtr req;        ///< the fault being short-circuited
     int targetGpu = 0;  ///< owner candidate from the Forwarding Table
@@ -63,7 +72,14 @@ struct RemoteLookup
     sim::Tick tForwarded = 0;
 };
 
-using RemoteLookupPtr = std::shared_ptr<RemoteLookup>;
+using RemoteLookupPtr = sim::PoolRef<RemoteLookup>;
+
+/** Allocate a fresh remote lookup from this thread's pool. */
+inline RemoteLookupPtr
+makeRemoteLookup()
+{
+    return sim::makePooled<RemoteLookup>();
+}
 
 } // namespace transfw::mmu
 

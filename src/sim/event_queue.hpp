@@ -1,11 +1,11 @@
 #ifndef TRANSFW_SIM_EVENT_QUEUE_HPP
 #define TRANSFW_SIM_EVENT_QUEUE_HPP
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/ticks.hpp"
 
 namespace transfw::sim {
@@ -17,11 +17,30 @@ namespace transfw::sim {
  * drains events in (tick, insertion-order) order, which makes execution
  * fully deterministic: two events at the same tick fire in the order
  * they were scheduled.
+ *
+ * Internally the queue is two-level, in the spirit of calendar/ladder
+ * queues: events within kWindow ticks of now() land in a ring of
+ * per-tick buckets (append = already sorted, since the insertion
+ * sequence is monotonic), and only far-future events pay for a binary
+ * heap. A bitmap over the ring makes "next non-empty tick" a handful
+ * of word scans. Combined with the small-buffer-optimised EventFn
+ * callback, the schedule → fire round trip on the common path touches
+ * no allocator at steady state (bucket vectors retain their capacity).
+ *
+ * Ordering across the two levels is safe by construction: an event can
+ * only ever sit in the heap if it was scheduled ≥ kWindow ticks ahead,
+ * i.e. strictly earlier in simulation time than any bucket insertion
+ * for the same tick — so its sequence number is strictly smaller, and
+ * draining the heap before the bucket at each tick preserves exact
+ * (tick, seq) order.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventFn;
+
+    /** Near-future window covered by the bucket ring (power of two). */
+    static constexpr std::size_t kWindow = 1024;
 
     /** Current simulation time. */
     Tick now() const { return now_; }
@@ -52,14 +71,25 @@ class EventQueue
     /** Absolute-tick variant of scheduleWeak(). */
     void scheduleWeakAt(Tick when, Callback cb);
 
-    /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    /** True when no events remain (strong or weak). */
+    bool empty() const { return size_ == 0; }
 
-    /** Number of pending events (strong and weak). */
-    std::size_t pending() const { return heap_.size(); }
+    /**
+     * Number of pending events that can still execute. While strong
+     * work remains this counts strong and weak events alike; once only
+     * weak events are left they will never run (see scheduleWeak), so
+     * pending() reports 0 rather than counting zombies.
+     */
+    std::size_t pending() const { return strong_ ? size_ : 0; }
 
     /** Number of pending strong (simulation-driving) events. */
     std::size_t strongPending() const { return strong_; }
+
+    /**
+     * Number of weak events currently queued, whether or not they will
+     * ever execute (they won't unless strong work precedes them).
+     */
+    std::size_t weakPending() const { return size_ - strong_; }
 
     /**
      * Execute events until the queue drains or the next event lies past
@@ -71,18 +101,40 @@ class EventQueue
     bool runOne();
 
   private:
+    /** Near event parked in a bucket: its tick is the bucket's tick. */
     struct Entry
+    {
+        std::uint64_t seq;
+        Callback cb;
+        bool weak;
+    };
+
+    /** Far event in the fallback heap. */
+    struct FarEntry
     {
         Tick when;
         std::uint64_t seq;
         Callback cb;
-        bool weak = false;
+        bool weak;
     };
 
-    struct Later
+    /**
+     * One tick's events. Entries are appended in seq order and
+     * consumed front-to-back via @p head (so runOne() can leave a tick
+     * half-drained); the vector keeps its capacity across reuse.
+     */
+    struct Bucket
+    {
+        std::vector<Entry> entries;
+        std::size_t head = 0;
+
+        bool drained() const { return head >= entries.size(); }
+    };
+
+    struct FarLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const FarEntry &a, const FarEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -90,10 +142,32 @@ class EventQueue
         }
     };
 
+    void push(Tick when, Callback cb, bool weak);
+    /** Earliest pending tick; kMaxTick when nothing is queued. */
+    Tick nextEventTick() const;
+    /** Execute all events at tick @p when (== now_) in seq order. */
+    std::uint64_t drainTick(Tick when);
+    /** Pop + execute one event; @p when must be nextEventTick(). */
+    void fireOne(Tick when);
+    /** Execute @p e (counters first, mirroring the pop-then-run order). */
+    void fire(Entry e);
+    /** Destroy everything still queued (trailing weak events). */
+    void discardAll();
+    void resetBucket(std::size_t idx);
+
+    std::size_t bucketIndex(Tick when) const
+    {
+        return static_cast<std::size_t>(when % kWindow);
+    }
+
     Tick now_ = 0;
-    std::uint64_t next_seq_ = 0;
+    std::uint64_t nextSeq_ = 0;
     std::size_t strong_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::size_t size_ = 0; ///< live events, strong + weak
+    std::array<Bucket, kWindow> buckets_;
+    /** Bit i set ⇔ buckets_[i] has undrained entries. */
+    std::array<std::uint64_t, kWindow / 64> liveBits_{};
+    std::vector<FarEntry> far_; ///< min-heap via std::push/pop_heap
 };
 
 } // namespace transfw::sim

@@ -1,0 +1,80 @@
+#include "sim/task_pool.hpp"
+
+#include <cstdlib>
+
+namespace transfw::sim {
+
+TaskPool::TaskPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+TaskPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        jobs_.push_back(std::move(job));
+        ++unfinished_;
+    }
+    workCv_.notify_one();
+}
+
+void
+TaskPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void
+TaskPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock,
+                         [this] { return stop_ || !jobs_.empty(); });
+            if (jobs_.empty())
+                return; // stop_ set and queue drained
+            job = std::move(jobs_.front());
+            jobs_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--unfinished_ == 0)
+                idleCv_.notify_all();
+        }
+    }
+}
+
+unsigned
+TaskPool::defaultThreads()
+{
+    if (const char *env = std::getenv("TRANSFW_JOBS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace transfw::sim

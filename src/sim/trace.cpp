@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <unordered_set>
 
@@ -18,7 +19,7 @@ struct State
 {
     bool any = false;
     bool all = false;
-    bool envChecked = false;
+    std::once_flag envOnce;
     std::unordered_set<std::string> categories;
     /**
      * Held by shared_ptr so log() can pin the sink it is invoking: a
@@ -57,11 +58,11 @@ disableAll()
     s.categories.clear();
 }
 
+namespace {
+
 void
-initFromEnv()
+readEnv()
 {
-    State &s = state();
-    s.envChecked = true;
     const char *env = std::getenv("TRANSFW_TRACE");
     if (!env)
         return;
@@ -72,12 +73,27 @@ initFromEnv()
             enable(category);
 }
 
+} // namespace
+
+void
+initFromEnv()
+{
+    // Consume the once-flag without reading (a lazy caller must not
+    // read the environment a second time afterwards), then re-read
+    // unconditionally as documented.
+    State &s = state();
+    std::call_once(s.envOnce, [] {});
+    readEnv();
+}
+
 bool
 anyEnabled()
 {
+    // call_once so concurrent sweep workers can hit the lazy path
+    // simultaneously; everything past init stays single-threaded per
+    // the contract above (sweep instances never enable tracing).
     State &s = state();
-    if (!s.envChecked)
-        initFromEnv();
+    std::call_once(s.envOnce, readEnv);
     return s.any;
 }
 
@@ -85,8 +101,7 @@ bool
 enabled(const std::string &category)
 {
     State &s = state();
-    if (!s.envChecked)
-        initFromEnv();
+    std::call_once(s.envOnce, readEnv);
     return s.all || s.categories.count(category) > 0;
 }
 

@@ -1,0 +1,121 @@
+#include "system/sweep.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hpp"
+#include "sim/task_pool.hpp"
+#include "sim/trace.hpp"
+#include "system/experiment.hpp"
+
+namespace transfw::sys {
+
+std::string
+runKey(const RunSpec &spec)
+{
+    // effectiveScale folds TRANSFW_SCALE in, so two specs that differ
+    // only in how they spell the ambient scale share one key.
+    return spec.app + ";" +
+           sim::strfmt("%.17g;", effectiveScale(spec.scale)) +
+           spec.config.key();
+}
+
+SweepRunner::SweepRunner(int jobs)
+    : jobs_(jobs > 0 ? jobs
+                     : static_cast<int>(sim::TaskPool::defaultThreads()))
+{
+}
+
+SimResults
+SweepRunner::runOne(const RunSpec &spec)
+{
+    return run({spec}).front();
+}
+
+std::vector<SimResults>
+SweepRunner::run(const std::vector<RunSpec> &specs)
+{
+    // Partition into memo hits and unique pending keys first, so a
+    // spec repeated within one batch also executes only once.
+    struct Pending
+    {
+        std::string key;
+        const RunSpec *spec;
+        SimResults result;
+    };
+    std::vector<Pending> pending;
+    std::vector<std::string> keys(specs.size());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.requested += specs.size();
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            keys[i] = runKey(specs[i]);
+            if (memo_.count(keys[i]))
+                continue;
+            bool queued = false;
+            for (const Pending &p : pending)
+                if (p.key == keys[i]) {
+                    queued = true;
+                    break;
+                }
+            if (!queued)
+                pending.push_back({keys[i], &specs[i], {}});
+        }
+        stats_.executed += pending.size();
+        stats_.memoHits += specs.size() - pending.size();
+    }
+
+    // Force lazy trace-env init on this thread before any worker can
+    // race to it (belt and braces on top of trace.cpp's call_once).
+    sim::trace::anyEnabled();
+
+    auto execute = [](Pending &p) {
+        p.result = runApp(p.spec->app, p.spec->config, p.spec->scale);
+    };
+
+    if (jobs_ <= 1 || pending.size() <= 1) {
+        for (Pending &p : pending)
+            execute(p);
+    } else {
+        sim::TaskPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(pending.size(),
+                                  static_cast<std::size_t>(jobs_))));
+        for (Pending &p : pending)
+            pool.submit([&execute, &p] { execute(p); });
+        pool.wait();
+    }
+
+    std::vector<SimResults> out;
+    out.reserve(specs.size());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Pending &p : pending)
+            memo_.emplace(p.key, std::move(p.result));
+        for (const std::string &k : keys)
+            out.push_back(memo_.at(k));
+    }
+    return out;
+}
+
+SweepRunner::Stats
+SweepRunner::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+SweepRunner::clearMemo()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    memo_.clear();
+}
+
+SweepRunner &
+SweepRunner::shared()
+{
+    static SweepRunner runner;
+    return runner;
+}
+
+} // namespace transfw::sys

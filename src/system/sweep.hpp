@@ -1,0 +1,86 @@
+#ifndef TRANSFW_SYSTEM_SWEEP_HPP
+#define TRANSFW_SYSTEM_SWEEP_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "config/config.hpp"
+#include "system/results.hpp"
+
+namespace transfw::sys {
+
+/** One point of a sweep: an application under a configuration. */
+struct RunSpec
+{
+    std::string app;          ///< Table III abbreviation
+    cfg::SystemConfig config;
+    double scale = 0.0;       ///< see runApp(); 0 reads TRANSFW_SCALE
+};
+
+/** Memoisation key: equal keys ⇒ bit-identical simulation results. */
+std::string runKey(const RunSpec &spec);
+
+/**
+ * Runs batches of independent simulation instances on a worker-thread
+ * pool, memoising duplicates. Every figure of the paper is a sweep of
+ * full-system runs (apps × configs) that share a baseline; running the
+ * points concurrently and deduplicating repeated baselines is where
+ * sweep wall-clock goes down, without touching the simulator:
+ *
+ *  - Each instance remains single-threaded and deterministic, so
+ *    results are bitwise identical to a serial run of the same spec
+ *    (test_sweep asserts this).
+ *  - Duplicate specs — within one run() call or across calls on the
+ *    same runner — execute once; later requests are served from the
+ *    memo. bench_util routes every figure bench through a shared
+ *    runner, so e.g. a threshold sweep re-running the baseline per
+ *    point pays for it once.
+ *
+ * Thread count: explicit > TRANSFW_JOBS env > hardware concurrency.
+ * jobs() == 1 runs inline with no threads at all.
+ */
+class SweepRunner
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t requested = 0; ///< specs asked for
+        std::uint64_t executed = 0;  ///< simulations actually run
+        std::uint64_t memoHits = 0;  ///< served from the memo
+    };
+
+    /** @p jobs == 0 picks TRANSFW_JOBS / hardware concurrency. */
+    explicit SweepRunner(int jobs = 0);
+
+    /**
+     * Run every spec (memoised, possibly concurrent) and return
+     * results in spec order.
+     */
+    std::vector<SimResults> run(const std::vector<RunSpec> &specs);
+
+    /** Single-spec convenience (still memoised). */
+    SimResults runOne(const RunSpec &spec);
+
+    int jobs() const { return jobs_; }
+    Stats stats() const;
+    void clearMemo();
+
+    /**
+     * Process-wide runner the benches share, so baseline runs are
+     * memoised across every speedupSeries/figure in one binary.
+     */
+    static SweepRunner &shared();
+
+  private:
+    int jobs_;
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, SimResults> memo_;
+    Stats stats_;
+};
+
+} // namespace transfw::sys
+
+#endif // TRANSFW_SYSTEM_SWEEP_HPP

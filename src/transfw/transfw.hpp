@@ -23,6 +23,7 @@
 #include "filter/metrohash.hpp"
 #include "system/experiment.hpp"
 #include "system/results.hpp"
+#include "system/sweep.hpp"
 #include "system/system.hpp"
 #include "transfw/forwarding_table.hpp"
 #include "transfw/prt.hpp"

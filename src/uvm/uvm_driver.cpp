@@ -135,7 +135,7 @@ UvmDriver::startWalk(mmu::XlatPtr req)
             if (owner) {
                 ++stats_.forwards;
                 req->remoteForwarded = true;
-                auto rl = std::make_shared<mmu::RemoteLookup>();
+                mmu::RemoteLookupPtr rl = mmu::makeRemoteLookup();
                 rl->req = req;
                 rl->targetGpu = *owner;
                 rl->tForwarded = curTick();

@@ -56,7 +56,7 @@ class FakeGpu : public mmu::GpuIface
 inline mmu::XlatPtr
 makeReq(mem::Vpn vpn, int gpu = 0, bool write = false)
 {
-    auto req = std::make_shared<mmu::XlatRequest>();
+    mmu::XlatPtr req = mmu::makeRequest();
     req->vpn = vpn;
     req->gpu = gpu;
     req->isWrite = write;

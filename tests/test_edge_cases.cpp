@@ -43,7 +43,7 @@ TEST(EdgeCases, HostWalkWinsRaceAgainstRemoteLookup)
     eq.run(); // walk completes, request resolves
 
     // Late remote success: must be a no-op.
-    auto rl = std::make_shared<mmu::RemoteLookup>();
+    mmu::RemoteLookupPtr rl = mmu::makeRemoteLookup();
     rl->req = req;
     rl->success = true;
     rl->result = tlb::TlbEntry{ppn, 1, true, false};

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+
 #include "sim/event_queue.hpp"
 
 using namespace transfw;
@@ -118,4 +121,111 @@ TEST(EventQueue, StrongPendingCountsOnlyStrong)
     eq.scheduleWeak(3, [] {});
     EXPECT_EQ(eq.pending(), 3u);
     EXPECT_EQ(eq.strongPending(), 2u);
+    EXPECT_EQ(eq.weakPending(), 1u);
+}
+
+TEST(EventQueue, PendingIsZeroWhenOnlyWeakEventsRemain)
+{
+    // Weak-only events will never run, so a caller polling pending()
+    // to decide whether the simulation is live must see zero.
+    sim::EventQueue eq;
+    eq.scheduleWeak(5, [] {});
+    eq.scheduleWeak(6, [] {});
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.weakPending(), 2u);
+    EXPECT_FALSE(eq.empty());
+    EXPECT_EQ(eq.run(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.weakPending(), 0u);
+}
+
+TEST(EventQueue, RunUntilWithOnlyWeakEventsBeforeBoundary)
+{
+    // A weak event before the boundary runs (strong work still exists
+    // beyond it); the strong event past the boundary stays pending and
+    // now() rests at the weak event's tick.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleWeak(10, [&] { order.push_back(1); });
+    eq.schedule(50, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.run(20), 1u);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, FarEventsBeyondBucketWindow)
+{
+    // Delays past the bucket window take the fallback-heap path; the
+    // (tick, insertion) order contract must hold across both levels.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5000, [&] { order.push_back(3); });
+    eq.schedule(2000, [&] { order.push_back(2); });
+    eq.schedule(3, [&] { order.push_back(1); });
+    eq.schedule(5000, [&] { order.push_back(4); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(eq.now(), 5000u);
+}
+
+TEST(EventQueue, FarAndNearEventsAtSameTickKeepFifoOrder)
+{
+    // Schedule tick 1500 first from afar (heap), then walk time close
+    // enough that a second event at 1500 lands in a bucket: the heap
+    // entry was inserted first and must fire first.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(1500, [&] { order.push_back(1); });
+    eq.schedule(600, [&] {
+        // now = 600: tick 1500 is within the window now.
+        eq.scheduleAt(1500, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, LongChainCrossesWindowRepeatedly)
+{
+    // A self-rescheduling chain whose hops straddle the window exercises
+    // bucket wrap-around and heap migration many times.
+    sim::EventQueue eq;
+    std::uint64_t fired = 0;
+    std::function<void()> hop = [&] {
+        if (++fired < 500)
+            eq.schedule(fired % 3 == 0 ? 1700 : 37, hop);
+    };
+    eq.schedule(0, hop);
+    EXPECT_EQ(eq.run(), 500u);
+    EXPECT_EQ(fired, 500u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, MoveOnlyCallback)
+{
+    // std::function required copyable callables; the event kernel must
+    // accept move-only ones (e.g. capturing a unique_ptr).
+    sim::EventQueue eq;
+    int fired = 0;
+    auto payload = std::make_unique<int>(41);
+    eq.schedule(1, [&fired, p = std::move(payload)] { fired = *p + 1; });
+    eq.run();
+    EXPECT_EQ(fired, 42);
+}
+
+TEST(EventQueue, RunOneAcrossWindowBoundary)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(2, [&] { order.push_back(1); });
+    eq.schedule(4000, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(eq.now(), 2u);
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(eq.now(), 4000u);
+    EXPECT_FALSE(eq.runOne());
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }

@@ -147,7 +147,7 @@ TEST(Gmmu, RemoteLookupSucceedsOnLocalPage)
 {
     GmmuHarness h;
     h.pt.map(0x42, mem::PageInfo{7, 0, 1, true, false});
-    auto rl = std::make_shared<mmu::RemoteLookup>();
+    mmu::RemoteLookupPtr rl = mmu::makeRemoteLookup();
     rl->req = test::makeReq(0x42, /*gpu=*/1);
     rl->targetGpu = 0;
     h.gmmu.remoteLookup(rl);
@@ -161,7 +161,7 @@ TEST(Gmmu, RemoteLookupSucceedsOnLocalPage)
 TEST(Gmmu, RemoteLookupFailsOnAbsentOrRemotePage)
 {
     GmmuHarness h;
-    auto rl = std::make_shared<mmu::RemoteLookup>();
+    mmu::RemoteLookupPtr rl = mmu::makeRemoteLookup();
     rl->req = test::makeReq(0x42, 1);
     h.gmmu.remoteLookup(rl);
     h.eq.run();
@@ -171,7 +171,7 @@ TEST(Gmmu, RemoteLookupFailsOnAbsentOrRemotePage)
     // A remote-mapped PTE cannot serve a remote lookup either.
     h.remoteDone.clear();
     h.pt.map(0x43, mem::PageInfo{9, 2, 0, true, /*remote=*/true});
-    auto rl2 = std::make_shared<mmu::RemoteLookup>();
+    mmu::RemoteLookupPtr rl2 = mmu::makeRemoteLookup();
     rl2->req = test::makeReq(0x43, 1);
     h.gmmu.remoteLookup(rl2);
     h.eq.run();
@@ -183,7 +183,7 @@ TEST(Gmmu, RemoteLookupsShareAndFillThePwc)
 {
     GmmuHarness h;
     h.pt.map(0x42, mem::PageInfo{7, 0, 1, true, false});
-    auto rl = std::make_shared<mmu::RemoteLookup>();
+    mmu::RemoteLookupPtr rl = mmu::makeRemoteLookup();
     rl->req = test::makeReq(0x42, 1);
     h.gmmu.remoteLookup(rl);
     h.eq.run();

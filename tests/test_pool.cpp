@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "mmu/request.hpp"
+#include "sim/pool.hpp"
+
+using namespace transfw;
+
+namespace {
+
+struct Tracked : public sim::Pooled<Tracked>
+{
+    int value = 7;
+};
+
+} // namespace
+
+TEST(ObjectPool, ReleasedSlotIsRecycled)
+{
+    Tracked *first;
+    {
+        sim::PoolRef<Tracked> a = sim::makePooled<Tracked>();
+        first = a.get();
+    }
+    sim::PoolRef<Tracked> b = sim::makePooled<Tracked>();
+    // LIFO freelist: the slot released last is handed out first.
+    EXPECT_EQ(b.get(), first);
+}
+
+TEST(ObjectPool, ReusedSlotIsFreshlyConstructed)
+{
+    {
+        sim::PoolRef<Tracked> a = sim::makePooled<Tracked>();
+        a->value = 1234;
+    }
+    sim::PoolRef<Tracked> b = sim::makePooled<Tracked>();
+    EXPECT_EQ(b->value, 7);
+}
+
+TEST(ObjectPool, LiveObjectsTracksAcquireRelease)
+{
+    sim::ObjectPool<Tracked> &pool = sim::ObjectPool<Tracked>::local();
+    std::size_t before = pool.liveObjects();
+    {
+        sim::PoolRef<Tracked> a = sim::makePooled<Tracked>();
+        sim::PoolRef<Tracked> b = sim::makePooled<Tracked>();
+        EXPECT_EQ(pool.liveObjects(), before + 2);
+    }
+    EXPECT_EQ(pool.liveObjects(), before);
+}
+
+TEST(ObjectPool, ManyObjectsSpanMultipleSlabs)
+{
+    sim::ObjectPool<Tracked> &pool = sim::ObjectPool<Tracked>::local();
+    std::size_t before = pool.liveObjects();
+    std::vector<sim::PoolRef<Tracked>> refs;
+    for (int i = 0; i < 1000; ++i) {
+        refs.push_back(sim::makePooled<Tracked>());
+        refs.back()->value = i;
+    }
+    EXPECT_EQ(pool.liveObjects(), before + 1000);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(refs[static_cast<std::size_t>(i)]->value, i);
+    refs.clear();
+    EXPECT_EQ(pool.liveObjects(), before);
+}
+
+TEST(PoolRef, CopyBumpsRefCountAndKeepsObjectAlive)
+{
+    sim::PoolRef<Tracked> a = sim::makePooled<Tracked>();
+    EXPECT_EQ(a.useCount(), 1u);
+    {
+        sim::PoolRef<Tracked> b = a;
+        EXPECT_EQ(a.useCount(), 2u);
+        EXPECT_EQ(a.get(), b.get());
+        b->value = 99;
+    }
+    EXPECT_EQ(a.useCount(), 1u);
+    EXPECT_EQ(a->value, 99);
+}
+
+TEST(PoolRef, MoveStealsWithoutTouchingRefCount)
+{
+    sim::PoolRef<Tracked> a = sim::makePooled<Tracked>();
+    Tracked *raw = a.get();
+    sim::PoolRef<Tracked> b = std::move(a);
+    EXPECT_EQ(a.get(), nullptr);
+    EXPECT_EQ(b.get(), raw);
+    EXPECT_EQ(b.useCount(), 1u);
+}
+
+TEST(PoolRef, NullAndResetSemantics)
+{
+    sim::PoolRef<Tracked> a;
+    EXPECT_EQ(a, nullptr);
+    EXPECT_FALSE(a);
+    a = sim::makePooled<Tracked>();
+    EXPECT_NE(a, nullptr);
+    EXPECT_TRUE(a);
+    a.reset();
+    EXPECT_EQ(a, nullptr);
+}
+
+TEST(PoolRef, AssignmentReleasesPrevious)
+{
+    sim::ObjectPool<Tracked> &pool = sim::ObjectPool<Tracked>::local();
+    std::size_t before = pool.liveObjects();
+    sim::PoolRef<Tracked> a = sim::makePooled<Tracked>();
+    a = sim::makePooled<Tracked>();
+    EXPECT_EQ(pool.liveObjects(), before + 1);
+    a.reset();
+    EXPECT_EQ(pool.liveObjects(), before);
+}
+
+TEST(PoolRef, RemoteLookupReleaseChainFreesRequest)
+{
+    // The simulator's real ownership shape: a pooled RemoteLookup holds
+    // a PoolRef to the pooled XlatRequest; dropping the lookup must
+    // release the request exactly once.
+    sim::ObjectPool<mmu::XlatRequest> &reqPool =
+        sim::ObjectPool<mmu::XlatRequest>::local();
+    std::size_t before = reqPool.liveObjects();
+    mmu::XlatPtr req = mmu::makeRequest();
+    {
+        mmu::RemoteLookupPtr rl = mmu::makeRemoteLookup();
+        rl->req = req;
+        EXPECT_EQ(req.useCount(), 2u);
+    }
+    EXPECT_EQ(req.useCount(), 1u);
+    EXPECT_EQ(reqPool.liveObjects(), before + 1);
+    req.reset();
+    EXPECT_EQ(reqPool.liveObjects(), before);
+}
