@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 check: build and run the full test suite, then rebuild with
-# AddressSanitizer + UBSan and run it again. Usage:
+# Tier-1 check: build and run the full test suite, validate the
+# microbench JSON schema, gate end-to-end simulator throughput against
+# the committed BENCH_core.json, then rebuild with AddressSanitizer +
+# UBSan and run the suite again. Usage:
 #
 #   scripts/check.sh            # plain + sanitizer pass
 #   scripts/check.sh --fast     # plain pass only
 #
-# Exit code is non-zero when any build or test fails.
+# Environment:
+#   TRANSFW_SKIP_PERF_GATE=1    # skip the events/sec regression gate
+#                               # (shared/loaded machines)
+#
+# Exit code is non-zero when any build, test, schema check or the perf
+# gate fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,32 +23,72 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== microbench smoke (BENCH_core.json schema) =="
+echo "== microbench smoke (BENCH_core.json schema v2) =="
 SMOKE_JSON=$(mktemp /tmp/bench_core_smoke.XXXXXX.json)
 ./build/bench/bench_micro_structures --json "$SMOKE_JSON" --smoke
 if command -v python3 >/dev/null 2>&1; then
     python3 - "$SMOKE_JSON" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "transfw-bench-core-v1", doc.get("schema")
+assert doc["schema"] == "transfw-bench-core-v2", doc.get("schema")
 for section, fields in {
     "event_kernel": ["legacy_events_per_sec", "fast_events_per_sec",
                      "speedup"],
     "request_pool": ["shared_ptr_ops_per_sec", "pooled_ops_per_sec",
                      "speedup"],
+    "page_table": ["node_map_walks_per_sec", "flat_node_walks_per_sec",
+                   "speedup"],
+    "mshr": ["unordered_map_cycles_per_sec", "flat_map_cycles_per_sec",
+             "speedup"],
+    "flat_map": ["unordered_map_ops_per_sec", "flat_map_ops_per_sec",
+                 "speedup"],
+    "cuckoo_probe": ["three_hash_probes_per_sec",
+                     "single_pass_probes_per_sec", "speedup"],
     "sweep": ["serial_seconds", "parallel_seconds", "parallel_jobs",
               "identical_results"],
+    "sim_end_to_end": ["rate_scale", "rate_wall_seconds",
+                       "events_executed", "events_per_sec"],
 }.items():
     for f in fields:
         assert f in doc[section], f"{section}.{f} missing"
 assert doc["sweep"]["identical_results"] is True
+assert doc["sim_end_to_end"]["events_executed"] > 0
 assert doc["peak_rss_bytes"] > 0
 print("BENCH_core.json schema OK")
 EOF
 else
-    grep -q '"schema": "transfw-bench-core-v1"' "$SMOKE_JSON"
+    grep -q '"schema": "transfw-bench-core-v2"' "$SMOKE_JSON"
     grep -q '"identical_results": true' "$SMOKE_JSON"
+    grep -q '"sim_end_to_end"' "$SMOKE_JSON"
     echo "BENCH_core.json schema OK (grep fallback)"
+fi
+
+echo "== perf gate (sim_end_to_end.events_per_sec) =="
+if [[ "${TRANSFW_SKIP_PERF_GATE:-0}" == "1" ]]; then
+    echo "skipped (TRANSFW_SKIP_PERF_GATE=1)"
+elif [[ ! -f BENCH_core.json ]]; then
+    echo "skipped (no committed BENCH_core.json)"
+elif command -v python3 >/dev/null 2>&1; then
+    # The committed full run and the smoke run measure the rate at the
+    # same scale, so the comparison is like-for-like: fail when this
+    # build drains events >20% slower than the committed trajectory.
+    python3 - "$SMOKE_JSON" BENCH_core.json <<'EOF'
+import json, sys
+smoke = json.load(open(sys.argv[1]))["sim_end_to_end"]
+committed = json.load(open(sys.argv[2]))["sim_end_to_end"]
+assert smoke["rate_scale"] == committed["rate_scale"], \
+    "rate scales differ; regenerate BENCH_core.json"
+now, ref = smoke["events_per_sec"], committed["events_per_sec"]
+floor = 0.8 * ref
+print(f"events/sec now {now:.0f} vs committed {ref:.0f} "
+      f"(floor {floor:.0f})")
+if now < floor:
+    sys.exit("perf gate FAILED: >20% below the committed rate "
+             "(set TRANSFW_SKIP_PERF_GATE=1 on shared machines)")
+print("perf gate OK")
+EOF
+else
+    echo "skipped (python3 unavailable)"
 fi
 rm -f "$SMOKE_JSON"
 

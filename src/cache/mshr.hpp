@@ -2,8 +2,8 @@
 #define TRANSFW_CACHE_MSHR_HPP
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
+
+#include "sim/flat_map.hpp"
 
 namespace transfw::cache {
 
@@ -15,12 +15,23 @@ namespace transfw::cache {
  * that lets many pending requests collapse onto one page fault
  * (the Conv2d behaviour discussed in Section III-B).
  *
+ * Looked up on every L1/L2 TLB miss, so entries live in an
+ * open-addressing sim::FlatMap and the parked waiters in a
+ * small-inline-buffer vector: the common case (a handful of in-flight
+ * keys, one or two waiters each) allocates nothing and probes a single
+ * cache line.
+ *
  * @tparam Waiter per-requester continuation stored with the entry.
  */
 template <typename Waiter>
 class Mshr
 {
   public:
+    /** Inline waiter capacity per entry before spilling to the heap. */
+    static constexpr std::size_t kInlineWaiters = 4;
+
+    using WaiterList = sim::InlineVec<Waiter, kInlineWaiters>;
+
     /**
      * Record a miss for @p key. @return true when this is the primary
      * miss (caller must launch the fill); false when it merged into an
@@ -41,20 +52,20 @@ class Mshr
     /** True when @p key already has an outstanding entry. */
     bool outstanding(std::uint64_t key) const
     {
-        return entries_.count(key) > 0;
+        return entries_.find(key) != entries_.end();
     }
 
     /**
      * Complete the miss for @p key, returning all parked waiters
      * (including the primary requester's).
      */
-    std::vector<Waiter>
+    WaiterList
     release(std::uint64_t key)
     {
         auto it = entries_.find(key);
         if (it == entries_.end())
             return {};
-        std::vector<Waiter> waiters = std::move(it->second);
+        WaiterList waiters = std::move(it->second);
         entries_.erase(it);
         return waiters;
     }
@@ -64,7 +75,7 @@ class Mshr
     std::uint64_t merges() const { return merges_; }
 
   private:
-    std::unordered_map<std::uint64_t, std::vector<Waiter>> entries_;
+    sim::FlatMap<std::uint64_t, WaiterList> entries_;
     std::uint64_t allocations_ = 0;
     std::uint64_t merges_ = 0;
 };

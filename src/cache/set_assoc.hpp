@@ -27,7 +27,9 @@ class SetAssoc
      *                ways == entries the structure is fully associative)
      */
     SetAssoc(std::size_t entries, std::size_t ways)
-        : ways_(ways), sets_(entries / ways), lines_(entries)
+        : ways_(ways), sets_(entries / ways),
+          setMask_((sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0),
+          lines_(entries)
     {
         if (entries == 0 || ways == 0 || entries % ways != 0)
             sim::fatal("SetAssoc: entries must be a nonzero multiple of "
@@ -94,6 +96,8 @@ class SetAssoc
         std::optional<std::pair<std::uint64_t, Value>> evicted;
         if (line.valid)
             evicted = {line.key, std::move(line.value)};
+        else
+            ++valid_;
         line.valid = true;
         line.key = key;
         line.value = std::move(value);
@@ -110,6 +114,7 @@ class SetAssoc
             Line &line = lines_[base + w];
             if (line.valid && line.key == key) {
                 line.valid = false;
+                --valid_;
                 return true;
             }
         }
@@ -122,6 +127,7 @@ class SetAssoc
     {
         for (Line &line : lines_)
             line.valid = false;
+        valid_ = 0;
     }
 
     /** Call @p fn(key, value) for every valid line. */
@@ -134,14 +140,9 @@ class SetAssoc
                 fn(line.key, line.value);
     }
 
-    std::size_t
-    occupancy() const
-    {
-        std::size_t n = 0;
-        for (const Line &line : lines_)
-            n += line.valid ? 1 : 0;
-        return n;
-    }
+    /** Valid-line count, O(1): sampled every observability interval
+     *  for every TLB and PW-cache, so it must not scan the array. */
+    std::size_t occupancy() const { return valid_; }
 
   private:
     struct Line
@@ -164,12 +165,21 @@ class SetAssoc
     std::size_t
     setBase(std::uint64_t key) const
     {
-        return (sets_ == 1 ? 0 : mix(key) % sets_) * ways_;
+        if (sets_ == 1)
+            return 0;
+        // Typical shapes have power-of-two set counts: mask instead of
+        // the integer division (same value), probed on every access.
+        std::size_t set = setMask_ ? (mix(key) & setMask_)
+                                   : mix(key) % sets_;
+        return set * ways_;
     }
 
     std::size_t ways_;
     std::size_t sets_;
+    std::size_t setMask_; ///< sets_-1 when sets_ is a power of two
     std::uint64_t clock_ = 0;
+    std::size_t valid_ = 0; ///< valid lines (kept in sync by
+                            ///  insert/invalidate/invalidateAll)
     std::vector<Line> lines_;
 };
 

@@ -1,9 +1,39 @@
 #include "filter/cuckoo_filter.hpp"
 
+#include <bit>
+#include <cstring>
+
 #include "filter/metrohash.hpp"
 #include "sim/logging.hpp"
 
 namespace transfw::filter {
+
+namespace {
+
+/** Lane-equality mask for four 16-bit lanes: bit s set ⇔ lane s == fp. */
+inline unsigned
+lanesEq4x16(std::uint64_t word, std::uint16_t fp)
+{
+    constexpr std::uint64_t kLow = 0x0001'0001'0001'0001ULL;
+    constexpr std::uint64_t kHigh = 0x8000'8000'8000'8000ULL;
+    std::uint64_t x = word ^ (kLow * fp);
+    std::uint64_t zero = (x - kLow) & ~x & kHigh; // MSB set ⇔ lane == 0
+    return static_cast<unsigned>(((zero >> 15) & 1) | ((zero >> 30) & 2) |
+                                 ((zero >> 45) & 4) | ((zero >> 60) & 8));
+}
+
+/** Lane-equality mask for two 16-bit lanes. */
+inline unsigned
+lanesEq2x16(std::uint32_t word, std::uint16_t fp)
+{
+    constexpr std::uint32_t kLow = 0x0001'0001u;
+    constexpr std::uint32_t kHigh = 0x8000'8000u;
+    std::uint32_t x = word ^ (kLow * fp);
+    std::uint32_t zero = (x - kLow) & ~x & kHigh;
+    return ((zero >> 15) & 1) | ((zero >> 30) & 2);
+}
+
+} // namespace
 
 CuckooFilter::CuckooFilter(const CuckooParams &params)
     : params_(params),
@@ -14,82 +44,109 @@ CuckooFilter::CuckooFilter(const CuckooParams &params)
         sim::fatal("CuckooFilter: zero-sized table");
     if (params_.fingerprintBits == 0 || params_.fingerprintBits > 16)
         sim::fatal("CuckooFilter: fingerprint must be 1..16 bits");
+
+    // The fingerprint domain is at most 2^16 values: precompute the
+    // H(f) half of the alt-bucket derivation once so neither lookups
+    // nor the kick loop ever hash a fingerprint again. Values are
+    // exactly metroHash64(f, seed ^ 0xA5A5A5A5) % numBuckets, the same
+    // stream the three-hash reference implementation used.
+    altIndex_.resize(std::size_t{1} << params_.fingerprintBits);
+    for (std::size_t f = 0; f < altIndex_.size(); ++f)
+        altIndex_[f] = static_cast<std::uint32_t>(
+            metroHash64(static_cast<std::uint64_t>(f),
+                        params_.seed ^ 0xA5A5A5A5ULL) %
+            params_.numBuckets);
 }
 
-CuckooFilter::Fingerprint
-CuckooFilter::fingerprintOf(std::uint64_t key) const
+CuckooFilter::Probe
+CuckooFilter::probeOf(std::uint64_t key) const
 {
+    // One metrohash per stream: h1 positions the primary bucket, h2
+    // supplies the fingerprint; the alternate bucket comes from the
+    // precomputed per-fingerprint table.
     const std::uint64_t mask = (1ULL << params_.fingerprintBits) - 1;
-    std::uint64_t h = metroHash64(key, params_.seed ^ 0xF1F1F1F1ULL);
+    std::uint64_t h2 = metroHash64(key, params_.seed ^ 0xF1F1F1F1ULL);
     // Fingerprint 0 marks an empty slot; fold into [1, 2^bits - 1].
-    Fingerprint fp = static_cast<Fingerprint>(h & mask);
+    Fingerprint fp = static_cast<Fingerprint>(h2 & mask);
     if (fp == 0)
-        fp = static_cast<Fingerprint>((h >> params_.fingerprintBits) & mask) | 1;
-    return fp;
-}
-
-std::size_t
-CuckooFilter::primaryBucket(std::uint64_t key) const
-{
-    return metroHash64(key, params_.seed) % params_.numBuckets;
+        fp = static_cast<Fingerprint>((h2 >> params_.fingerprintBits) & mask) | 1;
+    std::size_t b1 = metroHash64(key, params_.seed) % params_.numBuckets;
+    return {fp, b1, altBucket(b1, fp)};
 }
 
 std::size_t
 CuckooFilter::altBucket(std::size_t bucket, Fingerprint fp) const
 {
-    std::size_t h = metroHash64(fp, params_.seed ^ 0xA5A5A5A5ULL) %
-                    params_.numBuckets;
-    return (h + params_.numBuckets - bucket % params_.numBuckets) %
-           params_.numBuckets;
+    // @p bucket is an in-range bucket index (< numBuckets) at every
+    // call site, so the reference expression's two reductions collapse
+    // to one conditional subtract with the identical value.
+    std::size_t sum = altIndex_[fp] + params_.numBuckets - bucket;
+    return sum >= params_.numBuckets ? sum - params_.numBuckets : sum;
+}
+
+unsigned
+CuckooFilter::matchMask(std::size_t bucket, Fingerprint fp) const
+{
+    const Fingerprint *base = &table_[bucket * params_.slotsPerBucket];
+    if constexpr (std::endian::native == std::endian::little) {
+        if (params_.slotsPerBucket == 4) {
+            std::uint64_t word;
+            std::memcpy(&word, base, sizeof word);
+            return lanesEq4x16(word, fp);
+        }
+        if (params_.slotsPerBucket == 2) {
+            std::uint32_t word;
+            std::memcpy(&word, base, sizeof word);
+            return lanesEq2x16(word, fp);
+        }
+    }
+    unsigned mask = 0;
+    for (unsigned s = 0; s < params_.slotsPerBucket; ++s)
+        mask |= (base[s] == fp ? 1u : 0u) << s;
+    return mask;
 }
 
 bool
 CuckooFilter::tryPlace(std::size_t bucket, Fingerprint fp)
 {
-    for (unsigned s = 0; s < params_.slotsPerBucket; ++s) {
-        if (slot(bucket, s) == 0) {
-            slot(bucket, s) = fp;
-            ++stored_;
-            return true;
-        }
-    }
-    return false;
+    unsigned empties = matchMask(bucket, 0);
+    if (empties == 0)
+        return false;
+    // Lowest set bit = lowest-numbered free slot, matching the
+    // ascending scan of the reference implementation.
+    slot(bucket, static_cast<unsigned>(std::countr_zero(empties))) = fp;
+    ++stored_;
+    return true;
 }
 
 bool
 CuckooFilter::bucketContains(std::size_t bucket, Fingerprint fp) const
 {
-    for (unsigned s = 0; s < params_.slotsPerBucket; ++s)
-        if (slot(bucket, s) == fp)
-            return true;
-    return false;
+    return matchMask(bucket, fp) != 0;
 }
 
 bool
 CuckooFilter::bucketErase(std::size_t bucket, Fingerprint fp)
 {
-    for (unsigned s = 0; s < params_.slotsPerBucket; ++s) {
-        if (slot(bucket, s) == fp) {
-            slot(bucket, s) = 0;
-            --stored_;
-            return true;
-        }
-    }
-    return false;
+    unsigned matches = matchMask(bucket, fp);
+    if (matches == 0)
+        return false;
+    slot(bucket, static_cast<unsigned>(std::countr_zero(matches))) = 0;
+    --stored_;
+    return true;
 }
 
 bool
 CuckooFilter::insert(std::uint64_t key)
 {
-    Fingerprint fp = fingerprintOf(key);
-    std::size_t b1 = primaryBucket(key);
-    std::size_t b2 = altBucket(b1, fp);
+    Probe p = probeOf(key);
+    Fingerprint fp = p.fp;
 
-    if (tryPlace(b1, fp) || tryPlace(b2, fp))
+    if (tryPlace(p.b1, fp) || tryPlace(p.b2, fp))
         return true;
 
     // Both buckets full: relocate existing fingerprints.
-    std::size_t bucket = rng_.chance(0.5) ? b1 : b2;
+    std::size_t bucket = rng_.chance(0.5) ? p.b1 : p.b2;
     for (unsigned kick = 0; kick < params_.maxKicks; ++kick) {
         unsigned victim_slot =
             static_cast<unsigned>(rng_.range(params_.slotsPerBucket));
@@ -107,21 +164,19 @@ CuckooFilter::insert(std::uint64_t key)
 bool
 CuckooFilter::contains(std::uint64_t key) const
 {
-    Fingerprint fp = fingerprintOf(key);
-    std::size_t b1 = primaryBucket(key);
-    if (bucketContains(b1, fp))
+    Probe p = probeOf(key);
+    if (bucketContains(p.b1, p.fp))
         return true;
-    return bucketContains(altBucket(b1, fp), fp);
+    return bucketContains(p.b2, p.fp);
 }
 
 bool
 CuckooFilter::erase(std::uint64_t key)
 {
-    Fingerprint fp = fingerprintOf(key);
-    std::size_t b1 = primaryBucket(key);
-    if (bucketErase(b1, fp))
+    Probe p = probeOf(key);
+    if (bucketErase(p.b1, p.fp))
         return true;
-    return bucketErase(altBucket(b1, fp), fp);
+    return bucketErase(p.b2, p.fp);
 }
 
 } // namespace transfw::filter

@@ -30,6 +30,18 @@ struct CuckooParams
  *
  * which satisfies alt(alt(i, f), f) == i for any bucket count, allowing
  * the paper's non-power-of-two tables (125 and 1000 buckets).
+ *
+ * Hot-path layout: every public operation derives its fingerprint and
+ * both candidate buckets up front from one probe computation — the key
+ * is metro-hashed once per hash stream and H(f) is served from a
+ * per-fingerprint table precomputed at construction (the fingerprint
+ * domain is tiny), so the kick loop and the second-bucket check never
+ * re-hash. Each bucket's four (or two) 16-bit fingerprint slots sit in
+ * one machine word, and membership compares all slots at once with a
+ * branch-light SWAR lane compare. All of this is value-preserving:
+ * fingerprints, bucket choices and kick sequences are bit-identical to
+ * the reference three-hash implementation (pinned by
+ * test_cuckoo_filter's sequence-of-record tests).
  */
 class CuckooFilter
 {
@@ -76,8 +88,16 @@ class CuckooFilter
   private:
     using Fingerprint = std::uint16_t; // up to 16 fingerprint bits
 
-    Fingerprint fingerprintOf(std::uint64_t key) const;
-    std::size_t primaryBucket(std::uint64_t key) const;
+    /** Per-operation probe state: fingerprint + both candidate buckets,
+     *  derived once from the key's hashes. */
+    struct Probe
+    {
+        Fingerprint fp;
+        std::size_t b1;
+        std::size_t b2;
+    };
+
+    Probe probeOf(std::uint64_t key) const;
     std::size_t altBucket(std::size_t bucket, Fingerprint fp) const;
 
     Fingerprint &slot(std::size_t bucket, unsigned s)
@@ -89,12 +109,19 @@ class CuckooFilter
         return table_[bucket * params_.slotsPerBucket + s];
     }
 
+    /** Bit s set ⇔ slot s of @p bucket holds @p fp (fp = 0 finds the
+     *  empty slots). Single word-compare for 2/4-slot buckets. */
+    unsigned matchMask(std::size_t bucket, Fingerprint fp) const;
+
     bool tryPlace(std::size_t bucket, Fingerprint fp);
     bool bucketContains(std::size_t bucket, Fingerprint fp) const;
     bool bucketErase(std::size_t bucket, Fingerprint fp);
 
     CuckooParams params_;
     std::vector<Fingerprint> table_; // 0 = empty slot
+    /** H(f) mod numBuckets for every fingerprint value: the alternate
+     *  bucket map, precomputed so kicks never hash. */
+    std::vector<std::uint32_t> altIndex_;
     std::size_t stored_ = 0;
     std::uint64_t overflowEvictions_ = 0;
     mutable sim::Rng rng_;

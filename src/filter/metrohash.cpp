@@ -98,12 +98,4 @@ metroHash64(const void *data, std::size_t len, std::uint64_t seed)
     return h;
 }
 
-std::uint64_t
-metroHash64(std::uint64_t key, std::uint64_t seed)
-{
-    unsigned char buf[8];
-    std::memcpy(buf, &key, sizeof(buf));
-    return metroHash64(buf, sizeof(buf), seed);
-}
-
 } // namespace transfw::filter

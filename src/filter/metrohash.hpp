@@ -18,8 +18,39 @@ namespace transfw::filter {
 std::uint64_t metroHash64(const void *data, std::size_t len,
                           std::uint64_t seed);
 
-/** Convenience overload hashing a single 64-bit key. */
-std::uint64_t metroHash64(std::uint64_t key, std::uint64_t seed);
+namespace detail {
+
+constexpr std::uint64_t kMetroK0 = 0xD6D018F5ULL;
+constexpr std::uint64_t kMetroK1 = 0xA2AA033BULL;
+constexpr std::uint64_t kMetroK2 = 0x62992FC1ULL;
+constexpr std::uint64_t kMetroK3 = 0x30BC5B29ULL;
+
+constexpr std::uint64_t
+metroRotr(std::uint64_t x, int r)
+{
+    return (x >> r) | (x << (64 - r));
+}
+
+} // namespace detail
+
+/**
+ * Convenience overload hashing a single 64-bit key: the len == 8
+ * specialization of the buffer path above, unrolled and inline so the
+ * Cuckoo filter's per-operation probe derivation compiles to a handful
+ * of arithmetic ops (test_metrohash pins it equal to the buffer path).
+ */
+constexpr std::uint64_t
+metroHash64(std::uint64_t key, std::uint64_t seed)
+{
+    using namespace detail;
+    std::uint64_t h = (seed + kMetroK2) * kMetroK0;
+    h += key * kMetroK3;
+    h ^= metroRotr(h, 55) * kMetroK1;
+    h ^= metroRotr(h, 28);
+    h *= kMetroK0;
+    h ^= metroRotr(h, 29);
+    return h;
+}
 
 } // namespace transfw::filter
 

@@ -1,5 +1,8 @@
 #include "gpu/gpu.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "sim/logging.hpp"
 
 namespace transfw::gpu {
@@ -28,6 +31,11 @@ Gpu::Gpu(sim::EventQueue &eq, const cfg::SystemConfig &config, int gpu_id,
         prt_ = std::make_unique<core::PendingRequestTable>(config.transFw,
                                                            gpu_id);
     }
+    // One cursor per resident page at most; pre-size to the frame pool
+    // so the map never rehashes mid-run (capped for huge-memory cfgs).
+    lineCursor_.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(frames_.capacity(), 1u << 16)));
+    trackL1Residency_ = config.cusPerGpu <= 64;
 
     gmmu_.onComplete = [this](mmu::XlatPtr req) { finishTranslation(req); };
     gmmu_.onFault = [this](mmu::XlatPtr req) { hooks.sendFault(req); };
@@ -49,7 +57,8 @@ Gpu::access(int cu, mem::Vpn vpn4k, bool write, std::function<void()> done)
             if (write && !entry->writable) {
                 // Stale read-only entry under a write: drop it and take
                 // the miss path, which raises the protection fault.
-                l1.invalidate(vpn);
+                if (l1.invalidate(vpn))
+                    noteL1Erased(cu, vpn);
             } else {
                 dataAccess(cu, vpn, *entry, write, std::move(done));
                 return;
@@ -167,7 +176,17 @@ Gpu::finishTranslation(const mmu::XlatPtr &req)
 void
 Gpu::deliverToL1(int cu, mem::Vpn vpn, const tlb::TlbEntry &entry)
 {
-    l1tlbs_[static_cast<std::size_t>(cu)]->fill(vpn, entry);
+    tlb::Tlb &l1 = *l1tlbs_[static_cast<std::size_t>(cu)];
+    if (trackL1Residency_) {
+        bool refresh = l1.probe(vpn) != nullptr; // stats/LRU-neutral
+        auto evicted = l1.fill(vpn, entry);
+        if (evicted)
+            noteL1Erased(cu, evicted->first);
+        if (!refresh)
+            l1Resident_[vpn] |= std::uint64_t{1} << cu;
+    } else {
+        l1.fill(vpn, entry);
+    }
     auto waiters =
         l1Mshrs_[static_cast<std::size_t>(cu)].release(vpn);
     for (auto &waiter : waiters) {
@@ -208,11 +227,41 @@ Gpu::dataAccess(int cu, mem::Vpn vpn, const tlb::TlbEntry &entry,
 }
 
 void
+Gpu::noteL1Erased(int cu, mem::Vpn vpn)
+{
+    if (!trackL1Residency_)
+        return;
+    auto it = l1Resident_.find(vpn);
+    if (it == l1Resident_.end())
+        sim::panic("L1 residency mask out of sync");
+    it->second &= ~(std::uint64_t{1} << cu);
+    if (it->second == 0)
+        l1Resident_.erase(it);
+}
+
+void
 Gpu::invalidateTlbs(mem::Vpn vpn)
 {
     l2tlb_.invalidate(vpn);
-    for (auto &l1 : l1tlbs_)
-        l1->invalidate(vpn);
+    if (!trackL1Residency_) {
+        for (auto &l1 : l1tlbs_)
+            l1->invalidate(vpn);
+        return;
+    }
+    // The residency mask is exact, so probing only the CUs it names
+    // changes nothing: every skipped L1 would find no line, bump no
+    // stat, and touch no LRU state. Most shootdowns (ping-ponging
+    // pages another GPU pulled away) find no holders at all.
+    auto it = l1Resident_.find(vpn);
+    if (it == l1Resident_.end())
+        return;
+    std::uint64_t mask = it->second;
+    l1Resident_.erase(it);
+    for (; mask; mask &= mask - 1) {
+        auto cu = static_cast<std::size_t>(std::countr_zero(mask));
+        if (!l1tlbs_[cu]->invalidate(vpn))
+            sim::panic("L1 residency mask out of sync");
+    }
 }
 
 void

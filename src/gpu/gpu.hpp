@@ -8,6 +8,7 @@
 
 #include "config/config.hpp"
 #include "cache/mshr.hpp"
+#include "sim/flat_map.hpp"
 #include "mem/frame_allocator.hpp"
 #include "mem/mem_hierarchy.hpp"
 #include "mem/page_table.hpp"
@@ -151,6 +152,10 @@ class Gpu : public sim::SimObject, public mmu::GpuIface
     void dataAccess(int cu, mem::Vpn vpn, const tlb::TlbEntry &entry,
                     bool write, std::function<void()> done);
 
+    /** CU @p cu's L1 copy of @p vpn disappeared (eviction or
+     *  shootdown). */
+    void noteL1Erased(int cu, mem::Vpn vpn);
+
     const cfg::SystemConfig &cfg_;
     int id_;
     unsigned vpnShift_; ///< 4 KB VPN -> system VPN shift
@@ -159,6 +164,14 @@ class Gpu : public sim::SimObject, public mmu::GpuIface
     mem::PageTable pt_;
     mem::FrameAllocator frames_;
     std::vector<std::unique_ptr<tlb::Tlb>> l1tlbs_;
+    /** Exact bitmask of CUs whose L1 holds each VPN, so shootdowns
+     *  probe only the holders instead of scanning every CU's set —
+     *  absent key means no L1 copy anywhere, the common case when
+     *  pages ping-pong between GPUs. Tracking needs one mask bit per
+     *  CU: with more than 64 CUs (no shipped config) it is disabled
+     *  and shootdowns scan every CU as before. */
+    sim::FlatMap<mem::Vpn, std::uint64_t> l1Resident_;
+    bool trackL1Residency_ = true;
     tlb::Tlb l2tlb_;
     std::vector<cache::Mshr<L1Waiter>> l1Mshrs_; ///< per CU, keyed by VPN
     cache::Mshr<int> l2Mshr_;                    ///< waiters are CU ids

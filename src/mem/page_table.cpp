@@ -4,52 +4,103 @@
 
 namespace transfw::mem {
 
+PageTable::PageTable(PagingGeometry geo) : geo_(geo)
+{
+    // The root node: an inner node for the normal multi-level
+    // geometries, or directly the leaf node for a degenerate
+    // single-level table (levels == leafLevel()).
+    if (geo_.levels > geo_.leafLevel())
+        inner_.emplace_back();
+    else
+        leaves_.emplace_back();
+}
+
+std::uint32_t
+PageTable::newInner()
+{
+    inner_.emplace_back();
+    return static_cast<std::uint32_t>(inner_.size() - 1);
+}
+
+std::uint32_t
+PageTable::newLeaf()
+{
+    leaves_.emplace_back();
+    return static_cast<std::uint32_t>(leaves_.size()); // index + 1
+}
+
+PageTable::LeafNode *
+PageTable::leafNodeFor(Vpn vpn)
+{
+    if (geo_.levels <= geo_.leafLevel())
+        return &leaves_[0];
+    InnerNode *node = &inner_[0];
+    int leaf_parent = geo_.leafLevel() + 1;
+    for (int level = geo_.levels; level > leaf_parent; --level) {
+        std::uint32_t &c = node->child[geo_.index(vpn, level)];
+        if (c == 0)
+            c = newInner();
+        node = &inner_[c];
+    }
+    std::uint32_t &c = node->child[geo_.index(vpn, leaf_parent)];
+    if (c == 0)
+        c = newLeaf();
+    return &leaves_[c - 1];
+}
+
+const PageTable::LeafNode *
+PageTable::leafNodeOf(Vpn vpn) const
+{
+    if (geo_.levels <= geo_.leafLevel())
+        return &leaves_[0];
+    const InnerNode *node = &inner_[0];
+    int leaf_parent = geo_.leafLevel() + 1;
+    for (int level = geo_.levels; level > leaf_parent; --level) {
+        std::uint32_t c = node->child[geo_.index(vpn, level)];
+        if (c == 0)
+            return nullptr;
+        node = &inner_[c];
+    }
+    std::uint32_t c = node->child[geo_.index(vpn, leaf_parent)];
+    return c == 0 ? nullptr : &leaves_[c - 1];
+}
+
 void
 PageTable::map(Vpn vpn, const PageInfo &info)
 {
-    Node *node = &root_;
-    for (int level = geo_.levels; level > geo_.leafLevel(); --level) {
-        unsigned idx = geo_.index(vpn, level);
-        auto &child = node->children[idx];
-        if (!child)
-            child = std::make_unique<Node>();
-        node = child.get();
-    }
+    LeafNode *leaf = leafNodeFor(vpn);
     unsigned leaf_idx = geo_.index(vpn, geo_.leafLevel());
-    auto [it, inserted] = node->leaves.insert_or_assign(leaf_idx, info);
-    (void)it;
-    if (inserted)
+    if (!leaf->present(leaf_idx)) {
+        leaf->setPresent(leaf_idx);
         ++mapped_;
+    }
+    leaf->info[leaf_idx] = info;
 }
 
 bool
 PageTable::unmap(Vpn vpn)
 {
-    Node *node = &root_;
-    for (int level = geo_.levels; level > geo_.leafLevel(); --level) {
-        auto it = node->children.find(geo_.index(vpn, level));
-        if (it == node->children.end())
-            return false;
-        node = it->second.get();
-    }
-    bool erased = node->leaves.erase(geo_.index(vpn, geo_.leafLevel())) > 0;
-    if (erased)
-        --mapped_;
-    return erased;
+    const LeafNode *cleaf = leafNodeOf(vpn);
+    if (!cleaf)
+        return false;
+    LeafNode *leaf = const_cast<LeafNode *>(cleaf);
+    unsigned leaf_idx = geo_.index(vpn, geo_.leafLevel());
+    if (!leaf->present(leaf_idx))
+        return false;
+    leaf->clearPresent(leaf_idx);
+    leaf->info[leaf_idx] = PageInfo{};
+    --mapped_;
+    return true;
 }
 
 const PageInfo *
 PageTable::lookup(Vpn vpn) const
 {
-    const Node *node = &root_;
-    for (int level = geo_.levels; level > geo_.leafLevel(); --level) {
-        auto it = node->children.find(geo_.index(vpn, level));
-        if (it == node->children.end())
-            return nullptr;
-        node = it->second.get();
-    }
-    auto it = node->leaves.find(geo_.index(vpn, geo_.leafLevel()));
-    return it == node->leaves.end() ? nullptr : &it->second;
+    const LeafNode *leaf = leafNodeOf(vpn);
+    if (!leaf)
+        return nullptr;
+    unsigned leaf_idx = geo_.index(vpn, geo_.leafLevel());
+    return leaf->present(leaf_idx) ? &leaf->info[leaf_idx] : nullptr;
 }
 
 PageInfo *
@@ -59,35 +110,40 @@ PageTable::lookup(Vpn vpn)
         static_cast<const PageTable *>(this)->lookup(vpn));
 }
 
-const PageTable::Node *
-PageTable::nodeAt(Vpn vpn, int level) const
-{
-    const Node *node = &root_;
-    for (int l = geo_.levels; l > level; --l) {
-        auto it = node->children.find(geo_.index(vpn, l));
-        if (it == node->children.end())
-            return nullptr;
-        node = it->second.get();
-    }
-    return node;
-}
-
 void
 PageTable::forEachMapped(
     const std::function<void(Vpn, const PageInfo &)> &fn) const
 {
     // Recursive descent accumulating the VPN from per-level indices.
-    std::function<void(const Node &, int, Vpn)> visit =
-        [&](const Node &node, int level, Vpn prefix) {
-            if (level == geo_.leafLevel()) {
-                for (const auto &[idx, info] : node.leaves)
-                    fn((prefix << kIndexBits) | idx, info);
-                return;
-            }
-            for (const auto &[idx, child] : node.children)
-                visit(*child, level - 1, (prefix << kIndexBits) | idx);
+    int leaf_level = geo_.leafLevel();
+    std::function<void(const LeafNode &, Vpn)> visitLeaf =
+        [&](const LeafNode &leaf, Vpn prefix) {
+            for (unsigned idx = 0; idx < kFanout; ++idx)
+                if (leaf.present(idx))
+                    fn((prefix << kIndexBits) | idx, leaf.info[idx]);
         };
-    visit(root_, geo_.levels, 0);
+    if (geo_.levels <= leaf_level) {
+        // Degenerate single-level table: the root holds the leaves and
+        // contributes no prefix bits.
+        for (unsigned idx = 0; idx < kFanout; ++idx)
+            if (leaves_[0].present(idx))
+                fn(idx, leaves_[0].info[idx]);
+        return;
+    }
+    std::function<void(const InnerNode &, int, Vpn)> visit =
+        [&](const InnerNode &node, int level, Vpn prefix) {
+            for (unsigned idx = 0; idx < kFanout; ++idx) {
+                std::uint32_t c = node.child[idx];
+                if (c == 0)
+                    continue;
+                Vpn next = (prefix << kIndexBits) | idx;
+                if (level - 1 == leaf_level)
+                    visitLeaf(leaves_[c - 1], next);
+                else
+                    visit(inner_[c], level - 1, next);
+            }
+        };
+    visit(inner_[0], geo_.levels, 0);
 }
 
 WalkResult
@@ -100,29 +156,44 @@ PageTable::walk(Vpn vpn, int pwc_hit_level) const
                           pwc_hit_level < geo_.lowestCachedLevel()))
         sim::panic("walk started from an invalid PW-cache level");
 
-    const Node *node = nodeAt(vpn, start_level);
-    if (!node) {
-        // The PW-cache claimed a prefix whose subtree does not exist;
-        // intermediate nodes are never freed, so this is a simulator bug.
-        sim::panic("stale PW-cache prefix: intermediate node missing");
+    const int leaf_level = geo_.leafLevel();
+
+    // Functional descent (no access accounting) to the start node; the
+    // PW-cache only certifies prefixes whose subtree exists, and
+    // intermediate nodes are never freed, so a missing node here is a
+    // simulator bug.
+    const InnerNode *node = inner_.empty() ? nullptr : &inner_[0];
+    const LeafNode *leaf =
+        geo_.levels <= leaf_level ? &leaves_[0] : nullptr;
+    for (int level = geo_.levels; level > start_level; --level) {
+        std::uint32_t c = node->child[geo_.index(vpn, level)];
+        if (c == 0)
+            sim::panic("stale PW-cache prefix: intermediate node missing");
+        if (level - 1 == leaf_level)
+            leaf = &leaves_[c - 1];
+        else
+            node = &inner_[c];
     }
 
     res.deepestFilled = pwc_hit_level;
-    for (int level = start_level; level >= geo_.leafLevel(); --level) {
+    for (int level = start_level; level >= leaf_level; --level) {
         ++res.accesses; // read the entry in the level-`level` node
-        if (level == geo_.leafLevel()) {
-            auto it = node->leaves.find(geo_.index(vpn, level));
-            if (it == node->leaves.end())
+        if (level == leaf_level) {
+            unsigned idx = geo_.index(vpn, level);
+            if (!leaf->present(idx))
                 return res; // leaf PTE not present: page fault
             res.present = true;
-            res.info = it->second;
+            res.info = leaf->info[idx];
             return res;
         }
-        auto it = node->children.find(geo_.index(vpn, level));
-        if (it == node->children.end())
+        std::uint32_t c = node->child[geo_.index(vpn, level)];
+        if (c == 0)
             return res; // intermediate entry not present: early fault
         res.deepestFilled = level;
-        node = it->second.get();
+        if (level - 1 == leaf_level)
+            leaf = &leaves_[c - 1];
+        else
+            node = &inner_[c];
     }
     return res;
 }

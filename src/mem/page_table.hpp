@@ -1,10 +1,10 @@
 #ifndef TRANSFW_MEM_PAGE_TABLE_HPP
 #define TRANSFW_MEM_PAGE_TABLE_HPP
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
-#include <unordered_map>
 
 #include "mem/address.hpp"
 
@@ -50,11 +50,22 @@ struct WalkResult
  * page tables, where node reclamation is rare), which keeps PW-cache
  * entries for intermediate levels valid across page migrations — only
  * the leaf PTE changes.
+ *
+ * Storage mirrors a hardware radix table: every node is a flat array
+ * sized by the radix fanout (512 entries), so walk()/lookup() is a
+ * contiguous pointer-chase — one indexed load per level — instead of a
+ * hash-map probe per level. Inner nodes hold 32-bit child references
+ * into per-kind pools (0 = absent); leaf nodes hold a present bitmap
+ * plus the PageInfo array. Nodes are pool-allocated and never freed
+ * (unmap only clears the present bit), so no tombstone or reclamation
+ * logic exists and PageInfo pointers handed out by lookup() stay
+ * stable across later map()/unmap() calls, exactly as with the former
+ * node-hash-map representation.
  */
 class PageTable
 {
   public:
-    explicit PageTable(PagingGeometry geo) : geo_(geo) {}
+    explicit PageTable(PagingGeometry geo);
 
     const PagingGeometry &geometry() const { return geo_; }
 
@@ -79,6 +90,9 @@ class PageTable
     /** Number of mapped leaf pages. */
     std::uint64_t mappedPages() const { return mapped_; }
 
+    /** Nodes allocated (root included) — sizing/inspection aid. */
+    std::size_t nodeCount() const { return inner_.size() + leaves_.size(); }
+
     /**
      * Visit every mapped leaf as (vpn, info). Used by consistency
      * validators (e.g., checking the PRT against the table) and
@@ -88,17 +102,50 @@ class PageTable
         const std::function<void(Vpn, const PageInfo &)> &fn) const;
 
   private:
-    struct Node
+    static constexpr std::size_t kFanout = std::size_t{1} << kIndexBits;
+
+    /** Radix node above the leaf level: child references, 0 = absent.
+     *  A child at level leafLevel()+1 indexes leaves_ (offset by one);
+     *  any other child indexes inner_. */
+    struct InnerNode
     {
-        std::unordered_map<unsigned, std::unique_ptr<Node>> children;
-        std::unordered_map<unsigned, PageInfo> leaves;
+        std::array<std::uint32_t, kFanout> child{};
     };
 
-    /** Descend functionally to the node at @p level (nullptr if absent). */
-    const Node *nodeAt(Vpn vpn, int level) const;
+    /** Leaf-holding node: present bitmap + flat PTE array. */
+    struct LeafNode
+    {
+        std::array<std::uint64_t, kFanout / 64> presentBits{};
+        std::array<PageInfo, kFanout> info{};
+
+        bool
+        present(unsigned idx) const
+        {
+            return (presentBits[idx >> 6] >> (idx & 63)) & 1;
+        }
+        void setPresent(unsigned idx)
+        {
+            presentBits[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        }
+        void clearPresent(unsigned idx)
+        {
+            presentBits[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+        }
+    };
+
+    /** Descend to the leaf node covering @p vpn (nullptr if absent). */
+    const LeafNode *leafNodeOf(Vpn vpn) const;
+    /** As above, creating missing nodes along the way. */
+    LeafNode *leafNodeFor(Vpn vpn);
+
+    std::uint32_t newInner();
+    std::uint32_t newLeaf();
 
     PagingGeometry geo_;
-    Node root_;
+    /** inner_[0] is the root (when the geometry has inner levels). */
+    std::deque<InnerNode> inner_;
+    /** Leaf pool; child references store index + 1. */
+    std::deque<LeafNode> leaves_;
     std::uint64_t mapped_ = 0;
 };
 

@@ -1,0 +1,536 @@
+#ifndef TRANSFW_SIM_FLAT_MAP_HPP
+#define TRANSFW_SIM_FLAT_MAP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace transfw::sim {
+
+/**
+ * Bit-mixing hash for integral keys (the finalizer of MurmurHash3 /
+ * splitmix64). The simulator's map keys are VPNs, VA prefixes and
+ * packed (group, gpu) ids — dense, low-entropy integers that need the
+ * avalanche before they index a power-of-two table.
+ */
+struct FlatHash
+{
+    std::size_t
+    operator()(std::uint64_t x) const noexcept
+    {
+        x ^= x >> 33;
+        x *= 0xFF51AFD7ED558CCDULL;
+        x ^= x >> 33;
+        x *= 0xC4CEB9FE1A85EC53ULL;
+        x ^= x >> 33;
+        return static_cast<std::size_t>(x);
+    }
+};
+
+/**
+ * Open-addressing hash map with linear probing, used on the
+ * translation hot path in place of std::unordered_map. One contiguous
+ * slot array plus a one-byte-per-slot control array: a lookup is a
+ * mixed hash and a short linear scan over adjacent cache lines, with
+ * none of the per-node allocation or pointer chasing of the node-based
+ * standard containers.
+ *
+ * Deliberately a subset of the std::unordered_map API (find / count /
+ * operator[] / try_emplace / emplace / insert_or_assign / erase /
+ * range-for); drop-in for the simulator's call sites. Like
+ * unordered_map, iterators and references are invalidated by
+ * insertion (rehash); erase invalidates only the erased entry.
+ *
+ * Requirements: Key is an integral-like type hashable by @p Hash and
+ * equality-comparable; Key and Value are default-constructible and
+ * movable (erased slots are reset to a default-constructed pair so
+ * heavy values release their resources immediately).
+ */
+template <typename Key, typename Value, typename Hash = FlatHash>
+class FlatMap
+{
+  public:
+    using value_type = std::pair<Key, Value>;
+
+    FlatMap() = default;
+
+    explicit FlatMap(std::size_t expected) { reserve(expected); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Pre-size so @p expected entries fit without rehashing. */
+    void
+    reserve(std::size_t expected)
+    {
+        std::size_t needed = tableFor(expected);
+        if (needed > cap())
+            rehash(needed);
+    }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < cap(); ++i) {
+            if (ctrl_[i] == kFull)
+                slots_[i] = value_type();
+            ctrl_[i] = kEmpty;
+        }
+        size_ = 0;
+        used_ = 0;
+    }
+
+    /** Forward iterator over live entries (unspecified order). */
+    class iterator
+    {
+      public:
+        iterator() = default;
+        iterator(FlatMap *map, std::size_t idx) : map_(map), idx_(idx)
+        {
+            skip();
+        }
+
+        value_type &operator*() const { return map_->slots_[idx_]; }
+        value_type *operator->() const { return &map_->slots_[idx_]; }
+
+        iterator &
+        operator++()
+        {
+            ++idx_;
+            skip();
+            return *this;
+        }
+
+        bool
+        operator==(const iterator &o) const
+        {
+            return idx_ == o.idx_;
+        }
+        bool operator!=(const iterator &o) const { return !(*this == o); }
+
+      private:
+        friend class FlatMap;
+        void
+        skip()
+        {
+            while (idx_ < map_->cap() && map_->ctrl_[idx_] != kFull)
+                ++idx_;
+        }
+
+        FlatMap *map_ = nullptr;
+        std::size_t idx_ = 0;
+    };
+
+    class const_iterator
+    {
+      public:
+        const_iterator() = default;
+        const_iterator(const FlatMap *map, std::size_t idx)
+            : map_(map), idx_(idx)
+        {
+            skip();
+        }
+        const_iterator(iterator it) : map_(it.map_), idx_(it.idx_) {}
+
+        const value_type &operator*() const { return map_->slots_[idx_]; }
+        const value_type *operator->() const
+        {
+            return &map_->slots_[idx_];
+        }
+
+        const_iterator &
+        operator++()
+        {
+            ++idx_;
+            skip();
+            return *this;
+        }
+
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return idx_ == o.idx_;
+        }
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return !(*this == o);
+        }
+
+      private:
+        friend class FlatMap;
+        void
+        skip()
+        {
+            while (idx_ < map_->cap() && map_->ctrl_[idx_] != kFull)
+                ++idx_;
+        }
+
+        const FlatMap *map_ = nullptr;
+        std::size_t idx_ = 0;
+    };
+
+    iterator begin() { return iterator(this, 0); }
+    iterator end() { return iterator(this, cap()); }
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, cap()); }
+
+    iterator
+    find(const Key &key)
+    {
+        std::size_t idx = findIndex(key);
+        return idx == kNpos ? end() : iterator(this, idx);
+    }
+
+    const_iterator
+    find(const Key &key) const
+    {
+        std::size_t idx = findIndex(key);
+        return idx == kNpos ? end() : const_iterator(this, idx);
+    }
+
+    std::size_t count(const Key &key) const
+    {
+        return findIndex(key) == kNpos ? 0 : 1;
+    }
+    bool contains(const Key &key) const { return findIndex(key) != kNpos; }
+
+    Value &
+    operator[](const Key &key)
+    {
+        return slots_[insertSlot(key)].second;
+    }
+
+    /**
+     * Insert (key, Value(args...)) if absent.
+     * @return (iterator, true) on insertion, (existing, false) otherwise.
+     */
+    template <typename... Args>
+    std::pair<iterator, bool>
+    try_emplace(const Key &key, Args &&...args)
+    {
+        std::size_t before = size_;
+        std::size_t idx = insertSlot(key, std::forward<Args>(args)...);
+        return {iterator(this, idx), size_ != before};
+    }
+
+    /** unordered_map::emplace for the (key, value) shape used here. */
+    template <typename V>
+    std::pair<iterator, bool>
+    emplace(const Key &key, V &&value)
+    {
+        return try_emplace(key, std::forward<V>(value));
+    }
+
+    template <typename V>
+    std::pair<iterator, bool>
+    insert_or_assign(const Key &key, V &&value)
+    {
+        auto [it, inserted] = try_emplace(key, std::forward<V>(value));
+        if (!inserted)
+            it->second = std::forward<V>(value);
+        return {it, inserted};
+    }
+
+    /** Erase @p key. @return 1 when it was present, else 0. */
+    std::size_t
+    erase(const Key &key)
+    {
+        std::size_t idx = findIndex(key);
+        if (idx == kNpos)
+            return 0;
+        eraseIndex(idx);
+        return 1;
+    }
+
+    /** Erase the entry @p it points at (must be dereferenceable). */
+    void erase(iterator it) { eraseIndex(it.idx_); }
+
+  private:
+    static constexpr std::uint8_t kEmpty = 0;
+    static constexpr std::uint8_t kFull = 1;
+    static constexpr std::uint8_t kTomb = 2;
+    static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+    static constexpr std::size_t kMinCap = 16;
+
+    std::size_t cap() const { return ctrl_.size(); }
+
+    /** Smallest power-of-two table keeping @p n entries under 7/8 load. */
+    static std::size_t
+    tableFor(std::size_t n)
+    {
+        std::size_t c = kMinCap;
+        while (n + n / 7 + 1 >= c - c / 8)
+            c <<= 1;
+        return c;
+    }
+
+    std::size_t
+    findIndex(const Key &key) const
+    {
+        if (cap() == 0)
+            return kNpos;
+        std::size_t mask = cap() - 1;
+        std::size_t idx = Hash{}(key) & mask;
+        while (true) {
+            if (ctrl_[idx] == kEmpty)
+                return kNpos;
+            if (ctrl_[idx] == kFull && slots_[idx].first == key)
+                return idx;
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /** Find @p key or claim a slot for it; returns the slot index. */
+    template <typename... Args>
+    std::size_t
+    insertSlot(const Key &key, Args &&...args)
+    {
+        if (cap() == 0 || used_ + 1 >= cap() - cap() / 8)
+            grow();
+        std::size_t mask = cap() - 1;
+        std::size_t idx = Hash{}(key) & mask;
+        std::size_t tomb = kNpos;
+        while (true) {
+            if (ctrl_[idx] == kEmpty) {
+                std::size_t target = tomb != kNpos ? tomb : idx;
+                if (target == idx)
+                    ++used_; // a tombstone reuse does not raise load
+                ctrl_[target] = kFull;
+                slots_[target] =
+                    value_type(key, Value(std::forward<Args>(args)...));
+                ++size_;
+                return target;
+            }
+            if (ctrl_[idx] == kTomb) {
+                if (tomb == kNpos)
+                    tomb = idx;
+            } else if (slots_[idx].first == key) {
+                return idx;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    void
+    eraseIndex(std::size_t idx)
+    {
+        if (idx >= cap() || ctrl_[idx] != kFull)
+            sim::panic("FlatMap: erase of a non-live slot");
+        ctrl_[idx] = kTomb;
+        slots_[idx] = value_type(); // release heavy values eagerly
+        --size_;
+    }
+
+    void
+    grow()
+    {
+        // Grow when genuinely loaded; at high-tombstone ratios rebuild
+        // at the same capacity to reclaim the dead slots.
+        std::size_t target =
+            size_ * 2 >= cap() ? std::max(cap() * 2, kMinCap)
+                               : std::max(cap(), kMinCap);
+        rehash(target);
+    }
+
+    void
+    rehash(std::size_t newCap)
+    {
+        std::vector<value_type> oldSlots = std::move(slots_);
+        std::vector<std::uint8_t> oldCtrl = std::move(ctrl_);
+        slots_.clear();
+        slots_.resize(newCap); // resize, not assign: Value may be move-only
+        ctrl_.assign(newCap, kEmpty);
+        std::size_t mask = newCap - 1;
+        for (std::size_t i = 0; i < oldCtrl.size(); ++i) {
+            if (oldCtrl[i] != kFull)
+                continue;
+            std::size_t idx = Hash{}(oldSlots[i].first) & mask;
+            while (ctrl_[idx] == kFull)
+                idx = (idx + 1) & mask;
+            ctrl_[idx] = kFull;
+            slots_[idx] = std::move(oldSlots[i]);
+        }
+        used_ = size_;
+    }
+
+    std::vector<value_type> slots_;
+    std::vector<std::uint8_t> ctrl_;
+    std::size_t size_ = 0; ///< live entries
+    std::size_t used_ = 0; ///< live + tombstoned slots (probe load)
+};
+
+/** Open-addressing set companion of FlatMap (same probing scheme). */
+template <typename Key, typename Hash = FlatHash>
+class FlatSet
+{
+  public:
+    std::size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+    void clear() { map_.clear(); }
+    void reserve(std::size_t expected) { map_.reserve(expected); }
+
+    bool
+    insert(const Key &key)
+    {
+        return map_.try_emplace(key).second;
+    }
+
+    std::size_t count(const Key &key) const { return map_.count(key); }
+    bool contains(const Key &key) const { return map_.contains(key); }
+    std::size_t erase(const Key &key) { return map_.erase(key); }
+
+  private:
+    struct Unit
+    {};
+    FlatMap<Key, Unit, Hash> map_;
+};
+
+/**
+ * Vector with @p N elements of inline storage, for the short waiter
+ * lists parked on MSHR entries: the common one-or-two-waiter case
+ * never touches the heap, and moving an entry (rehash, release) moves
+ * at most N elements instead of re-pointing a heap block — cheap for
+ * the small N used here.
+ */
+template <typename T, std::size_t N>
+class InlineVec
+{
+  public:
+    InlineVec() = default;
+
+    InlineVec(InlineVec &&other) noexcept { moveFrom(std::move(other)); }
+
+    InlineVec &
+    operator=(InlineVec &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    InlineVec(const InlineVec &) = delete;
+    InlineVec &operator=(const InlineVec &) = delete;
+
+    ~InlineVec() { destroy(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T *begin() { return data(); }
+    T *end() { return data() + size_; }
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size_; }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == capacity_)
+            growTo(capacity_ * 2);
+        ::new (static_cast<void *>(data() + size_)) T(std::move(value));
+        ++size_;
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (size_ == capacity_)
+            growTo(capacity_ * 2);
+        T *slot = ::new (static_cast<void *>(data() + size_))
+            T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            data()[i].~T();
+        size_ = 0;
+    }
+
+  private:
+    T *
+    data()
+    {
+        return heap_ ? heap_ : reinterpret_cast<T *>(inline_);
+    }
+    const T *
+    data() const
+    {
+        return heap_ ? heap_ : reinterpret_cast<const T *>(inline_);
+    }
+
+    void
+    growTo(std::size_t newCap)
+    {
+        T *mem = static_cast<T *>(
+            ::operator new(newCap * sizeof(T), std::align_val_t(alignof(T))));
+        for (std::size_t i = 0; i < size_; ++i) {
+            ::new (static_cast<void *>(mem + i)) T(std::move(data()[i]));
+            data()[i].~T();
+        }
+        releaseHeap();
+        heap_ = mem;
+        capacity_ = newCap;
+    }
+
+    void
+    moveFrom(InlineVec &&other)
+    {
+        if (other.heap_) { // steal the heap block wholesale
+            heap_ = other.heap_;
+            size_ = other.size_;
+            capacity_ = other.capacity_;
+            other.heap_ = nullptr;
+        } else {
+            heap_ = nullptr;
+            size_ = other.size_;
+            capacity_ = N;
+            for (std::size_t i = 0; i < size_; ++i) {
+                ::new (static_cast<void *>(data() + i))
+                    T(std::move(other.data()[i]));
+                other.data()[i].~T();
+            }
+        }
+        other.size_ = 0;
+        other.capacity_ = N;
+    }
+
+    void
+    destroy()
+    {
+        clear();
+        releaseHeap();
+        capacity_ = N;
+    }
+
+    void
+    releaseHeap()
+    {
+        if (heap_) {
+            ::operator delete(heap_, std::align_val_t(alignof(T)));
+            heap_ = nullptr;
+        }
+    }
+
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+    T *heap_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = N;
+};
+
+} // namespace transfw::sim
+
+#endif // TRANSFW_SIM_FLAT_MAP_HPP

@@ -21,6 +21,7 @@ struct SimResults
 
     // --- headline --------------------------------------------------------
     sim::Tick execTime = 0;       ///< end-to-end execution time (cycles)
+    std::uint64_t eventsExecuted = 0; ///< discrete events the run drained
     std::uint64_t instructions = 0;
     std::uint64_t memOps = 0;
     std::uint64_t pageAccesses = 0;

@@ -24,6 +24,9 @@ SweepRunner::SweepRunner(int jobs)
     : jobs_(jobs > 0 ? jobs
                      : static_cast<int>(sim::TaskPool::defaultThreads()))
 {
+    // Sweeps memoize every (config, app, scale) point; typical matrices
+    // are tens of points, so one up-front reserve avoids all rehashing.
+    memo_.reserve(64);
 }
 
 SimResults

@@ -305,11 +305,13 @@ MultiGpuSystem::run()
     for (auto &cu : cus_)
         cu->start();
     obs_->sampler.start(eq_, cfg_.obs.sampleInterval);
-    eq_.run();
+    std::uint64_t events = eq_.run();
 
     if (scheduler_.remaining() != 0)
         sim::panic("simulation drained with unscheduled CTAs");
-    return collect();
+    SimResults res = collect();
+    res.eventsExecuted = events;
+    return res;
 }
 
 SimResults

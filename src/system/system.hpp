@@ -2,7 +2,6 @@
 #define TRANSFW_SYSTEM_SYSTEM_HPP
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "config/config.hpp"
@@ -12,6 +11,7 @@
 #include "interconnect/network.hpp"
 #include "mmu/host_mmu.hpp"
 #include "obs/obs.hpp"
+#include "sim/flat_map.hpp"
 #include "system/results.hpp"
 #include "transfw/forwarding_table.hpp"
 #include "uvm/migration.hpp"
@@ -81,7 +81,8 @@ class MultiGpuSystem
     gpu::CtaScheduler scheduler_;
     std::vector<std::unique_ptr<gpu::ComputeUnit>> cus_;
 
-    std::unordered_map<mem::Vpn, PageSharing> sharing_;
+    /** Updated on every coalesced page access (sharing tracker tap). */
+    sim::FlatMap<mem::Vpn, PageSharing> sharing_;
     std::uint64_t farFaults_ = 0;
     bool ran_ = false;
 

@@ -2,7 +2,9 @@
 #define TRANSFW_TLB_TLB_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "cache/set_assoc.hpp"
 #include "mem/address.hpp"
@@ -57,10 +59,12 @@ class Tlb
     /** Recency/stats-neutral lookup (sibling probes, tests). */
     const TlbEntry *probe(mem::Vpn vpn) const { return array_.probe(vpn); }
 
-    /** Install a translation. */
-    void fill(mem::Vpn vpn, const TlbEntry &entry)
+    /** Install a translation. @return the displaced (vpn, entry), if
+     *  a valid line was evicted (for residency bookkeeping). */
+    std::optional<std::pair<std::uint64_t, TlbEntry>>
+    fill(mem::Vpn vpn, const TlbEntry &entry)
     {
-        array_.insert(vpn, entry);
+        return array_.insert(vpn, entry);
     }
 
     /** Shoot down one translation. @return true if present. */

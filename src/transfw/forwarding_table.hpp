@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "config/config.hpp"
 #include "filter/cuckoo_filter.hpp"
 #include "mem/address.hpp"
 #include "obs/metrics.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 
 namespace transfw::core {
@@ -83,7 +83,8 @@ class ForwardingTable
     unsigned maskBits_;
     filter::CuckooFilter filter_;
     sim::Rng rng_{0x4654'BEEFULL};
-    std::unordered_map<std::uint64_t, std::uint32_t> refCount_;
+    /** Exact per-(group, gpu) residency counts (see class comment). */
+    sim::FlatMap<std::uint64_t, std::uint32_t> refCount_;
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;
 };

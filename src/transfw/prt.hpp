@@ -2,12 +2,12 @@
 #define TRANSFW_TRANSFW_PRT_HPP
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "config/config.hpp"
 #include "filter/cuckoo_filter.hpp"
 #include "mem/address.hpp"
 #include "obs/metrics.hpp"
+#include "sim/flat_map.hpp"
 
 namespace transfw::core {
 
@@ -77,7 +77,9 @@ class PendingRequestTable
 
     unsigned maskBits_;
     filter::CuckooFilter filter_;
-    std::unordered_map<std::uint64_t, std::uint32_t> groupCount_;
+    /** Exact per-group residency counts; updated on every page
+     *  arrival/departure, so kept flat alongside the filter. */
+    sim::FlatMap<std::uint64_t, std::uint32_t> groupCount_;
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;
 };

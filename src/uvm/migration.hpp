@@ -3,7 +3,6 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "config/config.hpp"
@@ -12,6 +11,7 @@
 #include "mmu/gpu_iface.hpp"
 #include "mmu/request.hpp"
 #include "obs/metrics.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/sim_object.hpp"
 #include "transfw/forwarding_table.hpp"
 
@@ -141,9 +141,11 @@ class MigrationEngine : public sim::SimObject
     core::ForwardingTable *ft_;
     Stats stats_;
 
-    /** Pages with a move in flight → resolves waiting on them. */
-    std::unordered_map<mem::Vpn, std::deque<Pending>> busy_;
-    std::unordered_map<std::uint64_t, std::uint32_t> remoteAccess_;
+    /** Pages with a move in flight → resolves waiting on them.
+     *  Checked on every resolve and every remote-access note, so flat. */
+    sim::FlatMap<mem::Vpn, std::deque<Pending>> busy_;
+    /** Remote-mapping access counters, bumped per remote data access. */
+    sim::FlatMap<std::uint64_t, std::uint32_t> remoteAccess_;
 };
 
 } // namespace transfw::uvm

@@ -3,7 +3,6 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "config/config.hpp"
@@ -12,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "pwc/pwc.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 #include "sim/sim_object.hpp"
 #include "transfw/forwarding_table.hpp"
@@ -102,8 +102,9 @@ class UvmDriver : public sim::SimObject
     int busyThreads_ = 0;
     int outstandingWalks_ = 0; ///< walks (local or remote) in flight
 
-    /** Per-page coalescing across the whole driver. */
-    std::unordered_map<mem::Vpn, std::vector<mmu::XlatPtr>> inflight_;
+    /** Per-page coalescing across the whole driver. Touched once per
+     *  far fault, so stored flat like the hardware-path MSHRs. */
+    sim::FlatMap<mem::Vpn, std::vector<mmu::XlatPtr>> inflight_;
 
     Stats stats_;
     obs::SpanRecorder *spans_ = nullptr;

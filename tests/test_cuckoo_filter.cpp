@@ -137,3 +137,100 @@ INSTANTIATE_TEST_SUITE_P(
                      .fingerprintBits = 11},
         CuckooParams{.numBuckets = 500, .slotsPerBucket = 2,
                      .fingerprintBits = 11}));
+
+namespace {
+
+/**
+ * Digest of a fixed insert / probe / erase schedule. The expected
+ * values below were captured from the scalar three-hash reference
+ * implementation; the packed single-pass probe must reproduce every
+ * one of them exactly (identical fingerprints, bucket choices, slot
+ * order, kick sequences and overflow evictions).
+ */
+struct SequenceDigest
+{
+    std::uint64_t insertFails = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t present = 0;
+    std::uint64_t fpHits = 0;
+    std::uint64_t erased = 0;
+    std::uint64_t sizeAfterErase = 0;
+    std::uint64_t present2 = 0;
+};
+
+SequenceDigest
+runSequence(CuckooParams params, std::uint64_t n, std::uint64_t stride)
+{
+    CuckooFilter f(params);
+    SequenceDigest d;
+    for (std::uint64_t k = 0; k < n; ++k)
+        d.insertFails += f.insert(k * stride) ? 0 : 1;
+    d.overflow = f.overflowEvictions();
+    for (std::uint64_t k = 0; k < n; ++k)
+        d.present += f.contains(k * stride) ? 1 : 0;
+    for (std::uint64_t k = 0; k < 4096; ++k)
+        d.fpHits += f.contains(k * stride + 1) ? 1 : 0;
+    for (std::uint64_t k = 0; k < n; k += 3)
+        d.erased += f.erase(k * stride) ? 1 : 0;
+    d.sizeAfterErase = f.size();
+    for (std::uint64_t k = 0; k < n; ++k)
+        d.present2 += f.contains(k * stride) ? 1 : 0;
+    return d;
+}
+
+void
+expectDigest(const SequenceDigest &got, const SequenceDigest &want)
+{
+    EXPECT_EQ(got.insertFails, want.insertFails);
+    EXPECT_EQ(got.overflow, want.overflow);
+    EXPECT_EQ(got.present, want.present);
+    EXPECT_EQ(got.fpHits, want.fpHits);
+    EXPECT_EQ(got.erased, want.erased);
+    EXPECT_EQ(got.sizeAfterErase, want.sizeAfterErase);
+    EXPECT_EQ(got.present2, want.present2);
+}
+
+} // namespace
+
+TEST(CuckooFilterSequence, PrtShapePinned)
+{
+    // 125x4 @ 13 bits, 520 keys at stride 7919 (past capacity).
+    expectDigest(runSequence(prtParams(), 520, 7919),
+                 {.insertFails = 31,
+                  .overflow = 31,
+                  .present = 489,
+                  .fpHits = 9,
+                  .erased = 165,
+                  .sizeAfterErase = 324,
+                  .present2 = 324});
+}
+
+TEST(CuckooFilterSequence, FtShapePinned)
+{
+    // 1000x2 @ 11 bits, 2100 keys at stride 104729.
+    expectDigest(runSequence(ftParams(), 2100, 104729),
+                 {.insertFails = 215,
+                  .overflow = 215,
+                  .present = 1885,
+                  .fpHits = 8,
+                  .erased = 631,
+                  .sizeAfterErase = 1254,
+                  .present2 = 1254});
+}
+
+TEST(CuckooFilterSequence, TinyShapePinned)
+{
+    // 8x2 @ 8 bits with long kick chains: heavy eviction traffic.
+    expectDigest(runSequence({.numBuckets = 8,
+                              .slotsPerBucket = 2,
+                              .fingerprintBits = 8,
+                              .maxKicks = 50},
+                             64, 31),
+                 {.insertFails = 48,
+                  .overflow = 48,
+                  .present = 16,
+                  .fpHits = 63,
+                  .erased = 5,
+                  .sizeAfterErase = 11,
+                  .present2 = 11});
+}

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/flat_map.hpp"
+#include "sim/random.hpp"
+
+using transfw::sim::FlatMap;
+using transfw::sim::FlatSet;
+using transfw::sim::InlineVec;
+using transfw::sim::Rng;
+
+TEST(FlatMap, EmptyBehaviour)
+{
+    FlatMap<std::uint64_t, int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(7), map.end());
+    EXPECT_EQ(map.count(7), 0u);
+    EXPECT_FALSE(map.contains(7));
+    EXPECT_EQ(map.erase(7), 0u);
+    EXPECT_EQ(map.begin(), map.end());
+}
+
+TEST(FlatMap, BasicInsertFindErase)
+{
+    FlatMap<std::uint64_t, int> map;
+    map[10] = 1;
+    map[20] = 2;
+    auto [it, inserted] = map.try_emplace(30, 3);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(it->second, 3);
+    auto [it2, inserted2] = map.try_emplace(30, 99);
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(it2->second, 3); // try_emplace does not overwrite
+    map.insert_or_assign(30, 33);
+    EXPECT_EQ(map.find(30)->second, 33);
+    EXPECT_EQ(map.size(), 3u);
+    EXPECT_EQ(map.erase(20), 1u);
+    EXPECT_EQ(map.find(20), map.end());
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    EXPECT_EQ(map[42], 0u);
+    map[42] += 5;
+    EXPECT_EQ(map[42], 5u);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, IterationCoversAllLiveEntries)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        map[k * 977] = k;
+    map.erase(0);
+    map.erase(50 * 977);
+    std::unordered_map<std::uint64_t, std::uint64_t> seen;
+    for (const auto &[k, v] : map)
+        seen.emplace(k, v);
+    EXPECT_EQ(seen.size(), 98u);
+    EXPECT_EQ(seen.count(977), 1u);
+    EXPECT_EQ(seen.count(50 * 977), 0u);
+}
+
+TEST(FlatMap, EraseByIterator)
+{
+    FlatMap<std::uint64_t, int> map;
+    map[1] = 10;
+    map[2] = 20;
+    auto it = map.find(1);
+    ASSERT_NE(it, map.end());
+    map.erase(it);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_FALSE(map.contains(1));
+    EXPECT_TRUE(map.contains(2));
+}
+
+TEST(FlatMap, ReserveAvoidsLossAndClearResets)
+{
+    FlatMap<std::uint64_t, int> map;
+    map.reserve(1000);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        map[k] = static_cast<int>(k);
+    EXPECT_EQ(map.size(), 1000u);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        ASSERT_EQ(map.find(k)->second, static_cast<int>(k));
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(1), map.end());
+    map[5] = 50;
+    EXPECT_EQ(map.find(5)->second, 50);
+}
+
+TEST(FlatMap, TombstoneChurnStaysCorrect)
+{
+    // Insert/erase cycling through a small keyspace leaves many
+    // tombstones; the same-capacity rebuild must keep lookups correct.
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (std::uint64_t round = 0; round < 200; ++round) {
+        for (std::uint64_t k = 0; k < 16; ++k)
+            map[round * 16 + k] = round;
+        for (std::uint64_t k = 0; k < 16; ++k)
+            ASSERT_EQ(map.erase(round * 16 + k), 1u);
+    }
+    EXPECT_TRUE(map.empty());
+    map[7] = 7;
+    EXPECT_EQ(map.find(7)->second, 7u);
+}
+
+TEST(FlatMap, MoveOnlyValues)
+{
+    FlatMap<std::uint64_t, std::unique_ptr<int>> map;
+    for (std::uint64_t k = 0; k < 100; ++k) // forces rehashes
+        map[k] = std::make_unique<int>(static_cast<int>(k));
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        auto it = map.find(k);
+        ASSERT_NE(it, map.end());
+        ASSERT_NE(it->second, nullptr);
+        EXPECT_EQ(*it->second, static_cast<int>(k));
+    }
+    map.erase(3);
+    EXPECT_FALSE(map.contains(3));
+}
+
+/**
+ * Differential fuzz: a long random op stream applied to FlatMap and
+ * std::unordered_map must observe identical contents throughout.
+ */
+TEST(FlatMap, DifferentialFuzzAgainstUnorderedMap)
+{
+    Rng rng(0xF1A7F1A7);
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+
+    for (int op = 0; op < 200000; ++op) {
+        // Small keyspace so inserts, hits, misses and erases all occur.
+        std::uint64_t key = rng.range(512) * 0x9E3779B97F4A7C15ULL;
+        switch (rng.range(6)) {
+        case 0:
+        case 1: { // operator[] write
+            std::uint64_t v = rng.next();
+            flat[key] = v;
+            ref[key] = v;
+            break;
+        }
+        case 2: { // try_emplace
+            std::uint64_t v = rng.next();
+            auto [fit, fIns] = flat.try_emplace(key, v);
+            auto [rit, rIns] = ref.try_emplace(key, v);
+            ASSERT_EQ(fIns, rIns);
+            ASSERT_EQ(fit->second, rit->second);
+            break;
+        }
+        case 3: // erase
+            ASSERT_EQ(flat.erase(key), ref.erase(key));
+            break;
+        case 4: { // lookup
+            auto fit = flat.find(key);
+            auto rit = ref.find(key);
+            ASSERT_EQ(fit == flat.end(), rit == ref.end());
+            if (rit != ref.end()) {
+                ASSERT_EQ(fit->second, rit->second);
+            }
+            break;
+        }
+        case 5: { // insert_or_assign
+            std::uint64_t v = rng.next();
+            auto [fit, fIns] = flat.insert_or_assign(key, v);
+            bool rIns = ref.insert_or_assign(key, v).second;
+            ASSERT_EQ(fIns, rIns);
+            ASSERT_EQ(fit->second, v);
+            break;
+        }
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+        if (op % 5000 == 0) { // full-content audit, both directions
+            for (const auto &[k, v] : ref) {
+                auto fit = flat.find(k);
+                ASSERT_NE(fit, flat.end()) << k;
+                ASSERT_EQ(fit->second, v) << k;
+            }
+            std::size_t seen = 0;
+            for (const auto &[k, v] : flat) {
+                auto rit = ref.find(k);
+                ASSERT_NE(rit, ref.end()) << k;
+                ASSERT_EQ(rit->second, v) << k;
+                ++seen;
+            }
+            ASSERT_EQ(seen, ref.size());
+        }
+    }
+}
+
+TEST(FlatSet, MirrorsUnorderedSet)
+{
+    Rng rng(0x5E75E7);
+    FlatSet<std::uint64_t> flat;
+    std::unordered_set<std::uint64_t> ref;
+    for (int op = 0; op < 50000; ++op) {
+        std::uint64_t key = rng.range(256);
+        if (rng.chance(0.6)) {
+            ASSERT_EQ(flat.insert(key), ref.insert(key).second);
+        } else {
+            ASSERT_EQ(flat.erase(key), ref.erase(key));
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+        ASSERT_EQ(flat.contains(key), ref.count(key) != 0);
+    }
+}
+
+TEST(InlineVec, StaysInlineUpToN)
+{
+    InlineVec<int, 4> vec;
+    for (int i = 0; i < 4; ++i)
+        vec.push_back(i);
+    EXPECT_EQ(vec.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(vec[i], i);
+}
+
+TEST(InlineVec, SpillsToHeapAndKeepsContents)
+{
+    InlineVec<int, 4> vec;
+    for (int i = 0; i < 100; ++i)
+        vec.emplace_back(i);
+    EXPECT_EQ(vec.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(vec[i], i);
+    vec.clear();
+    EXPECT_TRUE(vec.empty());
+    vec.push_back(7); // reusable after clear
+    EXPECT_EQ(vec[0], 7);
+}
+
+TEST(InlineVec, MoveInlineAndHeap)
+{
+    InlineVec<std::unique_ptr<int>, 2> small;
+    small.push_back(std::make_unique<int>(1));
+    InlineVec<std::unique_ptr<int>, 2> movedSmall(std::move(small));
+    ASSERT_EQ(movedSmall.size(), 1u);
+    EXPECT_EQ(*movedSmall[0], 1);
+    EXPECT_TRUE(small.empty()); // NOLINT(bugprone-use-after-move)
+
+    InlineVec<std::unique_ptr<int>, 2> big;
+    for (int i = 0; i < 10; ++i)
+        big.push_back(std::make_unique<int>(i));
+    InlineVec<std::unique_ptr<int>, 2> movedBig;
+    movedBig = std::move(big);
+    ASSERT_EQ(movedBig.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        ASSERT_EQ(*movedBig[i], i);
+    EXPECT_TRUE(big.empty()); // NOLINT(bugprone-use-after-move)
+
+    // Move-assign over a heap-spilled target releases its block.
+    InlineVec<std::unique_ptr<int>, 2> target;
+    for (int i = 0; i < 8; ++i)
+        target.push_back(std::make_unique<int>(100 + i));
+    target = std::move(movedBig);
+    ASSERT_EQ(target.size(), 10u);
+    EXPECT_EQ(*target[9], 9);
+}
+
+TEST(InlineVec, RangeForIteration)
+{
+    InlineVec<int, 4> vec;
+    for (int i = 0; i < 9; ++i)
+        vec.push_back(i * 2);
+    int expected = 0;
+    for (int v : vec) {
+        EXPECT_EQ(v, expected);
+        expected += 2;
+    }
+    EXPECT_EQ(expected, 18);
+}

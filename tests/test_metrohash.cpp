@@ -57,6 +57,24 @@ TEST(MetroHash, AvalancheOnSingleBitFlips)
     EXPECT_LT(mean, 40.0);
 }
 
+TEST(MetroHash, Uint64OverloadMatchesBufferPath)
+{
+    // The filter's hot path hashes 8-byte keys through a specialized
+    // inline overload; it must produce exactly what hashing the key's
+    // byte image through the generic buffer path produces, or every
+    // Cuckoo fingerprint and bucket choice would silently change.
+    for (std::uint64_t key = 0; key < 4096; key = key * 3 + 1) {
+        for (std::uint64_t seed : {0ULL, 1ULL, 0xA5A5A5A5ULL,
+                                   0xF1F1F1F1ULL, ~0ULL}) {
+            unsigned char buf[8];
+            std::memcpy(buf, &key, sizeof buf);
+            EXPECT_EQ(metroHash64(key, seed),
+                      metroHash64(buf, sizeof buf, seed))
+                << key << " seed " << seed;
+        }
+    }
+}
+
 TEST(MetroHash, BucketUniformity)
 {
     // Sequential keys must spread evenly over a modest bucket count.

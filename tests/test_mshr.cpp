@@ -15,7 +15,8 @@ TEST(Mshr, PrimaryThenMerge)
     EXPECT_EQ(mshr.merges(), 2u);
 
     auto waiters = mshr.release(10);
-    EXPECT_EQ(waiters, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(std::vector<int>(waiters.begin(), waiters.end()),
+              (std::vector<int>{1, 2, 3}));
     EXPECT_FALSE(mshr.outstanding(10));
 }
 
@@ -25,7 +26,9 @@ TEST(Mshr, IndependentKeys)
     EXPECT_TRUE(mshr.allocate(1, 11));
     EXPECT_TRUE(mshr.allocate(2, 22));
     EXPECT_EQ(mshr.inflight(), 2u);
-    EXPECT_EQ(mshr.release(1), std::vector<int>{11});
+    auto waiters = mshr.release(1);
+    EXPECT_EQ(std::vector<int>(waiters.begin(), waiters.end()),
+              std::vector<int>{11});
     EXPECT_EQ(mshr.inflight(), 1u);
 }
 

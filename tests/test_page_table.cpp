@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <unordered_map>
+
 #include "mem/page_table.hpp"
+#include "sim/random.hpp"
 
 using namespace transfw::mem;
 
@@ -10,6 +14,121 @@ PageTable
 makeTable(int levels = 5, unsigned shift = kSmallPageShift)
 {
     return PageTable(PagingGeometry{levels, shift});
+}
+
+/**
+ * Node-hash-map radix table with the pre-refactor walk/map/unmap
+ * semantics, used as the differential reference for the flat-node
+ * layout: both must agree on every WalkResult field for every
+ * operation stream.
+ */
+class NodeMapTable
+{
+  public:
+    explicit NodeMapTable(PagingGeometry geo) : geo_(geo) {}
+
+    void
+    map(Vpn vpn, const PageInfo &info)
+    {
+        Node *node = &root_;
+        for (int level = geo_.levels; level > geo_.leafLevel(); --level) {
+            auto &child = node->children[geo_.index(vpn, level)];
+            if (!child)
+                child = std::make_unique<Node>();
+            node = child.get();
+        }
+        node->leaves.insert_or_assign(geo_.index(vpn, geo_.leafLevel()),
+                                      info);
+    }
+
+    /** Do the interior nodes above @p hit's entry point exist? (The
+     *  simulator only claims PWC hits for previously walked prefixes;
+     *  the flat table panics on the impossible case.) */
+    bool
+    prefixPresent(Vpn vpn, int pwc_hit_level) const
+    {
+        // The free (uncounted) descent of walk(vpn, hit) follows child
+        // links at levels [hit, levels]; the walk itself resumes at
+        // hit - 1.
+        const Node *node = &root_;
+        for (int l = geo_.levels; l >= pwc_hit_level; --l) {
+            auto it = node->children.find(geo_.index(vpn, l));
+            if (it == node->children.end())
+                return false;
+            node = it->second.get();
+        }
+        return true;
+    }
+
+    bool
+    unmap(Vpn vpn)
+    {
+        Node *node = &root_;
+        for (int level = geo_.levels; level > geo_.leafLevel(); --level) {
+            auto it = node->children.find(geo_.index(vpn, level));
+            if (it == node->children.end())
+                return false;
+            node = it->second.get();
+        }
+        return node->leaves.erase(geo_.index(vpn, geo_.leafLevel())) != 0;
+    }
+
+    WalkResult
+    walk(Vpn vpn, int pwc_hit_level = 0) const
+    {
+        WalkResult res;
+        int start_level = pwc_hit_level ? pwc_hit_level - 1 : geo_.levels;
+        const Node *node = &root_;
+        for (int l = geo_.levels; l > start_level; --l) {
+            auto it = node->children.find(geo_.index(vpn, l));
+            if (it == node->children.end())
+                return res;
+            node = it->second.get();
+        }
+        res.deepestFilled = pwc_hit_level;
+        for (int level = start_level; level >= geo_.leafLevel(); --level) {
+            ++res.accesses;
+            if (level == geo_.leafLevel()) {
+                auto it = node->leaves.find(geo_.index(vpn, level));
+                if (it == node->leaves.end())
+                    return res;
+                res.present = true;
+                res.info = it->second;
+                return res;
+            }
+            auto it = node->children.find(geo_.index(vpn, level));
+            if (it == node->children.end())
+                return res;
+            res.deepestFilled = level;
+            node = it->second.get();
+        }
+        return res;
+    }
+
+  private:
+    struct Node
+    {
+        std::unordered_map<unsigned, std::unique_ptr<Node>> children;
+        std::unordered_map<unsigned, PageInfo> leaves;
+    };
+
+    PagingGeometry geo_;
+    Node root_;
+};
+
+void
+expectSameWalk(const WalkResult &flat, const WalkResult &ref, Vpn vpn)
+{
+    ASSERT_EQ(flat.present, ref.present) << vpn;
+    ASSERT_EQ(flat.accesses, ref.accesses) << vpn;
+    ASSERT_EQ(flat.deepestFilled, ref.deepestFilled) << vpn;
+    if (ref.present) {
+        ASSERT_EQ(flat.info.ppn, ref.info.ppn) << vpn;
+        ASSERT_EQ(flat.info.owner, ref.info.owner) << vpn;
+        ASSERT_EQ(flat.info.replicaMask, ref.info.replicaMask) << vpn;
+        ASSERT_EQ(flat.info.writable, ref.info.writable) << vpn;
+        ASSERT_EQ(flat.info.remote, ref.info.remote) << vpn;
+    }
 }
 
 } // namespace
@@ -131,6 +250,72 @@ TEST(PageTable, ManyMappingsDistinct)
         const PageInfo *info = pt.lookup(vpn * 513);
         ASSERT_NE(info, nullptr);
         EXPECT_EQ(info->ppn, vpn);
+    }
+}
+
+TEST(PageTable, NodeCountGrowsOnceAndPersists)
+{
+    PageTable pt = makeTable();
+    std::size_t empty = pt.nodeCount();
+    pt.map(0x12345, PageInfo{9, 0, 1, true, false});
+    std::size_t afterFirst = pt.nodeCount();
+    EXPECT_GT(afterFirst, empty);
+    // A neighbour in the same leaf reuses the whole node path.
+    pt.map(0x12346, PageInfo{10, 0, 1, true, false});
+    EXPECT_EQ(pt.nodeCount(), afterFirst);
+    // Remap and unmap never free nodes (the flat pools only grow).
+    pt.map(0x12345, PageInfo{11, 0, 1, false, false});
+    pt.unmap(0x12345);
+    EXPECT_EQ(pt.nodeCount(), afterFirst);
+}
+
+/**
+ * Randomized differential: the flat-node table must agree with the
+ * node-hash-map reference on every walk field across map / remap /
+ * unmap / walk streams, including PWC-shortened walks.
+ */
+TEST(PageTable, DifferentialFuzzAgainstNodeMapReference)
+{
+    for (auto [levels, shift] :
+         {std::pair{5, kSmallPageShift}, std::pair{4, kSmallPageShift},
+          std::pair{5, kLargePageShift}}) {
+        PagingGeometry geo{levels, shift};
+        PageTable flat(geo);
+        NodeMapTable ref(geo);
+        transfw::sim::Rng rng(0xBADC0FFE + static_cast<unsigned>(levels));
+
+        for (int op = 0; op < 20000; ++op) {
+            // Clustered keyspace: a few dense regions plus far strays,
+            // so sibling leaves, shared interior nodes and one-entry
+            // subtrees all occur.
+            Vpn vpn = rng.chance(0.8)
+                          ? rng.range(4) * (Vpn{1} << 30) + rng.range(2048)
+                          : rng.next() & ((Vpn{1} << 44) - 1);
+            switch (rng.range(4)) {
+            case 0: {
+                PageInfo info{rng.next() & 0xFFFFF,
+                              static_cast<DeviceId>(rng.range(5)),
+                              static_cast<std::uint32_t>(rng.range(16)),
+                              rng.chance(0.7), rng.chance(0.2)};
+                flat.map(vpn, info);
+                ref.map(vpn, info);
+                break;
+            }
+            case 1:
+                ASSERT_EQ(flat.unmap(vpn), ref.unmap(vpn)) << vpn;
+                break;
+            default: {
+                int hit = static_cast<int>(
+                    rng.range(static_cast<std::uint64_t>(levels) + 1));
+                if (hit != 0 && (hit <= geo.leafLevel() ||
+                                 !ref.prefixPresent(vpn, hit)))
+                    hit = 0; // PWC hits only exist for walked prefixes
+                expectSameWalk(flat.walk(vpn, hit), ref.walk(vpn, hit),
+                               vpn);
+                break;
+            }
+            }
+        }
     }
 }
 
