@@ -1,0 +1,156 @@
+/**
+ * explain_request: run one application with per-request timelines
+ * retained and dump one translation's causal latency story — every
+ * charge (bucket, cycles, tick), the reply-race transitions, and the
+ * final per-bucket decomposition.
+ *
+ * Usage: explain_request [APP] [baseline|transfw|sw|sw-transfw] [GPU:ID]
+ *
+ * Without GPU:ID the slowest finished translation of the run is
+ * explained — usually the most interesting one.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+#if TRANSFW_OBS
+
+namespace {
+
+const char *
+kindName(obs::AttribEvent::Kind kind)
+{
+    using Kind = obs::AttribEvent::Kind;
+    switch (kind) {
+      case Kind::Charge:
+        return "charge";
+      case Kind::ShortCircuit:
+        return "prt short-circuit";
+      case Kind::ForwardLaunched:
+        return "forward launched";
+      case Kind::ForwardFailed:
+        return "forward failed";
+      case Kind::RemoteWon:
+        return "remote reply won";
+      case Kind::HostWon:
+        return "host walk won";
+      case Kind::HostWalkCancelled:
+        return "host walk cancelled";
+      case Kind::DuplicateHostWalk:
+        return "duplicate host walk";
+      case Kind::Finish:
+        return "finish";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string app = args.size() > 0 ? args[0] : "MT";
+    std::string mode = args.size() > 1 ? args[1] : "transfw";
+
+    cfg::SystemConfig config = (mode == "transfw" || mode == "sw-transfw")
+                                   ? sys::transFwConfig()
+                                   : sys::baselineConfig();
+    if (mode == "sw" || mode == "sw-transfw")
+        config.faultMode = cfg::FaultMode::UvmDriver;
+
+    wl::SyntheticWorkload workload(
+        wl::appSpec(app, sys::effectiveScale(0.0)));
+    sys::MultiGpuSystem system(config, workload);
+    // Timelines must be armed before the run; records are otherwise
+    // released as soon as their race closes.
+    system.obs().attribution.setKeepTimelines(true);
+    sys::SimResults r = system.run();
+
+    int gpu = -1;
+    std::uint64_t id = 0;
+    if (args.size() > 2) {
+        if (std::sscanf(args[2].c_str(), "%d:%llu", &gpu,
+                        reinterpret_cast<unsigned long long *>(&id)) != 2) {
+            std::fprintf(stderr, "bad request selector '%s' (want GPU:ID)\n",
+                         args[2].c_str());
+            return 1;
+        }
+    } else {
+        auto slowest = system.obs().attribution.slowestRequest();
+        gpu = slowest.first;
+        id = slowest.second;
+    }
+    if (gpu < 0) {
+        std::fprintf(stderr, "no finished translations recorded\n");
+        return 1;
+    }
+
+    const obs::AttributionEngine::Timeline *tl =
+        system.obs().attribution.timeline(gpu, id);
+    if (!tl) {
+        std::fprintf(stderr, "request gpu%d:%llu unknown\n", gpu,
+                     static_cast<unsigned long long>(id));
+        return 1;
+    }
+
+    std::printf("== %s (%s): translation gpu%d:%llu ==\n", app.c_str(),
+                mode.c_str(), gpu, static_cast<unsigned long long>(id));
+    std::printf("vpn 0x%llx  issued @%llu  finished @%llu  wall %llu  "
+                "charged %.0f cycles\n\n",
+                static_cast<unsigned long long>(tl->vpn),
+                static_cast<unsigned long long>(tl->tIssue),
+                static_cast<unsigned long long>(tl->tFinish),
+                static_cast<unsigned long long>(tl->tFinish - tl->tIssue),
+                tl->total);
+
+    std::printf("[buckets]\n");
+    for (std::size_t b = 0; b < obs::kNumAttribBuckets; ++b) {
+        if (tl->bucket[b] == 0)
+            continue;
+        std::printf("  %-16s %10.0f  (%5.1f%%)\n",
+                    obs::bucketName(static_cast<obs::AttribBucket>(b)),
+                    tl->bucket[b],
+                    tl->total ? 100.0 * tl->bucket[b] / tl->total : 0.0);
+    }
+
+    std::printf("\n[timeline]\n");
+    for (const obs::AttribEvent &ev : tl->events) {
+        if (ev.kind == obs::AttribEvent::Kind::Charge)
+            std::printf("  @%-10llu charge %-16s %10.0f\n",
+                        static_cast<unsigned long long>(ev.tick),
+                        obs::bucketName(ev.bucket), ev.cycles);
+        else
+            std::printf("  @%-10llu %-23s %10.0f\n",
+                        static_cast<unsigned long long>(ev.tick),
+                        kindName(ev.kind), ev.cycles);
+    }
+
+    std::printf("\nrun context: %llu translations, %llu forwards "
+                "(%llu remote wins), %llu short circuits, "
+                "%llu watchdog violations\n",
+                static_cast<unsigned long long>(r.attribution.requests),
+                static_cast<unsigned long long>(r.attribution.forwards),
+                static_cast<unsigned long long>(r.attribution.remoteWins),
+                static_cast<unsigned long long>(r.attribution.shortCircuits),
+                static_cast<unsigned long long>(r.obsCheckViolations));
+    return 0;
+}
+
+#else // !TRANSFW_OBS
+
+int
+main()
+{
+    std::fprintf(stderr, "explain_request requires a TRANSFW_OBS=ON "
+                         "build; this binary was compiled without "
+                         "observability.\n");
+    return 1;
+}
+
+#endif // TRANSFW_OBS

@@ -97,6 +97,38 @@ main(int argc, char **argv)
     dump("p99", r.xlatLatencyHist.quantile(0.99));
     dump("p99.9", r.xlatLatencyHist.quantile(0.999));
 
+#if TRANSFW_OBS
+    if (r.attribution.requests) {
+        std::printf("[attribution, cycles per finished translation]\n");
+        for (std::size_t b = 0; b < obs::kNumAttribBuckets; ++b) {
+            double cycles = r.attribution.bucket[b];
+            if (cycles == 0)
+                continue;
+            dump(obs::bucketName(static_cast<obs::AttribBucket>(b)),
+                 cycles / static_cast<double>(r.attribution.requests));
+        }
+        std::printf("[reply races]\n");
+        dump("forwards", r.attribution.forwards);
+        dump("remote wins", r.attribution.remoteWins);
+        dump("host wins", r.attribution.hostWins);
+        dump("failed forwards", r.attribution.failedForwards);
+        dump("cancelled host walks", r.attribution.cancelledHostWalks);
+        dump("duplicate host walks", r.attribution.duplicateHostWalks);
+        dump("unresolved races", r.attribution.unresolvedRaces);
+        dump("saved cycles (measured)", r.attribution.forwardSavedCycles);
+        dump("saved cycles (estimated)",
+             r.attribution.forwardSavedEstCycles);
+        dump("wasted cycles", r.attribution.forwardWastedCycles);
+        dump("short-circuit est saving",
+             r.attribution.shortCircuitSavedEstCycles);
+        dump("late charges (off-path)", r.attribution.lateCharges);
+    }
+    std::printf("[observability health]\n");
+    dump("watchdog checked requests", r.obsCheckedRequests);
+    dump("watchdog violations", r.obsCheckViolations);
+    dump("dropped spans", r.droppedSpans);
+#endif
+
     std::printf("[TLBs]\n");
     dump("L1 hit rate", r.l1HitRate);
     dump("L2 hit rate", r.l2HitRate);

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 check: build and run the full test suite, validate the
 # microbench JSON schema, gate end-to-end simulator throughput against
-# the committed BENCH_core.json, then rebuild with AddressSanitizer +
-# UBSan and run the suite again. Usage:
+# the committed BENCH_core.json, then rebuild twice more: once with
+# -DTRANSFW_OBS=OFF (observability compiled out entirely) and once with
+# AddressSanitizer + UBSan, where the obs::Checks invariant watchdog is
+# promoted to a hard abort (TRANSFW_OBS_STRICT) — a single attribution
+# or span-nesting violation anywhere in the suite fails the gate.
+# Usage:
 #
-#   scripts/check.sh            # plain + sanitizer pass
+#   scripts/check.sh            # plain + no-obs + sanitizer pass
 #   scripts/check.sh --fast     # plain pass only
 #
 # Environment:
@@ -96,7 +100,14 @@ if [[ "${1:-}" == "--fast" ]]; then
     exit 0
 fi
 
-echo "== sanitizer build (address,undefined) =="
+echo "== no-obs build (-DTRANSFW_OBS=OFF) =="
+# Proves every span/attribution call site compiles out and the
+# simulator is bit-identical without the instrumentation.
+cmake -B build-noobs -S . -DTRANSFW_OBS=OFF >/dev/null
+cmake --build build-noobs -j "$JOBS"
+ctest --test-dir build-noobs --output-on-failure -j "$JOBS"
+
+echo "== sanitizer build (address,undefined + strict obs watchdog) =="
 cmake -B build-asan -S . -DTRANSFW_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"

@@ -101,6 +101,7 @@ SystemConfig::key() const
     u(obs.spans);
     u(obs.sampleInterval);
     u(obs.maxSpans);
+    u(obs.attribution);
     u(seed);
     return k;
 }

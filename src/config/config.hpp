@@ -112,6 +112,13 @@ struct ObsConfig
     bool spans = false;            ///< record per-request lifecycle spans
     sim::Tick sampleInterval = 0;  ///< time-series period (0 = off)
     std::size_t maxSpans = std::size_t{1} << 22; ///< span buffer cap
+    /**
+     * Per-request latency attribution + invariant watchdog (cheap: a
+     * few flat-map updates per L2 miss, never a scheduled event). On
+     * by default so every run carries its penalty decomposition and
+     * the config-matrix invariant gate actually exercises all paths.
+     */
+    bool attribution = true;
 };
 
 /** Oracle switches for the Section III-B room-for-improvement study. */

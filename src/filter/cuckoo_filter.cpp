@@ -148,6 +148,7 @@ CuckooFilter::insert(std::uint64_t key)
     // Both buckets full: relocate existing fingerprints.
     std::size_t bucket = rng_.chance(0.5) ? p.b1 : p.b2;
     for (unsigned kick = 0; kick < params_.maxKicks; ++kick) {
+        ++kicks_;
         unsigned victim_slot =
             static_cast<unsigned>(rng_.range(params_.slotsPerBucket));
         std::swap(fp, slot(bucket, victim_slot));

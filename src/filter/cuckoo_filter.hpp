@@ -77,6 +77,10 @@ class CuckooFilter
     }
     std::uint64_t overflowEvictions() const { return overflowEvictions_; }
 
+    /** Total relocations performed by insert(); a rising kick rate is
+     *  the leading indicator of the filter approaching overflow. */
+    std::uint64_t kicks() const { return kicks_; }
+
     /** Storage cost in bits (fingerprint array only, as in §IV-E). */
     std::uint64_t
     bits() const
@@ -124,6 +128,7 @@ class CuckooFilter
     std::vector<std::uint32_t> altIndex_;
     std::size_t stored_ = 0;
     std::uint64_t overflowEvictions_ = 0;
+    std::uint64_t kicks_ = 0;
     mutable sim::Rng rng_;
 };
 

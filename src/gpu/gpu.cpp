@@ -101,11 +101,16 @@ Gpu::startTranslation(int cu, mem::Vpn vpn, bool write)
     req->cu = cu;
     req->isWrite = write;
     req->tIssue = curTick();
+#if TRANSFW_OBS
+    if (attrib_)
+        attrib_->begin(id_, req->id, req->vpn, curTick());
+#endif
 
     if (prt_ && cfg_.transFw.enableShortCircuit) {
         // Trans-FW short circuit (Section IV-B): a PRT miss means the
         // page is definitely not local, so skip the GMMU walk entirely.
-        req->lat.other += 1.0; // PRT lookup cycle
+        mmu::charge(*req, attrib_, obs::AttribBucket::PrtLookup, 1.0,
+                    curTick()); // PRT lookup cycle
         schedule(1, [this, req]() {
             if (prt_->mayBeLocal(req->vpn)) {
                 gmmu_.translate(req);
@@ -113,6 +118,16 @@ Gpu::startTranslation(int cu, mem::Vpn vpn, bool write)
                 ++stats_.shortCircuits;
                 req->shortCircuited = true;
                 req->faulted = true;
+#if TRANSFW_OBS
+                if (attrib_) {
+                    // The skipped work: a full local walk plus the
+                    // fault bookkeeping before it left the GPU anyway.
+                    double est = static_cast<double>(
+                        cfg_.pageTableLevels * cfg_.memLatency +
+                        cfg_.faultFixedCost);
+                    attrib_->shortCircuited(id_, req->id, est, curTick());
+                }
+#endif
                 hooks.sendFault(req);
             }
         });
@@ -123,8 +138,10 @@ Gpu::startTranslation(int cu, mem::Vpn vpn, bool write)
         // Least-TLB-style sharing-aware lookup: consult sibling GPUs'
         // L2 TLBs before burning a local walker.
         schedule(cfg_.leastTlb.remoteProbeLatency, [this, req]() {
-            req->lat.other +=
-                static_cast<double>(cfg_.leastTlb.remoteProbeLatency);
+            mmu::charge(
+                *req, attrib_, obs::AttribBucket::LeastTlbProbe,
+                static_cast<double>(cfg_.leastTlb.remoteProbeLatency),
+                curTick());
             const tlb::TlbEntry *entry =
                 hooks.probeSiblingL2(req->vpn, id_);
             if (entry && !entry->remote && (!req->isWrite ||
@@ -151,7 +168,8 @@ void
 Gpu::translationReturned(mmu::XlatPtr req)
 {
     // Far-fault replay (the request re-executes after resolution).
-    req->lat.other += static_cast<double>(cfg_.replayCost);
+    mmu::charge(*req, attrib_, obs::AttribBucket::Replay,
+                static_cast<double>(cfg_.replayCost), curTick());
     schedule(cfg_.replayCost,
              [this, req]() { finishTranslation(req); });
 }
@@ -167,6 +185,11 @@ Gpu::finishTranslation(const mmu::XlatPtr &req)
         spans_->record("xlat", static_cast<std::uint32_t>(id_), req->id,
                        req->tIssue, curTick(), req->vpn,
                        req->lat.total());
+#if TRANSFW_OBS
+    if (attrib_)
+        attrib_->finish(id_, req->id, req->lat, req->shortCircuited,
+                        curTick());
+#endif
 
     l2tlb_.fill(req->vpn, req->result);
     for (int cu : l2Mshr_.release(req->vpn))

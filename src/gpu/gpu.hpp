@@ -134,6 +134,14 @@ class Gpu : public sim::SimObject, public mmu::GpuIface
         spans_ = spans;
         gmmu_.attachSpans(spans);
     }
+    /** Observability: mirror latency charges per request (propagates
+     *  to the GMMU). */
+    void
+    attachAttribution(obs::AttributionEngine *attrib)
+    {
+        attrib_ = attrib;
+        gmmu_.attachAttribution(attrib);
+    }
     /** Register live gauges under "<prefix>." (e.g. "gpu0"). */
     void registerMetrics(obs::MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -185,6 +193,7 @@ class Gpu : public sim::SimObject, public mmu::GpuIface
     Stats stats_;
     stats::LatencyBreakdown breakdown_;
     obs::SpanRecorder *spans_ = nullptr;
+    obs::AttributionEngine *attrib_ = nullptr;
 };
 
 } // namespace transfw::gpu

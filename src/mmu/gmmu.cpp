@@ -37,6 +37,7 @@ Gmmu::enqueue(Job job)
         startWalk(std::move(job));
         return;
     }
+    job.overflowed = queue_.size() >= cfg_.gmmuPwQueue;
     queue_.push_back(std::move(job));
     stats_.maxQueueDepth = std::max(stats_.maxQueueDepth, queue_.size());
     if (queue_.size() > cfg_.gmmuPwQueue)
@@ -60,14 +61,18 @@ Gmmu::startWalk(Job job)
     sim::Tick wait = curTick() - job.enqueued;
     stats_.queueWait.record(static_cast<double>(wait));
     if (job.local) {
-        job.local->lat.gmmuQueue += static_cast<double>(wait);
+        charge(*job.local, attrib_,
+               job.overflowed ? obs::AttribBucket::L2TlbQueue
+                              : obs::AttribBucket::GmmuQueue,
+               static_cast<double>(wait), curTick());
         if (spans_)
             spans_->record("gmmu.queue", job.local->gpu, job.local->id,
                            job.enqueued, curTick(), job.local->vpn);
     } else {
         // Remote GMMU contention is part of the fault-handling path but
         // not a host PW-queue wait; Fig. 3 buckets it as "other".
-        job.remote->req->lat.other += static_cast<double>(wait);
+        charge(*job.remote->req, attrib_, obs::AttribBucket::RemoteWalk,
+               static_cast<double>(wait), curTick());
         if (spans_)
             spans_->record("gmmu.remote.queue", job.remote->req->gpu,
                            job.remote->req->id, job.enqueued, curTick(),
@@ -83,13 +88,17 @@ Gmmu::startWalk(Job job)
     if (job.local) {
         stats_.memAccesses +=
             static_cast<std::uint64_t>(timing.countedAccesses);
-        job.local->lat.gmmuMem += static_cast<double>(
-            timing.serialAccesses * cfg_.memLatency);
+        charge(*job.local, attrib_, obs::AttribBucket::GmmuWalkMem,
+               static_cast<double>(timing.serialAccesses *
+                                   cfg_.memLatency),
+               curTick());
     } else {
         stats_.remoteMemAccesses +=
             static_cast<std::uint64_t>(timing.countedAccesses);
-        job.remote->req->lat.other += static_cast<double>(
-            timing.serialAccesses * cfg_.memLatency);
+        charge(*job.remote->req, attrib_, obs::AttribBucket::RemoteWalk,
+               static_cast<double>(timing.serialAccesses *
+                                   cfg_.memLatency),
+               curTick());
     }
 
     sim::Tick walk_latency =
@@ -157,7 +166,8 @@ Gmmu::finishWalk(Job job, const mem::WalkResult &walk, int hit_level)
         } else {
             ++stats_.localFaults;
             req->faulted = true;
-            req->lat.other += static_cast<double>(cfg_.faultFixedCost);
+            charge(*req, attrib_, obs::AttribBucket::FaultFixed,
+                   static_cast<double>(cfg_.faultFixedCost), curTick());
             schedule(cfg_.faultFixedCost,
                      [this, req]() { onFault(req); });
         }

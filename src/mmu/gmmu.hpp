@@ -69,6 +69,11 @@ class Gmmu : public sim::SimObject
 
     /** Observability: record lifecycle spans into @p spans (nullable). */
     void attachSpans(obs::SpanRecorder *spans) { spans_ = spans; }
+    /** Observability: mirror latency charges per request (nullable). */
+    void attachAttribution(obs::AttributionEngine *attrib)
+    {
+        attrib_ = attrib;
+    }
     /** Register live gauges under "<prefix>." (e.g. "gpu0.gmmu"). */
     void registerMetrics(obs::MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -79,6 +84,10 @@ class Gmmu : public sim::SimObject
         XlatPtr local;          ///< set for local translations
         RemoteLookupPtr remote; ///< set for remote lookups
         sim::Tick enqueued = 0;
+        /** Enqueued past the PW-queue capacity: its wait is the L2-MSHR
+         *  admission stall, attributed separately from in-capacity
+         *  walker contention (same breakdown field, finer bucket). */
+        bool overflowed = false;
     };
 
     void enqueue(Job job);
@@ -95,6 +104,7 @@ class Gmmu : public sim::SimObject
     int busyWalkers_ = 0;
     Stats stats_;
     obs::SpanRecorder *spans_ = nullptr;
+    obs::AttributionEngine *attrib_ = nullptr;
 };
 
 } // namespace transfw::mmu

@@ -38,7 +38,8 @@ HostMmu::handleFault(XlatPtr req)
 void
 HostMmu::admit(XlatPtr req)
 {
-    req->lat.other += static_cast<double>(tlb_.lookupLatency());
+    charge(*req, attrib_, obs::AttribBucket::HostTlb,
+           static_cast<double>(tlb_.lookupLatency()), curTick());
     sim::Tick t_admit = curTick();
     schedule(tlb_.lookupLatency(), [this, req = std::move(req),
                                     t_admit]() mutable {
@@ -85,6 +86,10 @@ HostMmu::admit(XlatPtr req)
                 rl->req = req;
                 rl->targetGpu = *owner;
                 rl->tForwarded = curTick();
+#if TRANSFW_OBS
+                if (attrib_)
+                    attrib_->forwardLaunched(req->gpu, req->id, curTick());
+#endif
                 forwardToGpu(std::move(rl));
             }
         }
@@ -111,11 +116,22 @@ HostMmu::tryDispatch()
         if (entry.req->hostWalkCancelled || entry.req->translationResolved) {
             // Pulled out by a successful remote lookup (Section IV-C).
             ++stats_.removedFromQueue;
+#if TRANSFW_OBS
+            if (attrib_ && entry.req->hostWalkCancelled) {
+                // The loser never started; estimate the walk it skipped.
+                attrib_->hostWalkCancelled(
+                    entry.req->gpu, entry.req->id,
+                    static_cast<double>(cfg_.pageTableLevels *
+                                        cfg_.memLatency),
+                    curTick());
+            }
+#endif
             continue;
         }
         sim::Tick wait = curTick() - entry.enqueued;
         stats_.queueWait.record(static_cast<double>(wait));
-        entry.req->lat.hostQueue += static_cast<double>(wait);
+        charge(*entry.req, attrib_, obs::AttribBucket::HostQueue,
+               static_cast<double>(wait), curTick());
         if (spans_)
             spans_->record("host.queue", entry.req->gpu, entry.req->id,
                            entry.enqueued, curTick(), entry.req->vpn);
@@ -135,8 +151,9 @@ HostMmu::startWalk(XlatPtr req)
     WalkTiming timing = walkTiming(walk.accesses, cfg_.asap, rng_);
     stats_.memAccesses +=
         static_cast<std::uint64_t>(timing.countedAccesses);
-    req->lat.hostMem +=
-        static_cast<double>(timing.serialAccesses * cfg_.memLatency);
+    charge(*req, attrib_, obs::AttribBucket::HostWalkMem,
+           static_cast<double>(timing.serialAccesses * cfg_.memLatency),
+           curTick());
 
     sim::Tick latency =
         static_cast<sim::Tick>(timing.serialAccesses) * cfg_.memLatency;
@@ -162,6 +179,10 @@ HostMmu::startWalk(XlatPtr req)
             // A remote lookup won the race; this walk was the
             // replicated work Fig. 14 quantifies.
             ++stats_.duplicateWalks;
+#if TRANSFW_OBS
+            if (attrib_)
+                attrib_->hostWalkDone(req->gpu, req->id, true, curTick());
+#endif
             return;
         }
         translationKnown(std::move(req), entry);
@@ -178,11 +199,27 @@ HostMmu::remoteLookupDone(RemoteLookupPtr rl)
                        req->vpn);
     if (!rl->success) {
         ++stats_.forwardFail;
+#if TRANSFW_OBS
+        if (attrib_)
+            attrib_->forwardOutcome(req->gpu, req->id, false, false, 0,
+                                    curTick());
+#endif
         return; // the host walk proceeds as queued
     }
     ++stats_.forwardSuccess;
-    if (req->translationResolved)
+    if (req->translationResolved) {
+#if TRANSFW_OBS
+        if (attrib_)
+            attrib_->forwardOutcome(req->gpu, req->id, true, false, 0,
+                                    curTick());
+#endif
         return; // host walk already finished first
+    }
+#if TRANSFW_OBS
+    if (attrib_)
+        attrib_->forwardOutcome(req->gpu, req->id, true, true, 0,
+                                curTick());
+#endif
     req->hostWalkCancelled = true;
     req->resolvedByRemote = true;
     // The remote GPU supplied (ppn, owner) from its own table.

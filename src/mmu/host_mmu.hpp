@@ -81,6 +81,11 @@ class HostMmu : public sim::SimObject
 
     /** Observability: record lifecycle spans into @p spans (nullable). */
     void attachSpans(obs::SpanRecorder *spans) { spans_ = spans; }
+    /** Observability: mirror latency charges per request (nullable). */
+    void attachAttribution(obs::AttributionEngine *attrib)
+    {
+        attrib_ = attrib;
+    }
     /** Register live gauges under "<prefix>." (e.g. "host.mmu"). */
     void registerMetrics(obs::MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -111,6 +116,7 @@ class HostMmu : public sim::SimObject
 
     Stats stats_;
     obs::SpanRecorder *spans_ = nullptr;
+    obs::AttributionEngine *attrib_ = nullptr;
 };
 
 } // namespace transfw::mmu

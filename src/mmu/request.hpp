@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "mem/address.hpp"
+#include "obs/attrib.hpp"
 #include "sim/pool.hpp"
 #include "sim/ticks.hpp"
 #include "stats/stats.hpp"
@@ -51,6 +52,53 @@ struct XlatRequest : public sim::Pooled<XlatRequest>
 };
 
 using XlatPtr = sim::PoolRef<XlatRequest>;
+
+/**
+ * The one way components charge translation latency: updates the
+ * request's LatencyBreakdown field (chosen by the bucket's fieldOf
+ * mapping) and mirrors the charge into the attribution engine in the
+ * same step. Because both views are fed by this single call, the
+ * engine's per-request bucket sums equal the breakdown by construction
+ * — which is exactly the invariant obs::Checks enforces at finish.
+ *
+ * @p attrib may be null (observability detached); under TRANSFW_OBS=0
+ * the mirror compiles out and only the breakdown update remains.
+ */
+inline void
+charge(XlatRequest &req, obs::AttributionEngine *attrib,
+       obs::AttribBucket bucket, double cycles, sim::Tick now)
+{
+    switch (obs::fieldOf(bucket)) {
+      case obs::LatField::GmmuQueue:
+        req.lat.gmmuQueue += cycles;
+        break;
+      case obs::LatField::GmmuMem:
+        req.lat.gmmuMem += cycles;
+        break;
+      case obs::LatField::HostQueue:
+        req.lat.hostQueue += cycles;
+        break;
+      case obs::LatField::HostMem:
+        req.lat.hostMem += cycles;
+        break;
+      case obs::LatField::Migration:
+        req.lat.migration += cycles;
+        break;
+      case obs::LatField::Network:
+        req.lat.network += cycles;
+        break;
+      default:
+        req.lat.other += cycles;
+        break;
+    }
+#if TRANSFW_OBS
+    if (attrib)
+        attrib->charge(req.gpu, req.id, bucket, cycles, now);
+#else
+    (void)attrib;
+    (void)now;
+#endif
+}
 
 /** Allocate a fresh (default-initialised) request from this thread's pool. */
 inline XlatPtr

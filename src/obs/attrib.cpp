@@ -1,0 +1,414 @@
+#include "obs/attrib.hpp"
+
+#include "obs/checks.hpp"
+
+namespace transfw::obs {
+
+const char *
+bucketName(AttribBucket b)
+{
+    switch (b) {
+      case AttribBucket::L2TlbQueue:
+        return "l2tlbQueue";
+      case AttribBucket::GmmuQueue:
+        return "gmmuQueue";
+      case AttribBucket::GmmuWalkMem:
+        return "gmmuWalkMem";
+      case AttribBucket::FaultFixed:
+        return "faultFixed";
+      case AttribBucket::PrtLookup:
+        return "prtLookup";
+      case AttribBucket::LeastTlbProbe:
+        return "leastTlbProbe";
+      case AttribBucket::Network:
+        return "network";
+      case AttribBucket::HostTlb:
+        return "hostTlb";
+      case AttribBucket::HostQueue:
+        return "hostQueue";
+      case AttribBucket::HostWalkMem:
+        return "hostWalkMem";
+      case AttribBucket::FtProbe:
+        return "ftProbe";
+      case AttribBucket::RemoteWalk:
+        return "remoteWalk";
+      case AttribBucket::Migration:
+        return "migration";
+      case AttribBucket::Shootdown:
+        return "shootdown";
+      case AttribBucket::PteInstall:
+        return "pteInstall";
+      case AttribBucket::Replay:
+        return "replay";
+      default:
+        return "other";
+    }
+}
+
+double
+AttributionTable::bucketTotal() const
+{
+    double sum = 0;
+    for (double b : bucket)
+        sum += b;
+    return sum;
+}
+
+double
+AttributionTable::fieldTotal(LatField field) const
+{
+    double sum = 0;
+    for (std::size_t i = 0; i < kNumAttribBuckets; ++i)
+        if (fieldOf(static_cast<AttribBucket>(i)) == field)
+            sum += bucket[i];
+    return sum;
+}
+
+#if TRANSFW_OBS
+
+void
+AttributionEngine::setEnabled(bool on)
+{
+    enabled_ = on;
+}
+
+void
+AttributionEngine::setKeepTimelines(bool on)
+{
+    keepTimelines_ = on;
+}
+
+AttributionEngine::Record *
+AttributionEngine::lookup(int gpu, std::uint64_t id)
+{
+    auto it = live_.find(key(gpu, id));
+    return it == live_.end() ? nullptr : &it->second;
+}
+
+void
+AttributionEngine::note(Record &rec, sim::Tick tick,
+                        AttribEvent::Kind kind, AttribBucket bucket,
+                        double cycles)
+{
+    if (!keepTimelines_)
+        return;
+    AttribEvent ev;
+    ev.tick = tick;
+    ev.kind = kind;
+    ev.bucket = bucket;
+    ev.cycles = cycles;
+    rec.tl.events.push_back(ev);
+}
+
+void
+AttributionEngine::maybeRelease(int gpu, std::uint64_t id, Record &rec)
+{
+    // A record stays live while it can still receive events: before
+    // finish (charges), while a race awaits the remote reply (Open) or
+    // the losing host walk's report (RemoteWon).
+    if (!rec.finished || rec.race != Record::Race::None || keepTimelines_)
+        return;
+    live_.erase(key(gpu, id));
+}
+
+void
+AttributionEngine::begin(int gpu, std::uint64_t id, std::uint64_t vpn,
+                         sim::Tick now)
+{
+    if (!enabled_)
+        return;
+    Record rec;
+    rec.tl.vpn = vpn;
+    rec.tl.tIssue = now;
+    live_.insert_or_assign(key(gpu, id), std::move(rec));
+}
+
+void
+AttributionEngine::charge(int gpu, std::uint64_t id, AttribBucket bucket,
+                          double cycles, sim::Tick now)
+{
+    if (!enabled_)
+        return;
+    Record *rec = lookup(gpu, id);
+    if (!rec)
+        return;
+    if (rec->finished) {
+        // Race loser still in flight after first-reply-wins resolved
+        // the request: off the critical path, so ledger-only.
+        ++table_.lateCharges;
+        table_.lateCycles += cycles;
+        note(*rec, now, AttribEvent::Kind::Charge, bucket, cycles);
+        return;
+    }
+    rec->tl.bucket[static_cast<std::size_t>(bucket)] += cycles;
+    note(*rec, now, AttribEvent::Kind::Charge, bucket, cycles);
+}
+
+void
+AttributionEngine::shortCircuited(int gpu, std::uint64_t id,
+                                  double est_saved, sim::Tick now)
+{
+    if (!enabled_)
+        return;
+    Record *rec = lookup(gpu, id);
+    if (!rec)
+        return;
+    rec->shortCircuit = true;
+    ++table_.shortCircuits;
+    table_.shortCircuitSavedEstCycles += est_saved;
+    note(*rec, now, AttribEvent::Kind::ShortCircuit,
+         AttribBucket::PrtLookup, est_saved);
+}
+
+void
+AttributionEngine::forwardLaunched(int gpu, std::uint64_t id,
+                                   sim::Tick now)
+{
+    if (!enabled_)
+        return;
+    Record *rec = lookup(gpu, id);
+    if (!rec)
+        return;
+    rec->race = Record::Race::Open;
+    rec->tForward = now;
+    ++table_.forwards;
+    note(*rec, now, AttribEvent::Kind::ForwardLaunched,
+         AttribBucket::Other, 0);
+}
+
+void
+AttributionEngine::forwardOutcome(int gpu, std::uint64_t id, bool success,
+                                  bool won, double est_saved,
+                                  sim::Tick now)
+{
+    if (!enabled_)
+        return;
+    Record *rec = lookup(gpu, id);
+    if (!rec || rec->race != Record::Race::Open)
+        return;
+    double remote_service = static_cast<double>(now - rec->tForward);
+    if (!success) {
+        ++table_.failedForwards;
+        table_.forwardWastedCycles += remote_service;
+        rec->race = Record::Race::None;
+        note(*rec, now, AttribEvent::Kind::ForwardFailed,
+             AttribBucket::Other, remote_service);
+    } else if (won) {
+        ++table_.remoteWins;
+        table_.forwardSavedEstCycles += est_saved;
+        rec->tWin = now;
+        // Driver forwards have no parallel walk racing them: the win
+        // closes the race outright. Hardware forwards stay open until
+        // the losing host walk reports back (duplicate or cancelled),
+        // which is when the measured saving becomes known.
+        rec->race = est_saved > 0 ? Record::Race::None
+                                  : Record::Race::RemoteWon;
+        note(*rec, now, AttribEvent::Kind::RemoteWon, AttribBucket::Other,
+             est_saved);
+    } else {
+        // The host walk already resolved the request: this forward's
+        // remote service bought nothing.
+        ++table_.hostWins;
+        table_.forwardWastedCycles += remote_service;
+        rec->race = Record::Race::None;
+        note(*rec, now, AttribEvent::Kind::HostWon, AttribBucket::Other,
+             remote_service);
+    }
+    maybeRelease(gpu, id, *rec);
+}
+
+void
+AttributionEngine::hostWalkDone(int gpu, std::uint64_t id, bool duplicate,
+                                sim::Tick now)
+{
+    if (!enabled_)
+        return;
+    Record *rec = lookup(gpu, id);
+    if (!rec)
+        return;
+    if (duplicate && rec->race == Record::Race::RemoteWon) {
+        // The loser just crossed the finish line: the forward saved
+        // exactly the tail the host walk still needed after the win.
+        ++table_.duplicateHostWalks;
+        table_.forwardSavedCycles += static_cast<double>(now - rec->tWin);
+        rec->race = Record::Race::None;
+        note(*rec, now, AttribEvent::Kind::DuplicateHostWalk,
+             AttribBucket::Other, static_cast<double>(now - rec->tWin));
+        maybeRelease(gpu, id, *rec);
+    }
+}
+
+void
+AttributionEngine::hostWalkCancelled(int gpu, std::uint64_t id,
+                                     double est_walk, sim::Tick now)
+{
+    if (!enabled_)
+        return;
+    Record *rec = lookup(gpu, id);
+    if (!rec)
+        return;
+    if (rec->race == Record::Race::RemoteWon) {
+        // The loser never even started; estimate the walk it skipped.
+        ++table_.cancelledHostWalks;
+        table_.forwardSavedEstCycles += est_walk;
+        rec->race = Record::Race::None;
+        note(*rec, now, AttribEvent::Kind::HostWalkCancelled,
+             AttribBucket::Other, est_walk);
+        maybeRelease(gpu, id, *rec);
+    }
+}
+
+void
+AttributionEngine::finish(int gpu, std::uint64_t id,
+                          const stats::LatencyBreakdown &lat,
+                          bool short_circuit, sim::Tick now)
+{
+    if (!enabled_)
+        return;
+    Record *rec = lookup(gpu, id);
+    if (!rec || rec->finished)
+        return;
+    rec->finished = true;
+    rec->tl.tFinish = now;
+    rec->tl.total = lat.total();
+    rec->shortCircuit = rec->shortCircuit || short_circuit;
+    note(*rec, now, AttribEvent::Kind::Finish, AttribBucket::Other,
+         lat.total());
+
+    ++table_.requests;
+    for (std::size_t i = 0; i < kNumAttribBuckets; ++i)
+        table_.bucket[i] += rec->tl.bucket[i];
+
+    if (rec->tl.total > slowestWall_) {
+        slowestWall_ = rec->tl.total;
+        slowestGpu_ = gpu;
+        slowestId_ = id;
+    }
+
+    if (checks_)
+        checks_->onFinish(gpu, id, rec->tl, rec->shortCircuit, lat);
+
+    maybeRelease(gpu, id, *rec);
+}
+
+void
+AttributionEngine::finalize()
+{
+    if (!enabled_)
+        return;
+    for (const auto &[k, rec] : live_) {
+        (void)k;
+        if (rec.race == Record::Race::Open ||
+            rec.race == Record::Race::RemoteWon)
+            ++table_.unresolvedRaces;
+    }
+}
+
+const AttributionEngine::Timeline *
+AttributionEngine::timeline(int gpu, std::uint64_t id) const
+{
+    const Record *rec =
+        const_cast<AttributionEngine *>(this)->lookup(gpu, id);
+    return rec ? &rec->tl : nullptr;
+}
+
+std::pair<int, std::uint64_t>
+AttributionEngine::slowestRequest() const
+{
+    return {slowestGpu_, slowestId_};
+}
+
+#else // !TRANSFW_OBS
+
+void
+AttributionEngine::setEnabled(bool)
+{
+}
+
+void
+AttributionEngine::setKeepTimelines(bool)
+{
+}
+
+void
+AttributionEngine::begin(int, std::uint64_t, std::uint64_t, sim::Tick)
+{
+}
+
+void
+AttributionEngine::charge(int, std::uint64_t, AttribBucket, double,
+                          sim::Tick)
+{
+}
+
+void
+AttributionEngine::shortCircuited(int, std::uint64_t, double, sim::Tick)
+{
+}
+
+void
+AttributionEngine::forwardLaunched(int, std::uint64_t, sim::Tick)
+{
+}
+
+void
+AttributionEngine::forwardOutcome(int, std::uint64_t, bool, bool, double,
+                                  sim::Tick)
+{
+}
+
+void
+AttributionEngine::hostWalkDone(int, std::uint64_t, bool, sim::Tick)
+{
+}
+
+void
+AttributionEngine::hostWalkCancelled(int, std::uint64_t, double,
+                                     sim::Tick)
+{
+}
+
+void
+AttributionEngine::finish(int, std::uint64_t,
+                          const stats::LatencyBreakdown &, bool,
+                          sim::Tick)
+{
+}
+
+void
+AttributionEngine::finalize()
+{
+}
+
+const AttributionEngine::Timeline *
+AttributionEngine::timeline(int, std::uint64_t) const
+{
+    return nullptr;
+}
+
+std::pair<int, std::uint64_t>
+AttributionEngine::slowestRequest() const
+{
+    return {-1, 0};
+}
+
+AttributionEngine::Record *
+AttributionEngine::lookup(int, std::uint64_t)
+{
+    return nullptr;
+}
+
+void
+AttributionEngine::note(Record &, sim::Tick, AttribEvent::Kind,
+                        AttribBucket, double)
+{
+}
+
+void
+AttributionEngine::maybeRelease(int, std::uint64_t, Record &)
+{
+}
+
+#endif // TRANSFW_OBS
+
+} // namespace transfw::obs

@@ -1,0 +1,88 @@
+#ifndef TRANSFW_OBS_CHECKS_HPP
+#define TRANSFW_OBS_CHECKS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/attrib.hpp"
+#include "obs/span.hpp"
+#include "stats/stats.hpp"
+
+#ifndef TRANSFW_OBS_STRICT
+#define TRANSFW_OBS_STRICT 0
+#endif
+
+namespace transfw::obs {
+
+/**
+ * Invariant watchdog over the attribution instrumentation. The
+ * attribution engine mirrors every LatencyBreakdown charge, which
+ * makes the mirror itself a correctness oracle: if a component ever
+ * charges a request without going through mmu::charge() (or charges
+ * the wrong bucket family), the per-request cross-check below fires.
+ *
+ * Checked per finished request (subject to sampleMask):
+ *   1. bucket sums == LatencyBreakdown::total() within one tick;
+ *   2. per-field grouped sums match each breakdown field (so buckets
+ *      are not just exhaustive but correctly classified);
+ *   3. PRT-negative short circuit => no local walk or local-queue
+ *      cycles were charged (the walk really was skipped).
+ *
+ * Plus a post-run structural pass, verifySpanNesting(): within each
+ * (pid, tid) lane the "xlat" root span must enclose every child span
+ * except the known race/forward overhangs that legitimately outlive
+ * their request under first-reply-wins.
+ *
+ * Under TRANSFW_OBS_STRICT (sanitizer builds) a violation panics at
+ * the faulting request; otherwise it is counted, the first few
+ * messages are retained, and the count flows into SimResults where
+ * the config-matrix tests assert it is zero.
+ */
+class Checks
+{
+  public:
+    /** Check requests whose id survives `id & mask == 0`; 0 = all.
+     *  Mask must be a power of two minus one. */
+    void setSampleMask(std::uint64_t mask) { sampleMask_ = mask; }
+    std::uint64_t sampleMask() const { return sampleMask_; }
+
+    void
+    clear()
+    {
+        violations_ = 0;
+        checked_ = 0;
+        messages_.clear();
+    }
+
+    std::uint64_t violations() const { return violations_; }
+    std::uint64_t checkedRequests() const { return checked_; }
+    /** First few violation messages (capped; for reports and tests). */
+    const std::vector<std::string> &messages() const { return messages_; }
+
+    /** Per-request invariants; called by AttributionEngine::finish. */
+    void onFinish(int gpu, std::uint64_t id,
+                  const AttributionEngine::Timeline &tl,
+                  bool short_circuit, const stats::LatencyBreakdown &lat);
+
+    /**
+     * Post-run structural pass over the recorded spans: every span in
+     * a (pid, tid) lane must nest inside that lane's enclosing "xlat"
+     * root. Skipped when the recorder dropped spans (truncated lanes
+     * would produce false positives). @return violations found.
+     */
+    std::uint64_t verifySpanNesting(const SpanRecorder &spans);
+
+  private:
+    void violation(const std::string &msg);
+
+    std::uint64_t sampleMask_ = 0;
+    std::uint64_t violations_ = 0;
+    std::uint64_t checked_ = 0;
+    std::vector<std::string> messages_;
+    static constexpr std::size_t kMaxMessages = 8;
+};
+
+} // namespace transfw::obs
+
+#endif // TRANSFW_OBS_CHECKS_HPP

@@ -1,6 +1,8 @@
 #ifndef TRANSFW_OBS_OBS_HPP
 #define TRANSFW_OBS_OBS_HPP
 
+#include "obs/attrib.hpp"
+#include "obs/checks.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -10,16 +12,19 @@ namespace transfw::obs {
 
 /**
  * The per-system observability bundle: request-span recorder, unified
- * metrics registry and interval sampler. Owned by sys::MultiGpuSystem
- * (declared after every observed component so it is destroyed first —
- * registry gauges hold raw component pointers) and handed to
- * components as a raw pointer they may ignore.
+ * metrics registry, interval sampler, latency-attribution engine and
+ * its invariant watchdog. Owned by sys::MultiGpuSystem (declared after
+ * every observed component so it is destroyed first — registry gauges
+ * hold raw component pointers) and handed to components as a raw
+ * pointer they may ignore.
  */
 struct Observability
 {
     SpanRecorder spans;
     MetricRegistry metrics;
     IntervalSampler sampler;
+    AttributionEngine attribution;
+    Checks checks;
 };
 
 } // namespace transfw::obs

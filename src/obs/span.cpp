@@ -20,6 +20,25 @@ SpanRecorder::clear()
 {
     spans_.clear();
     dropped_ = 0;
+    droppedIdx_ = kNoDropped;
+}
+
+void
+SpanRecorder::noteDropped(sim::Tick start, sim::Tick end)
+{
+    ++dropped_;
+    if (droppedIdx_ == kNoDropped) {
+        droppedIdx_ = spans_.size();
+        spans_.push_back(
+            Span{"obs.dropped", start, end, kObsPid, 0, 0, 1.0});
+        return;
+    }
+    Span &s = spans_[droppedIdx_];
+    if (start < s.start)
+        s.start = start;
+    if (end > s.end)
+        s.end = end;
+    s.arg = static_cast<double>(dropped_);
 }
 
 void
@@ -42,8 +61,9 @@ SpanRecorder::writeChromeTrace(std::ostream &os) const
         sep();
         os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
            << ",\"tid\":0,\"args\":{\"name\":";
-        jsonEscape(os, pid == kHostPid ? std::string("host")
-                                       : sim::strfmt("gpu%u", pid));
+        jsonEscape(os, pid == kHostPid  ? std::string("host")
+                       : pid == kObsPid ? std::string("obs")
+                                        : sim::strfmt("gpu%u", pid));
         os << "}}";
     }
 

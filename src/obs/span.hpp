@@ -52,6 +52,8 @@ class SpanRecorder
   public:
     /** pid for host-side tracks with no requesting GPU (driver batches). */
     static constexpr std::uint32_t kHostPid = 1000;
+    /** pid for the recorder's own bookkeeping track (obs.dropped). */
+    static constexpr std::uint32_t kObsPid = 1001;
 
     bool enabled() const { return enabled_; }
     void setEnabled(bool on);
@@ -67,8 +69,8 @@ class SpanRecorder
 #if TRANSFW_OBS
         if (!enabled_)
             return;
-        if (spans_.size() >= maxSpans_) {
-            ++dropped_;
+        if (spans_.size() >= maxSpans_ || droppedIdx_ != kNoDropped) {
+            noteDropped(start, end);
             return;
         }
         spans_.push_back(Span{name, start, end, pid, tid, vpn, arg});
@@ -90,9 +92,21 @@ class SpanRecorder
     void writeChromeTrace(std::ostream &os) const;
 
   private:
+    static constexpr std::size_t kNoDropped = static_cast<std::size_t>(-1);
+
+    /**
+     * Capacity overflow: instead of silently truncating the Perfetto
+     * export, record one synthetic "obs.dropped" span on the kObsPid
+     * track covering the whole dropped window, its arg carrying the
+     * running drop count. One extra slot past the cap; later drops
+     * extend it in place.
+     */
+    void noteDropped(sim::Tick start, sim::Tick end);
+
     bool enabled_ = false;
     std::size_t maxSpans_ = std::size_t{1} << 22; ///< ~4M span cap
     std::uint64_t dropped_ = 0;
+    std::size_t droppedIdx_ = kNoDropped;
     std::vector<Span> spans_;
 };
 

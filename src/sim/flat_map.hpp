@@ -63,6 +63,19 @@ class FlatMap
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
 
+    /** Allocated slots (0 before the first insertion). */
+    std::size_t capacity() const { return ctrl_.size(); }
+
+    /** Live entries per slot, in [0, 1); 0 for an empty table. */
+    double
+    loadFactor() const
+    {
+        return cap() ? static_cast<double>(size_) / cap() : 0.0;
+    }
+
+    /** Tombstoned slots still occupying the probe sequence. */
+    std::size_t tombstones() const { return used_ - size_; }
+
     /** Pre-size so @p expected entries fit without rehashing. */
     void
     reserve(std::size_t expected)
@@ -371,6 +384,9 @@ class FlatSet
   public:
     std::size_t size() const { return map_.size(); }
     bool empty() const { return map_.empty(); }
+    std::size_t capacity() const { return map_.capacity(); }
+    double loadFactor() const { return map_.loadFactor(); }
+    std::size_t tombstones() const { return map_.tombstones(); }
     void clear() { map_.clear(); }
     void reserve(std::size_t expected) { map_.reserve(expected); }
 

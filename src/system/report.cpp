@@ -161,6 +161,46 @@ const Field kFields[] = {
     {"driver.avgBatchSize", [](const SimResults &r) {
          return r.driverAvgBatchSize;
      }},
+    // Reply-race ledger (first-reply-wins accounting; attrib.hpp).
+    {"race.remoteWins", [](const SimResults &r) {
+         return static_cast<double>(r.attribution.remoteWins);
+     }},
+    {"race.hostWins", [](const SimResults &r) {
+         return static_cast<double>(r.attribution.hostWins);
+     }},
+    {"race.failedForwards", [](const SimResults &r) {
+         return static_cast<double>(r.attribution.failedForwards);
+     }},
+    {"race.cancelledHostWalks", [](const SimResults &r) {
+         return static_cast<double>(r.attribution.cancelledHostWalks);
+     }},
+    {"race.duplicateHostWalks", [](const SimResults &r) {
+         return static_cast<double>(r.attribution.duplicateHostWalks);
+     }},
+    {"race.unresolved", [](const SimResults &r) {
+         return static_cast<double>(r.attribution.unresolvedRaces);
+     }},
+    {"race.savedCycles", [](const SimResults &r) {
+         return r.attribution.forwardSavedCycles;
+     }},
+    {"race.savedEstCycles", [](const SimResults &r) {
+         return r.attribution.forwardSavedEstCycles;
+     }},
+    {"race.wastedCycles", [](const SimResults &r) {
+         return r.attribution.forwardWastedCycles;
+     }},
+    {"race.shortCircuitSavedEstCycles", [](const SimResults &r) {
+         return r.attribution.shortCircuitSavedEstCycles;
+     }},
+    {"obs.checkViolations", [](const SimResults &r) {
+         return static_cast<double>(r.obsCheckViolations);
+     }},
+    {"obs.checkedRequests", [](const SimResults &r) {
+         return static_cast<double>(r.obsCheckedRequests);
+     }},
+    {"obs.droppedSpans", [](const SimResults &r) {
+         return static_cast<double>(r.droppedSpans);
+     }},
 };
 
 } // namespace
@@ -180,6 +220,13 @@ toRegistry(const SimResults &results)
     for (std::size_t sharers = 1; sharers <= 4; ++sharers)
         registry.set(sim::strfmt("sharing.by%zu", sharers),
                      results.sharingAccesses.fraction(sharers));
+    // Per-mechanism latency attribution: one column per bucket, cycles
+    // summed over every finished translation (refines xlat.* exactly).
+    for (std::size_t b = 0; b < obs::kNumAttribBuckets; ++b) {
+        auto bucket = static_cast<obs::AttribBucket>(b);
+        registry.set(std::string("attrib.") + obs::bucketName(bucket),
+                     results.attribution.bucket[b]);
+    }
     return registry;
 }
 

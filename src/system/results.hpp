@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/attrib.hpp"
 #include "obs/histogram.hpp"
 #include "sim/ticks.hpp"
 #include "stats/stats.hpp"
@@ -94,6 +95,14 @@ struct SimResults
     // --- software driver --------------------------------------------------------
     std::uint64_t driverBatches = 0;
     double driverAvgBatchSize = 0.0;
+
+    // --- latency attribution (per-mechanism refinement of xlat) ---------------
+    /** Bucketed cycle totals + the reply-race ledger. Bucket sums match
+     *  xlat field-for-field (obs::Checks enforces it per request). */
+    obs::AttributionTable attribution;
+    std::uint64_t obsCheckViolations = 0;  ///< watchdog trips (expect 0)
+    std::uint64_t obsCheckedRequests = 0;  ///< requests the watchdog saw
+    std::uint64_t droppedSpans = 0;        ///< spans lost to capacity
 };
 
 } // namespace transfw::sys

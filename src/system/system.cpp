@@ -46,7 +46,9 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
             }
             sim::Tick t0 = eq_.now();
             net_.fromHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0, g]() {
-                req->lat.network += static_cast<double>(eq_.now() - t0);
+                mmu::charge(*req, attribEngine(),
+                            obs::AttribBucket::Network,
+                            static_cast<double>(eq_.now() - t0), eq_.now());
                 gpus_[static_cast<std::size_t>(g)]->translationReturned(
                     req);
             });
@@ -56,8 +58,10 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
             int target = rl->targetGpu;
             net_.fromHost(target).sendCtrl(
                 kCtrlMsgBytes, [this, rl, t0, target]() {
-                    rl->req->lat.network +=
-                        static_cast<double>(eq_.now() - t0);
+                    mmu::charge(*rl->req, attribEngine(),
+                                obs::AttribBucket::Network,
+                                static_cast<double>(eq_.now() - t0),
+                                eq_.now());
                     gpus_[static_cast<std::size_t>(target)]
                         ->remoteLookupRequest(rl);
                 });
@@ -75,7 +79,9 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
             }
             sim::Tick t0 = eq_.now();
             net_.fromHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0, g]() {
-                req->lat.network += static_cast<double>(eq_.now() - t0);
+                mmu::charge(*req, attribEngine(),
+                            obs::AttribBucket::Network,
+                            static_cast<double>(eq_.now() - t0), eq_.now());
                 gpus_[static_cast<std::size_t>(g)]->translationReturned(
                     req);
             });
@@ -113,21 +119,27 @@ MultiGpuSystem::setupObservability()
     obs_ = std::make_unique<obs::Observability>();
     obs_->spans.setCapacity(cfg_.obs.maxSpans);
     obs_->spans.setEnabled(cfg_.obs.spans);
+    obs_->attribution.setEnabled(cfg_.obs.attribution);
+    obs_->attribution.attachChecks(&obs_->checks);
 
     obs::MetricRegistry &reg = obs_->metrics;
     for (int g = 0; g < cfg_.numGpus; ++g) {
         gpu::Gpu &gpu = *gpus_[static_cast<std::size_t>(g)];
         gpu.attachSpans(&obs_->spans);
+        gpu.attachAttribution(&obs_->attribution);
         gpu.registerMetrics(reg, sim::strfmt("gpu%d", g));
     }
     if (hostMmu_) {
         hostMmu_->attachSpans(&obs_->spans);
+        hostMmu_->attachAttribution(&obs_->attribution);
         hostMmu_->registerMetrics(reg, "host.mmu");
     }
     if (driver_) {
         driver_->attachSpans(&obs_->spans);
+        driver_->attachAttribution(&obs_->attribution);
         driver_->registerMetrics(reg, "host.driver");
     }
+    engine_->attachAttribution(&obs_->attribution);
     engine_->registerMetrics(reg, "host.migration");
     if (ft_)
         ft_->registerMetrics(reg, "host.ft");
@@ -137,6 +149,27 @@ MultiGpuSystem::setupObservability()
     });
     reg.registerGauge("sim.tick",
                       [this] { return static_cast<double>(eq_.now()); });
+
+    // Observability self-health: span loss and watchdog trips must be
+    // visible in the same exports they guard.
+    reg.registerGauge("obs.droppedSpans", [this] {
+        return static_cast<double>(obs_->spans.dropped());
+    });
+    reg.registerGauge("obs.checks.violations", [this] {
+        return static_cast<double>(obs_->checks.violations());
+    });
+    reg.registerGauge("obs.checks.checkedRequests", [this] {
+        return static_cast<double>(obs_->checks.checkedRequests());
+    });
+    reg.registerGauge("obs.attrib.liveRequests", [this] {
+        return static_cast<double>(obs_->attribution.liveRequests());
+    });
+    reg.registerGauge("obs.attrib.forwardSavedCycles", [this] {
+        return obs_->attribution.table().forwardSavedCycles;
+    });
+    reg.registerGauge("obs.attrib.forwardWastedCycles", [this] {
+        return obs_->attribution.table().forwardWastedCycles;
+    });
 
     // Interval time series (Section IV-C dynamics): PW-queue pressure
     // and the forwarding trigger, filter load, translation-cache health.
@@ -152,15 +185,23 @@ MultiGpuSystem::setupObservability()
         sampler.addRegistryColumn(reg, "host.driver.bufferedFaults");
         sampler.addRegistryColumn(reg, "host.driver.pwc.hitRate");
     }
-    if (ft_)
+    if (ft_) {
         sampler.addRegistryColumn(reg, "host.ft.loadFactor");
+        sampler.addRegistryColumn(reg, "host.ft.kicks");
+        sampler.addRegistryColumn(reg, "host.ft.observedFpRate");
+    }
+    sampler.addRegistryColumn(reg, "host.migration.busy.loadFactor");
     for (int g = 0; g < cfg_.numGpus; ++g) {
         std::string prefix = sim::strfmt("gpu%d", g);
         sampler.addRegistryColumn(reg, prefix + ".gmmu.queueDepth");
         sampler.addRegistryColumn(reg, prefix + ".l2tlb.hitRate");
         sampler.addRegistryColumn(reg, prefix + ".gmmu.pwc.hitRate");
-        if (gpus_[static_cast<std::size_t>(g)]->prt())
+        if (gpus_[static_cast<std::size_t>(g)]->prt()) {
             sampler.addRegistryColumn(reg, prefix + ".prt.loadFactor");
+            sampler.addRegistryColumn(reg, prefix + ".prt.kicks");
+            sampler.addRegistryColumn(reg,
+                                      prefix + ".prt.observedFpRate");
+        }
     }
 }
 
@@ -214,7 +255,9 @@ MultiGpuSystem::wireGpu(int g)
         // resolution (see DESIGN.md, remote forwarding approximation).
         sim::Tick t0 = eq_.now();
         net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, rl, t0]() {
-            rl->req->lat.network += static_cast<double>(eq_.now() - t0);
+            mmu::charge(*rl->req, attribEngine(),
+                        obs::AttribBucket::Network,
+                        static_cast<double>(eq_.now() - t0), eq_.now());
             if (hostMmu_)
                 hostMmu_->remoteLookupDone(rl);
             else
@@ -231,7 +274,8 @@ MultiGpuSystem::sendFaultToHost(mmu::XlatPtr req)
     sim::Tick t0 = eq_.now();
     int g = req->gpu;
     net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0]() mutable {
-        req->lat.network += static_cast<double>(eq_.now() - t0);
+        mmu::charge(*req, attribEngine(), obs::AttribBucket::Network,
+                    static_cast<double>(eq_.now() - t0), eq_.now());
         req->tHostArrive = eq_.now();
         if (hostMmu_)
             hostMmu_->handleFault(std::move(req));
@@ -430,6 +474,17 @@ MultiGpuSystem::collect()
             r.sharedPageWrites += ps.writes;
         }
     }
+
+    // Latency attribution + watchdog verdicts. finalize() counts races
+    // still open after the queue drained; the span-nesting sweep runs
+    // here because it needs the complete trace.
+    obs_->attribution.finalize();
+    if (cfg_.obs.spans)
+        obs_->checks.verifySpanNesting(obs_->spans);
+    r.attribution = obs_->attribution.table();
+    r.obsCheckViolations = obs_->checks.violations();
+    r.obsCheckedRequests = obs_->checks.checkedRequests();
+    r.droppedSpans = obs_->spans.dropped();
     return r;
 }
 

@@ -64,6 +64,13 @@ class MultiGpuSystem
     void setupObservability();
     SimResults collect();
 
+    /** Attribution engine for event-time charge mirroring. Fetched at
+     *  call time because the wiring lambdas are created before obs_. */
+    obs::AttributionEngine *attribEngine()
+    {
+        return obs_ ? &obs_->attribution : nullptr;
+    }
+
     cfg::SystemConfig cfg_;
     const wl::Workload &workload_;
 

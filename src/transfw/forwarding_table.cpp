@@ -41,8 +41,16 @@ ForwardingTable::findOwner(mem::Vpn vpn, int num_gpus, int exclude_gpu)
     for (int gpu = 0; gpu < num_gpus; ++gpu) {
         if (gpu == exclude_gpu)
             continue;
-        if (filter_.contains(key(vpn, gpu)))
+        std::uint64_t k = key(vpn, gpu);
+        ++probes_;
+        if (filter_.contains(k)) {
             candidates[n++] = gpu;
+            // Observed false positive: no live reference behind the
+            // fingerprint. Observability tap only — the forward still
+            // goes out and fails the hardware way.
+            if (refCount_.find(k) == refCount_.end())
+                ++falsePositives_;
+        }
     }
     if (n == 0)
         return std::nullopt;

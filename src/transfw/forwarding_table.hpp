@@ -53,6 +53,14 @@ class ForwardingTable
     {
         return filter_.overflowEvictions();
     }
+    /** Per-GPU-id probes where the filter hit with no live reference. */
+    std::uint64_t observedFalsePositives() const { return falsePositives_; }
+    double observedFpRate() const
+    {
+        return probes_ ? static_cast<double>(falsePositives_) /
+                             static_cast<double>(probes_)
+                       : 0.0;
+    }
 
     /** Register filter health gauges under "<prefix>.". */
     void
@@ -67,8 +75,22 @@ class ForwardingTable
         });
         reg.registerGauge(prefix + ".loadFactor",
                           [this] { return loadFactor(); });
+        reg.registerGauge(prefix + ".occupancy", [this] {
+            return static_cast<double>(filter_.size());
+        });
+        reg.registerGauge(prefix + ".kicks", [this] {
+            return static_cast<double>(filter_.kicks());
+        });
+        reg.registerGauge(prefix + ".observedFpRate",
+                          [this] { return observedFpRate(); });
         reg.registerGauge(prefix + ".overflowEvictions", [this] {
             return static_cast<double>(overflowEvictions());
+        });
+        reg.registerGauge(prefix + ".refMap.loadFactor", [this] {
+            return refCount_.loadFactor();
+        });
+        reg.registerGauge(prefix + ".refMap.tombstones", [this] {
+            return static_cast<double>(refCount_.tombstones());
         });
     }
 
@@ -87,6 +109,8 @@ class ForwardingTable
     sim::FlatMap<std::uint64_t, std::uint32_t> refCount_;
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;
+    std::uint64_t probes_ = 0;
+    std::uint64_t falsePositives_ = 0;
 };
 
 } // namespace transfw::core

@@ -37,8 +37,15 @@ bool
 PendingRequestTable::mayBeLocal(mem::Vpn vpn)
 {
     ++lookups_;
-    bool hit = filter_.contains(group(vpn));
+    std::uint64_t g = group(vpn);
+    bool hit = filter_.contains(g);
     hits_ += hit ? 1 : 0;
+    // Observed false positive: the filter says "maybe local" but the
+    // exact residency count has no pages in this group. Purely an
+    // observability tap — the caller still walks locally and discovers
+    // the miss the hardware way.
+    if (hit && groupCount_.find(g) == groupCount_.end())
+        ++falsePositives_;
     return hit;
 }
 

@@ -53,6 +53,14 @@ class PendingRequestTable
     {
         return filter_.overflowEvictions();
     }
+    /** Lookups where the filter hit but the group held no pages. */
+    std::uint64_t observedFalsePositives() const { return falsePositives_; }
+    double observedFpRate() const
+    {
+        return lookups_ ? static_cast<double>(falsePositives_) /
+                              static_cast<double>(lookups_)
+                        : 0.0;
+    }
 
     /** Register filter health gauges under "<prefix>.". */
     void
@@ -67,8 +75,22 @@ class PendingRequestTable
         });
         reg.registerGauge(prefix + ".loadFactor",
                           [this] { return loadFactor(); });
+        reg.registerGauge(prefix + ".occupancy", [this] {
+            return static_cast<double>(filter_.size());
+        });
+        reg.registerGauge(prefix + ".kicks", [this] {
+            return static_cast<double>(filter_.kicks());
+        });
+        reg.registerGauge(prefix + ".observedFpRate",
+                          [this] { return observedFpRate(); });
         reg.registerGauge(prefix + ".overflowEvictions", [this] {
             return static_cast<double>(overflowEvictions());
+        });
+        reg.registerGauge(prefix + ".groupMap.loadFactor", [this] {
+            return groupCount_.loadFactor();
+        });
+        reg.registerGauge(prefix + ".groupMap.tombstones", [this] {
+            return static_cast<double>(groupCount_.tombstones());
         });
     }
 
@@ -82,6 +104,7 @@ class PendingRequestTable
     sim::FlatMap<std::uint64_t, std::uint32_t> groupCount_;
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;
+    std::uint64_t falsePositives_ = 0;
 };
 
 } // namespace transfw::core

@@ -90,8 +90,10 @@ MigrationEngine::releasePage(mem::Vpn vpn)
     // parked behind the in-flight move is migration-serialization cost.
     schedule(0, [this, waiters = std::move(waiters)]() mutable {
         for (auto &pending : waiters) {
-            pending.req->lat.migration +=
-                static_cast<double>(curTick() - pending.parked);
+            mmu::charge(*pending.req, attrib_,
+                        obs::AttribBucket::Migration,
+                        static_cast<double>(curTick() - pending.parked),
+                        curTick());
             resolve(std::move(pending.req), std::move(pending.done));
         }
     });
@@ -190,7 +192,8 @@ MigrationEngine::migrate(mmu::XlatPtr req, mem::PageInfo &info,
               static_cast<unsigned long long>(req->vpn), src, dst);
 
     // Invalidate every stale copy before the data moves.
-    req->lat.other += static_cast<double>(cfg_.shootdownCost);
+    mmu::charge(*req, attrib_, obs::AttribBucket::Shootdown,
+                static_cast<double>(cfg_.shootdownCost), curTick());
     for (int g = 0; g < net_.numGpus(); ++g) {
         if ((info.replicaMask >> g) & 1u)
             unmapFrom(g, req->vpn);
@@ -215,8 +218,9 @@ MigrationEngine::migrate(mmu::XlatPtr req, mem::PageInfo &info,
         transfer(src, dst, req->resolvedByRemote,
                  [this, req, done = std::move(done), dst,
                   start]() mutable {
-            req->lat.migration +=
-                static_cast<double>(curTick() - start);
+            mmu::charge(*req, attrib_, obs::AttribBucket::Migration,
+                        static_cast<double>(curTick() - start),
+                        curTick());
             tlb::TlbEntry entry = mapLocal(dst, req->vpn, true);
             mem::PageInfo *info = central_.lookup(req->vpn);
             info->owner = dst;
@@ -252,7 +256,8 @@ MigrationEngine::replicate(mmu::XlatPtr req, mem::PageInfo &info,
     sim::Tick start = curTick();
     transfer(src, dst, [this, req, done = std::move(done), dst,
                         start]() mutable {
-        req->lat.migration += static_cast<double>(curTick() - start);
+        mmu::charge(*req, attrib_, obs::AttribBucket::Migration,
+                    static_cast<double>(curTick() - start), curTick());
         tlb::TlbEntry entry = mapLocal(dst, req->vpn, false);
         complete(req->vpn, entry, std::move(done));
     });
@@ -271,7 +276,8 @@ MigrationEngine::writeUpgrade(mmu::XlatPtr req, mem::PageInfo &info,
             req->vpn) != nullptr;
 
     // Invalidate every other holder (protection-fault handler).
-    req->lat.other += static_cast<double>(cfg_.shootdownCost);
+    mmu::charge(*req, attrib_, obs::AttribBucket::Shootdown,
+                static_cast<double>(cfg_.shootdownCost), curTick());
     for (int g = 0; g < net_.numGpus(); ++g) {
         if (g != dst && ((info.replicaMask >> g) & 1u))
             unmapFrom(g, req->vpn);
@@ -313,8 +319,12 @@ MigrationEngine::writeUpgrade(mmu::XlatPtr req, mem::PageInfo &info,
                      transfer(src, dst,
                               [this, req, start,
                                finish = std::move(finish)]() mutable {
-                                  req->lat.migration += static_cast<double>(
-                                      curTick() - start);
+                                  mmu::charge(
+                                      *req, attrib_,
+                                      obs::AttribBucket::Migration,
+                                      static_cast<double>(curTick() -
+                                                          start),
+                                      curTick());
                                   finish();
                               });
                  });
@@ -328,7 +338,8 @@ MigrationEngine::remoteMap(mmu::XlatPtr req, mem::PageInfo &info,
     ++stats_.remoteMappings;
     int dst = req->gpu;
     info.replicaMask |= 1u << dst;
-    req->lat.other += static_cast<double>(cfg_.memLatency); // PTE install
+    mmu::charge(*req, attrib_, obs::AttribBucket::PteInstall,
+                static_cast<double>(cfg_.memLatency), curTick());
     schedule(cfg_.memLatency, [this, req, done = std::move(done)]() mutable {
         // Re-look the entry up: central leaves are stable objects, but
         // holding a reference across an event boundary is fragile.

@@ -67,6 +67,12 @@ class MigrationEngine : public sim::SimObject
 
     const Stats &stats() const { return stats_; }
 
+    /** Observability: mirror latency charges per request (nullable). */
+    void attachAttribution(obs::AttributionEngine *attrib)
+    {
+        attrib_ = attrib;
+    }
+
     /** Register live gauges under "<prefix>." (e.g. "host.migration"). */
     void
     registerMetrics(obs::MetricRegistry &reg,
@@ -95,6 +101,11 @@ class MigrationEngine : public sim::SimObject
         });
         reg.registerGauge(prefix + ".busyPages", [this] {
             return static_cast<double>(busy_.size());
+        });
+        reg.registerGauge(prefix + ".busy.loadFactor",
+                          [this] { return busy_.loadFactor(); });
+        reg.registerGauge(prefix + ".busy.tombstones", [this] {
+            return static_cast<double>(busy_.tombstones());
         });
     }
 
@@ -140,6 +151,7 @@ class MigrationEngine : public sim::SimObject
     ic::Network &net_;
     core::ForwardingTable *ft_;
     Stats stats_;
+    obs::AttributionEngine *attrib_ = nullptr;
 
     /** Pages with a move in flight → resolves waiting on them.
      *  Checked on every resolve and every remote-access note, so flat. */

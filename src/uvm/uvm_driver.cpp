@@ -97,7 +97,8 @@ UvmDriver::dispatchWalks()
         mmu::XlatPtr req = std::move(walkQueue_.front());
         walkQueue_.pop_front();
         sim::Tick wait = curTick() - req->tHostArrive;
-        req->lat.hostQueue += static_cast<double>(wait);
+        charge(*req, attrib_, obs::AttribBucket::HostQueue,
+               static_cast<double>(wait), curTick());
         if (spans_)
             spans_->record("driver.queue", req->gpu, req->id,
                            req->tHostArrive, curTick(), req->vpn);
@@ -128,7 +129,8 @@ UvmDriver::startWalk(mmu::XlatPtr req)
         !req->remoteForwarded) {
         // Trans-FW on driver faults: the FT lives in CPU memory; one
         // memory access probes it before committing a software walk.
-        req->lat.other += static_cast<double>(cfg_.memLatency);
+        charge(*req, attrib_, obs::AttribBucket::FtProbe,
+               static_cast<double>(cfg_.memLatency), curTick());
         schedule(cfg_.memLatency, [this, req]() mutable {
             auto owner =
                 ft_->findOwner(req->vpn, cfg_.numGpus, req->gpu);
@@ -139,6 +141,11 @@ UvmDriver::startWalk(mmu::XlatPtr req)
                 rl->req = req;
                 rl->targetGpu = *owner;
                 rl->tForwarded = curTick();
+#if TRANSFW_OBS
+                if (attrib_)
+                    attrib_->forwardLaunched(req->gpu, req->id,
+                                             curTick());
+#endif
                 // Handed off: the thread is released and the fault no
                 // longer gates this batch — the remote GPU completes it
                 // asynchronously via remoteLookupDone().
@@ -165,7 +172,8 @@ UvmDriver::softwareWalk(mmu::XlatPtr req)
     sim::Tick latency =
         cfg_.driverPerFaultCost +
         static_cast<sim::Tick>(walk.accesses) * cfg_.memLatency;
-    req->lat.hostMem += static_cast<double>(latency);
+    charge(*req, attrib_, obs::AttribBucket::HostWalkMem,
+           static_cast<double>(latency), curTick());
     if (spans_)
         spans_->record("driver.walk", req->gpu, req->id, curTick(),
                        curTick() + latency, req->vpn);
@@ -207,11 +215,28 @@ UvmDriver::remoteLookupDone(mmu::RemoteLookupPtr rl)
         // FT false positive: fall back to a software walk (the
         // remoteForwarded flag keeps startWalk from re-forwarding).
         ++stats_.forwardFail;
+#if TRANSFW_OBS
+        if (attrib_)
+            attrib_->forwardOutcome(req->gpu, req->id, false, false, 0,
+                                    curTick());
+#endif
         walkQueue_.push_back(std::move(req));
         dispatchWalks();
         return;
     }
     ++stats_.forwardSuccess;
+#if TRANSFW_OBS
+    if (attrib_) {
+        // No software walk races a driver forward: success wins
+        // outright, saving the estimated per-fault handling + walk.
+        double est = static_cast<double>(
+            cfg_.driverPerFaultCost +
+            static_cast<sim::Tick>(cfg_.pageTableLevels) *
+                cfg_.memLatency);
+        attrib_->forwardOutcome(req->gpu, req->id, true, true, est,
+                                curTick());
+    }
+#endif
     req->translationResolved = true;
     // The owner GPU pushes the page and replies to the requester
     // directly, exactly as on the hardware path.
@@ -277,6 +302,11 @@ UvmDriver::registerMetrics(obs::MetricRegistry &reg,
     });
     reg.registerGauge(prefix + ".busyThreads", [this] {
         return static_cast<double>(busyThreads_);
+    });
+    reg.registerGauge(prefix + ".inflight.loadFactor",
+                      [this] { return inflight_.loadFactor(); });
+    reg.registerGauge(prefix + ".inflight.tombstones", [this] {
+        return static_cast<double>(inflight_.tombstones());
     });
     pwc_->registerMetrics(reg, prefix + ".pwc");
 }

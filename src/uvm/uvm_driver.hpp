@@ -63,6 +63,11 @@ class UvmDriver : public sim::SimObject
 
     /** Observability: record lifecycle spans into @p spans (nullable). */
     void attachSpans(obs::SpanRecorder *spans) { spans_ = spans; }
+    /** Observability: mirror latency charges per request (nullable). */
+    void attachAttribution(obs::AttributionEngine *attrib)
+    {
+        attrib_ = attrib;
+    }
     /** Register live gauges under "<prefix>." (e.g. "host.driver"). */
     void registerMetrics(obs::MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -108,6 +113,7 @@ class UvmDriver : public sim::SimObject
 
     Stats stats_;
     obs::SpanRecorder *spans_ = nullptr;
+    obs::AttributionEngine *attrib_ = nullptr;
 };
 
 } // namespace transfw::uvm

@@ -1,0 +1,478 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+namespace {
+
+/** Small sharing-heavy workload that exercises faults, forwards and
+ *  migrations without taking long to run. */
+wl::SyntheticSpec
+tinySpec()
+{
+    wl::SyntheticSpec spec;
+    spec.name = "attrib";
+    spec.numCtas = 32;
+    spec.memOpsPerCta = 24;
+    spec.computePerOp = 2;
+    spec.regions = {
+        {.name = "hot", .pages = 32, .pattern = wl::Pattern::Random,
+         .shareDegree = 64, .weight = 0.5, .writeFrac = 0.3, .reuse = 2},
+        {.name = "own", .pages = 128, .weight = 0.5, .reuse = 2},
+    };
+    return spec;
+}
+
+} // namespace
+
+// The engine and its race ledger are compiled out under
+// -DTRANSFW_OBS=OFF; the compile-out contract itself is tested at the
+// bottom of this file.
+#if TRANSFW_OBS
+
+// ---------------------------------------------------------------------------
+// Unit: reply-race accounting on a hand-driven engine.
+// ---------------------------------------------------------------------------
+
+TEST(AttributionEngine, HardwareRaceDuplicateWalkMeasuredSaving)
+{
+    obs::AttributionEngine eng;
+    eng.setEnabled(true);
+
+    eng.begin(0, 1, 0x10, 100);
+    eng.charge(0, 1, obs::AttribBucket::Network, 20, 120);
+    eng.forwardLaunched(0, 1, 150);
+    // Remote reply wins at t=300 (hardware path: est_saved == 0 keeps
+    // the race open until the losing walk reports).
+    eng.forwardOutcome(0, 1, true, true, 0, 300);
+
+    stats::LatencyBreakdown lat;
+    lat.network = 20;
+    eng.finish(0, 1, lat, false, 320);
+
+    // The loser crosses the line at t=450: measured saving 450 - 300.
+    eng.hostWalkDone(0, 1, true, 450);
+
+    const obs::AttributionTable &t = eng.table();
+    EXPECT_EQ(t.requests, 1u);
+    EXPECT_EQ(t.forwards, 1u);
+    EXPECT_EQ(t.remoteWins, 1u);
+    EXPECT_EQ(t.duplicateHostWalks, 1u);
+    EXPECT_DOUBLE_EQ(t.forwardSavedCycles, 150.0);
+    EXPECT_DOUBLE_EQ(t.forwardSavedEstCycles, 0.0);
+    EXPECT_DOUBLE_EQ(t.forwardWastedCycles, 0.0);
+    // Race closed and record released (timelines off).
+    EXPECT_EQ(eng.liveRequests(), 0u);
+}
+
+TEST(AttributionEngine, CancelledWalkBooksEstimatedSaving)
+{
+    obs::AttributionEngine eng;
+    eng.setEnabled(true);
+
+    eng.begin(0, 2, 0x20, 0);
+    eng.forwardLaunched(0, 2, 10);
+    eng.forwardOutcome(0, 2, true, true, 0, 90);
+    stats::LatencyBreakdown lat;
+    eng.finish(0, 2, lat, false, 95);
+    eng.hostWalkCancelled(0, 2, 500, 100);
+
+    EXPECT_EQ(eng.table().cancelledHostWalks, 1u);
+    EXPECT_DOUBLE_EQ(eng.table().forwardSavedEstCycles, 500.0);
+    EXPECT_EQ(eng.liveRequests(), 0u);
+}
+
+TEST(AttributionEngine, FailedAndLosingForwardsBookWaste)
+{
+    obs::AttributionEngine eng;
+    eng.setEnabled(true);
+
+    // FT false positive: remote service 40 cycles wasted.
+    eng.begin(0, 3, 0x30, 0);
+    eng.forwardLaunched(0, 3, 100);
+    eng.forwardOutcome(0, 3, false, false, 0, 140);
+    EXPECT_EQ(eng.table().failedForwards, 1u);
+    EXPECT_DOUBLE_EQ(eng.table().forwardWastedCycles, 40.0);
+
+    // Host walk wins: remote service 60 cycles wasted.
+    eng.begin(0, 4, 0x40, 0);
+    eng.forwardLaunched(0, 4, 200);
+    eng.forwardOutcome(0, 4, true, false, 0, 260);
+    EXPECT_EQ(eng.table().hostWins, 1u);
+    EXPECT_DOUBLE_EQ(eng.table().forwardWastedCycles, 100.0);
+}
+
+TEST(AttributionEngine, DriverForwardClosesRaceImmediately)
+{
+    obs::AttributionEngine eng;
+    eng.setEnabled(true);
+
+    eng.begin(1, 5, 0x50, 0);
+    eng.forwardLaunched(1, 5, 50);
+    // Driver path: est_saved > 0 means no walk races the forward.
+    eng.forwardOutcome(1, 5, true, true, 600, 200);
+    stats::LatencyBreakdown lat;
+    eng.finish(1, 5, lat, false, 210);
+
+    EXPECT_EQ(eng.table().remoteWins, 1u);
+    EXPECT_DOUBLE_EQ(eng.table().forwardSavedEstCycles, 600.0);
+    EXPECT_EQ(eng.liveRequests(), 0u);
+    eng.finalize();
+    EXPECT_EQ(eng.table().unresolvedRaces, 0u);
+}
+
+TEST(AttributionEngine, LateChargesStayOffTheBucketTable)
+{
+    obs::AttributionEngine eng;
+    eng.setEnabled(true);
+
+    eng.begin(0, 6, 0x60, 0);
+    eng.charge(0, 6, obs::AttribBucket::HostWalkMem, 300, 50);
+    stats::LatencyBreakdown lat;
+    lat.hostMem = 300;
+    eng.finish(0, 6, lat, false, 400);
+    // Keep the record receivable: open a race so the post-finish charge
+    // has somewhere to land (as a real race loser's charges do).
+    eng.begin(0, 7, 0x70, 0);
+    eng.forwardLaunched(0, 7, 10);
+    eng.forwardOutcome(0, 7, true, true, 0, 80);
+    stats::LatencyBreakdown lat7;
+    eng.finish(0, 7, lat7, false, 90);
+    eng.charge(0, 7, obs::AttribBucket::RemoteWalk, 120, 130);
+
+    EXPECT_EQ(eng.table().lateCharges, 1u);
+    EXPECT_DOUBLE_EQ(eng.table().lateCycles, 120.0);
+    // Bucket totals only reflect pre-finish charges.
+    EXPECT_DOUBLE_EQ(eng.table().bucketTotal(), 300.0);
+}
+
+TEST(AttributionEngine, TimelinesRecordCausalEvents)
+{
+    obs::AttributionEngine eng;
+    eng.setEnabled(true);
+    eng.setKeepTimelines(true);
+
+    eng.begin(2, 9, 0x90, 1000);
+    eng.charge(2, 9, obs::AttribBucket::PrtLookup, 1, 1001);
+    eng.shortCircuited(2, 9, 600, 1001);
+    eng.charge(2, 9, obs::AttribBucket::Network, 30, 1040);
+    stats::LatencyBreakdown lat;
+    lat.other = 1;
+    lat.network = 30;
+    eng.finish(2, 9, lat, true, 1100);
+
+    const auto *tl = eng.timeline(2, 9);
+    ASSERT_NE(tl, nullptr);
+    EXPECT_EQ(tl->vpn, 0x90u);
+    EXPECT_EQ(tl->tIssue, 1000u);
+    EXPECT_EQ(tl->tFinish, 1100u);
+    ASSERT_EQ(tl->events.size(), 4u);
+    EXPECT_EQ(tl->events[1].kind, obs::AttribEvent::Kind::ShortCircuit);
+    EXPECT_EQ(tl->events.back().kind, obs::AttribEvent::Kind::Finish);
+    EXPECT_EQ(eng.slowestRequest(), (std::pair<int, std::uint64_t>{2, 9}));
+    EXPECT_EQ(eng.table().shortCircuits, 1u);
+    EXPECT_DOUBLE_EQ(eng.table().shortCircuitSavedEstCycles, 600.0);
+}
+
+TEST(AttributionEngine, DisabledEngineRecordsNothing)
+{
+    obs::AttributionEngine eng;
+    EXPECT_FALSE(eng.enabled());
+    eng.begin(0, 1, 0x10, 0);
+    eng.charge(0, 1, obs::AttribBucket::Network, 50, 10);
+    stats::LatencyBreakdown lat;
+    lat.network = 50;
+    eng.finish(0, 1, lat, false, 60);
+    eng.finalize();
+    EXPECT_EQ(eng.table().requests, 0u);
+    EXPECT_DOUBLE_EQ(eng.table().bucketTotal(), 0.0);
+    EXPECT_EQ(eng.liveRequests(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Unit: the invariant watchdog itself. Strict builds panic on
+// violation, so the negative cases only run in counting mode.
+// ---------------------------------------------------------------------------
+
+#if !TRANSFW_OBS_STRICT
+TEST(ObsChecks, CatchesBucketSumMismatch)
+{
+    obs::AttributionEngine eng;
+    obs::Checks checks;
+    eng.setEnabled(true);
+    eng.attachChecks(&checks);
+
+    eng.begin(0, 1, 0x10, 0);
+    eng.charge(0, 1, obs::AttribBucket::GmmuQueue, 100, 10);
+    stats::LatencyBreakdown lat;
+    lat.gmmuQueue = 250; // component bypassed the charge funnel
+    eng.finish(0, 1, lat, false, 300);
+
+    EXPECT_EQ(checks.violations(), 1u);
+    EXPECT_EQ(checks.checkedRequests(), 1u);
+    ASSERT_FALSE(checks.messages().empty());
+
+    checks.clear();
+    EXPECT_EQ(checks.violations(), 0u);
+}
+
+TEST(ObsChecks, CatchesMisclassifiedCharge)
+{
+    obs::AttributionEngine eng;
+    obs::Checks checks;
+    eng.setEnabled(true);
+    eng.attachChecks(&checks);
+
+    // Totals balance, but the cycles sit in the wrong bucket family.
+    eng.begin(0, 2, 0x20, 0);
+    eng.charge(0, 2, obs::AttribBucket::HostWalkMem, 100, 10);
+    stats::LatencyBreakdown lat;
+    lat.network = 100;
+    eng.finish(0, 2, lat, false, 200);
+
+    EXPECT_EQ(checks.violations(), 1u);
+}
+
+TEST(ObsChecks, CatchesLocalWalkOnShortCircuit)
+{
+    obs::AttributionEngine eng;
+    obs::Checks checks;
+    eng.setEnabled(true);
+    eng.attachChecks(&checks);
+
+    eng.begin(0, 3, 0x30, 0);
+    eng.charge(0, 3, obs::AttribBucket::GmmuWalkMem, 500, 10);
+    stats::LatencyBreakdown lat;
+    lat.gmmuMem = 500;
+    eng.finish(0, 3, lat, /*short_circuit=*/true, 600);
+
+    EXPECT_EQ(checks.violations(), 1u);
+}
+
+TEST(ObsChecks, SampleMaskSkipsUnselectedRequests)
+{
+    obs::AttributionEngine eng;
+    obs::Checks checks;
+    eng.setEnabled(true);
+    eng.attachChecks(&checks);
+    checks.setSampleMask(0x3); // only ids with low bits 00
+
+    for (std::uint64_t id = 0; id < 8; ++id) {
+        eng.begin(0, id, id, 0);
+        eng.charge(0, id, obs::AttribBucket::Network, 10, 5);
+        stats::LatencyBreakdown lat;
+        lat.network = 10;
+        eng.finish(0, id, lat, false, 20);
+    }
+    EXPECT_EQ(checks.checkedRequests(), 2u); // ids 0 and 4
+    EXPECT_EQ(checks.violations(), 0u);
+}
+#endif // !TRANSFW_OBS_STRICT
+
+TEST(ObsChecks, SpanNestingPassesAndFails)
+{
+    obs::SpanRecorder rec;
+    rec.setEnabled(true);
+
+    // Lane (0, 1): children nest inside the xlat root.
+    rec.record("gmmu.queue", 0, 1, 110, 150, 0x1);
+    rec.record("gmmu.walk", 0, 1, 150, 300, 0x1);
+    rec.record("xlat", 0, 1, 100, 400, 0x1);
+    // Lane (0, 2): a child escapes its root.
+    rec.record("gmmu.walk", 0, 2, 500, 900, 0x2);
+    rec.record("xlat", 0, 2, 480, 700, 0x2);
+    // Lane (0, 3): race-loser overhang is explicitly allowed.
+    rec.record("host.walk", 0, 3, 1000, 1500, 0x3);
+    rec.record("xlat", 0, 3, 950, 1200, 0x3);
+
+    obs::Checks checks;
+#if TRANSFW_OBS_STRICT
+    // Strict builds abort on the deliberate violation; only exercise
+    // the clean lanes.
+    obs::SpanRecorder clean;
+    clean.setEnabled(true);
+    clean.record("gmmu.walk", 0, 1, 150, 300, 0x1);
+    clean.record("xlat", 0, 1, 100, 400, 0x1);
+    EXPECT_EQ(checks.verifySpanNesting(clean), 0u);
+#else
+    EXPECT_EQ(checks.verifySpanNesting(rec), 1u);
+    EXPECT_EQ(checks.violations(), 1u);
+#endif
+}
+
+TEST(ObsChecks, SpanNestingSkipsTruncatedTraces)
+{
+    obs::SpanRecorder rec;
+    rec.setEnabled(true);
+    rec.setCapacity(1);
+    rec.record("gmmu.walk", 0, 2, 500, 900, 0x2); // would violate...
+    rec.record("xlat", 0, 2, 480, 700, 0x2);      // ...but gets dropped
+
+    obs::Checks checks;
+    EXPECT_GT(rec.dropped(), 0u);
+    EXPECT_EQ(checks.verifySpanNesting(rec), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// System: attribution is observational — identical simulation either
+// way — and the watchdog holds end-to-end.
+// ---------------------------------------------------------------------------
+
+TEST(AttributionSystem, TransFwRunBalancesAndResolvesRaces)
+{
+    wl::SyntheticWorkload workload(tinySpec());
+    cfg::SystemConfig config = sys::transFwConfig();
+    config.cusPerGpu = 6;
+
+    sys::SimResults r = sys::runWorkload(workload, config);
+
+    EXPECT_EQ(r.obsCheckViolations, 0u);
+    EXPECT_GT(r.obsCheckedRequests, 0u);
+    EXPECT_EQ(r.obsCheckedRequests, r.attribution.requests);
+    EXPECT_EQ(r.attribution.unresolvedRaces, 0u);
+    // The ledger agrees with the component counters.
+    EXPECT_EQ(r.attribution.forwards, r.forwards);
+    EXPECT_EQ(r.attribution.failedForwards, r.forwardFail);
+    EXPECT_EQ(r.attribution.remoteWins + r.attribution.hostWins,
+              r.forwardSuccess);
+    EXPECT_EQ(r.attribution.duplicateHostWalks, r.duplicateWalks);
+    EXPECT_EQ(r.attribution.shortCircuits, r.shortCircuits);
+    // Buckets refine the coarse breakdown exactly.
+    const double tol = 1e-6 * (1.0 + r.xlat.total());
+    EXPECT_NEAR(r.attribution.bucketTotal(), r.xlat.total(), tol);
+    EXPECT_GE(r.attribution.forwardSavedCycles, 0.0);
+    EXPECT_GE(r.attribution.forwardWastedCycles, 0.0);
+}
+
+TEST(AttributionSystem, DisablingAttributionChangesNothingSimulated)
+{
+    wl::SyntheticWorkload workload(tinySpec());
+    cfg::SystemConfig on = sys::transFwConfig();
+    on.cusPerGpu = 6;
+    cfg::SystemConfig off = on;
+    off.obs.attribution = false;
+
+    sys::SimResults ron = sys::runWorkload(workload, on);
+    sys::SimResults roff = sys::runWorkload(workload, off);
+
+    // Purely observational: simulated timing and accounting identical.
+    EXPECT_EQ(ron.execTime, roff.execTime);
+    EXPECT_EQ(ron.eventsExecuted, roff.eventsExecuted);
+    EXPECT_EQ(ron.farFaults, roff.farFaults);
+    EXPECT_DOUBLE_EQ(ron.xlat.total(), roff.xlat.total());
+    // And the disabled engine recorded nothing.
+    EXPECT_EQ(roff.attribution.requests, 0u);
+    EXPECT_EQ(roff.obsCheckedRequests, 0u);
+    EXPECT_GT(ron.attribution.requests, 0u);
+}
+
+TEST(AttributionSystem, MidRunSinkSwapDuringOpenRequests)
+{
+    wl::SyntheticWorkload workload(tinySpec());
+    cfg::SystemConfig config = sys::transFwConfig();
+    config.cusPerGpu = 6;
+    config.obs.spans = true;
+
+    sys::MultiGpuSystem system(config, workload);
+    obs::SpanRecorder other;
+    other.setEnabled(true);
+    other.setCapacity(config.obs.maxSpans);
+
+    // Swap the span sink and disable attribution mid-run, while
+    // translations are guaranteed to be in flight: spans for one
+    // request then straddle two recorders and open attribution records
+    // go quiet. Neither may disturb the run or trip the watchdog.
+    system.eventq().schedule(2000, [&]() {
+        system.gpuAt(0).attachSpans(&other);
+        if (system.hostMmu())
+            system.hostMmu()->attachSpans(&other);
+        system.obs().attribution.setEnabled(false);
+    });
+
+    sys::SimResults r = system.run();
+
+    EXPECT_EQ(r.obsCheckViolations, 0u);
+    EXPECT_GT(r.execTime, 2000u);
+    // Both recorders saw spans from their half of the run.
+    EXPECT_FALSE(system.obs().spans.spans().empty());
+    EXPECT_FALSE(other.spans().empty());
+    // A swapped-out recorder still exports a valid trace.
+    std::ostringstream trace;
+    other.writeChromeTrace(trace);
+    EXPECT_FALSE(trace.str().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Filter / map gauge satellites.
+// ---------------------------------------------------------------------------
+
+TEST(AttributionGauges, SystemRegistersObservabilityGauges)
+{
+    wl::SyntheticWorkload workload(tinySpec());
+    cfg::SystemConfig config = sys::transFwConfig();
+    config.cusPerGpu = 6;
+
+    sys::MultiGpuSystem system(config, workload);
+    (void)system.run();
+
+    obs::MetricRegistry &reg = system.obs().metrics;
+    std::string json = reg.toJson();
+    for (const char *key :
+         {"obs.droppedSpans", "obs.checks.violations",
+          "obs.attrib.liveRequests", "host.ft.kicks",
+          "host.ft.observedFpRate", "host.ft.refMap.loadFactor",
+          "gpu0.prt.kicks", "gpu0.prt.observedFpRate",
+          "gpu0.prt.groupMap.tombstones",
+          "host.migration.busy.loadFactor",
+          "host.mmu.queueDepth"}) {
+        EXPECT_NE(json.find(key), std::string::npos)
+            << "missing gauge " << key;
+    }
+    // Rates and load factors stay inside [0, 1] (the sampler column
+    // contract for *hitRate* / *loadFactor* names).
+    EXPECT_GE(system.forwardingTable()->observedFpRate(), 0.0);
+    EXPECT_LE(system.forwardingTable()->observedFpRate(), 1.0);
+}
+
+#else // !TRANSFW_OBS
+
+// Compile-out contract: with observability off, every attribution call
+// site compiles to nothing and the engine is inert even when enabled.
+TEST(AttributionCompiledOut, EngineIsInert)
+{
+    obs::AttributionEngine eng;
+    eng.setEnabled(true);
+    eng.setKeepTimelines(true);
+    eng.begin(0, 1, 0x10, 0);
+    eng.charge(0, 1, obs::AttribBucket::Network, 50, 10);
+    eng.forwardLaunched(0, 1, 20);
+    eng.forwardOutcome(0, 1, true, true, 0, 60);
+    stats::LatencyBreakdown lat;
+    lat.network = 50;
+    eng.finish(0, 1, lat, false, 80);
+    eng.finalize();
+
+    EXPECT_EQ(eng.table().requests, 0u);
+    EXPECT_EQ(eng.table().forwards, 0u);
+    EXPECT_DOUBLE_EQ(eng.table().bucketTotal(), 0.0);
+    EXPECT_EQ(eng.timeline(0, 1), nullptr);
+    EXPECT_EQ(eng.slowestRequest().first, -1);
+}
+
+TEST(AttributionCompiledOut, SystemRunStaysConsistent)
+{
+    wl::SyntheticWorkload workload(tinySpec());
+    cfg::SystemConfig config = sys::transFwConfig();
+    config.cusPerGpu = 6;
+
+    sys::SimResults r = sys::runWorkload(workload, config);
+    EXPECT_GT(r.execTime, 0u);
+    EXPECT_EQ(r.attribution.requests, 0u);
+    EXPECT_EQ(r.obsCheckViolations, 0u);
+    EXPECT_EQ(r.droppedSpans, 0u);
+}
+
+#endif // TRANSFW_OBS

@@ -39,6 +39,33 @@ TEST_P(ConfigMatrix, RunsWithConsistentAccounting)
 
     sys::SimResults r = sys::runWorkload(workload, config);
 
+#if TRANSFW_OBS
+    // Invariant watchdog: every finished request's attribution buckets
+    // must reproduce its LatencyBreakdown, spans must nest, and PRT
+    // short circuits must not charge a local walk — across the whole
+    // matrix, zero violations.
+    EXPECT_EQ(r.obsCheckViolations, 0u);
+    EXPECT_EQ(r.obsCheckedRequests, r.attribution.requests);
+    EXPECT_GT(r.attribution.requests, 0u);
+    // The aggregate table refines r.xlat field-for-field.
+    const double tol = 1e-6 * (1.0 + r.xlat.total());
+    EXPECT_NEAR(r.attribution.fieldTotal(obs::LatField::GmmuQueue),
+                r.xlat.gmmuQueue, tol);
+    EXPECT_NEAR(r.attribution.fieldTotal(obs::LatField::GmmuMem),
+                r.xlat.gmmuMem, tol);
+    EXPECT_NEAR(r.attribution.fieldTotal(obs::LatField::HostQueue),
+                r.xlat.hostQueue, tol);
+    EXPECT_NEAR(r.attribution.fieldTotal(obs::LatField::HostMem),
+                r.xlat.hostMem, tol);
+    EXPECT_NEAR(r.attribution.fieldTotal(obs::LatField::Migration),
+                r.xlat.migration, tol);
+    EXPECT_NEAR(r.attribution.fieldTotal(obs::LatField::Network),
+                r.xlat.network, tol);
+    EXPECT_NEAR(r.attribution.fieldTotal(obs::LatField::Other),
+                r.xlat.other, tol);
+    EXPECT_EQ(r.attribution.unresolvedRaces, 0u);
+#endif
+
     EXPECT_EQ(r.memOps, 48u * 30u);
     EXPECT_GT(r.execTime, 0u);
     EXPECT_GT(r.farFaults, 0u); // the hot region always faults

@@ -89,6 +89,33 @@ TEST(CuckooFilter, OverflowEvictionCountsAndKeepsWorking)
     EXPECT_LE(filter.size(), filter.capacity());
 }
 
+TEST(CuckooFilter, KickCounterMonotoneAndInsertOnly)
+{
+    // A tiny table driven past capacity forces long relocation chains;
+    // the kick gauge must grow monotonically and only on insert.
+    CuckooParams params{.numBuckets = 8, .slotsPerBucket = 2,
+                        .fingerprintBits = 8, .maxKicks = 50};
+    CuckooFilter filter(params);
+    EXPECT_EQ(filter.kicks(), 0u);
+    std::uint64_t prev = 0;
+    for (std::uint64_t key = 0; key < 64; ++key) {
+        filter.insert(key * 31);
+        ASSERT_GE(filter.kicks(), prev);
+        prev = filter.kicks();
+    }
+    EXPECT_GT(filter.kicks(), 0u);
+    // Overflow evictions imply at least maxKicks relocations each.
+    EXPECT_GE(filter.kicks(),
+              filter.overflowEvictions() * params.maxKicks);
+
+    std::uint64_t afterInserts = filter.kicks();
+    for (std::uint64_t key = 0; key < 64; ++key) {
+        filter.contains(key * 31);
+        filter.erase(key * 31);
+    }
+    EXPECT_EQ(filter.kicks(), afterInserts); // probes/erases never kick
+}
+
 TEST(CuckooFilter, LoadFactorAndBits)
 {
     CuckooFilter filter(prtParams());

@@ -200,6 +200,49 @@ TEST(FlatMap, DifferentialFuzzAgainstUnorderedMap)
     }
 }
 
+TEST(FlatMap, GaugeAccessorsTrackOccupancy)
+{
+    FlatMap<std::uint64_t, int> map;
+    EXPECT_EQ(map.capacity(), 0u);
+    EXPECT_EQ(map.loadFactor(), 0.0);
+    EXPECT_EQ(map.tombstones(), 0u);
+
+    for (std::uint64_t k = 0; k < 64; ++k)
+        map[k * 977] = static_cast<int>(k);
+    EXPECT_GE(map.capacity(), map.size());
+    EXPECT_EQ(map.tombstones(), 0u);
+    EXPECT_NEAR(map.loadFactor(),
+                static_cast<double>(map.size()) / map.capacity(), 1e-12);
+    EXPECT_GT(map.loadFactor(), 0.0);
+    EXPECT_LT(map.loadFactor(), 1.0); // growth policy keeps headroom
+
+    // Erase only tombstones (no rebuild), so the gauge counts exactly
+    // the dead slots still polluting probe sequences.
+    for (std::uint64_t k = 0; k < 32; ++k)
+        ASSERT_EQ(map.erase(k * 977), 1u);
+    EXPECT_EQ(map.size(), 32u);
+    EXPECT_EQ(map.tombstones(), 32u);
+    double halved = map.loadFactor();
+    EXPECT_NEAR(halved, static_cast<double>(32) / map.capacity(), 1e-12);
+
+    map.clear();
+    EXPECT_EQ(map.loadFactor(), 0.0);
+    EXPECT_EQ(map.tombstones(), 0u);
+}
+
+TEST(FlatSet, ForwardsGaugeAccessors)
+{
+    FlatSet<std::uint64_t> set;
+    EXPECT_EQ(set.capacity(), 0u);
+    for (std::uint64_t k = 0; k < 24; ++k)
+        set.insert(k * 31);
+    set.erase(0);
+    EXPECT_GE(set.capacity(), set.size());
+    EXPECT_EQ(set.tombstones(), 1u);
+    EXPECT_NEAR(set.loadFactor(),
+                static_cast<double>(set.size()) / set.capacity(), 1e-12);
+}
+
 TEST(FlatSet, MirrorsUnorderedSet)
 {
     Rng rng(0x5E75E7);

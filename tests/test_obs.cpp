@@ -196,8 +196,26 @@ TEST(SpanRecorder, CapacityDropsAndCounts)
     rec.setCapacity(3);
     for (int i = 0; i < 10; ++i)
         rec.record("s", 0, static_cast<std::uint64_t>(i), i, i + 1);
-    EXPECT_EQ(rec.spans().size(), 3u);
+    // Three real spans plus one synthetic "obs.dropped" marker that
+    // spans the lost region and carries the drop count in its arg.
+    ASSERT_EQ(rec.spans().size(), 4u);
     EXPECT_EQ(rec.dropped(), 7u);
+    const obs::Span &d = rec.spans().back();
+    EXPECT_STREQ(d.name, "obs.dropped");
+    EXPECT_EQ(d.pid, obs::SpanRecorder::kObsPid);
+    EXPECT_EQ(d.start, 3u);  // first dropped span's start
+    EXPECT_EQ(d.end, 10u);   // last dropped span's end
+    EXPECT_DOUBLE_EQ(d.arg, 7.0);
+
+    rec.clear();
+    EXPECT_TRUE(rec.spans().empty());
+    EXPECT_EQ(rec.dropped(), 0u);
+    // The synthetic marker must re-arm after clear().
+    for (int i = 0; i < 5; ++i)
+        rec.record("s", 0, static_cast<std::uint64_t>(i), i, i + 1);
+    ASSERT_EQ(rec.spans().size(), 4u);
+    EXPECT_STREQ(rec.spans().back().name, "obs.dropped");
+    EXPECT_DOUBLE_EQ(rec.spans().back().arg, 2.0);
 }
 #endif // TRANSFW_OBS
 
