@@ -790,7 +790,7 @@ writeCoreJson(const std::string &path, bool smoke)
     std::fprintf(f, "  \"schema\": \"transfw-bench-core-v2\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
-                 std::thread::hardware_concurrency());
+                 sim::TaskPool::defaultThreads());
     std::fprintf(f, "  \"event_kernel\": {\n");
     std::fprintf(f, "    \"chains\": %d,\n", chains);
     std::fprintf(f, "    \"events_per_chain\": %u,\n", perChain);

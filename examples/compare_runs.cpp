@@ -1,0 +1,75 @@
+/**
+ * compare_runs: noise-aware regression diff over two run-ledger files.
+ * Records pair up on (app, scale, config key); deterministic metrics
+ * must match exactly, wall-clock fields only warn when they move more
+ * than the tolerance. Exit status 0 = clean, 1 = deterministic drift
+ * (or unmatched/malformed records), 2 = usage/IO error — so the diff
+ * drops straight into CI gates:
+ *
+ *   TRANSFW_LEDGER=new.jsonl simulate --app MT --transfw
+ *   compare_runs golden.jsonl new.jsonl || echo "regressed!"
+ *
+ * Usage: compare_runs [options] A.jsonl B.jsonl
+ *   --json          machine-readable report instead of markdown
+ *   --wall-tol F    relative tolerance for wall fields (default 0.5)
+ *   --by-index      pair records line-by-line instead of by match key
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.hpp"
+
+using namespace transfw;
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    obs::LedgerDiffOptions opts;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--wall-tol" && i + 1 < argc) {
+            opts.wallRelTol = std::atof(argv[++i]);
+        } else if (arg == "--by-index") {
+            opts.matchOnKey = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "usage: %s [--json] [--wall-tol F] [--by-index] "
+                         "A.jsonl B.jsonl\n",
+                         argv[0]);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2) {
+        std::fprintf(stderr, "usage: %s [options] A.jsonl B.jsonl\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::vector<std::string> errorsA, errorsB;
+    std::vector<obs::LedgerRecord> a =
+        obs::RunLedger::load(paths[0], &errorsA);
+    std::vector<obs::LedgerRecord> b =
+        obs::RunLedger::load(paths[1], &errorsB);
+    for (const std::string &e : errorsA)
+        std::fprintf(stderr, "warn: %s: %s\n", paths[0].c_str(), e.c_str());
+    for (const std::string &e : errorsB)
+        std::fprintf(stderr, "warn: %s: %s\n", paths[1].c_str(), e.c_str());
+    if (a.empty() || b.empty()) {
+        std::fprintf(stderr, "%s: no usable records in %s\n", argv[0],
+                     (a.empty() ? paths[0] : paths[1]).c_str());
+        return 2;
+    }
+
+    obs::LedgerDiff diff = obs::diffLedgers(a, b, opts);
+    std::printf("%s", (json ? diff.toJson() : diff.toMarkdown()).c_str());
+    return diff.clean() ? 0 : 1;
+}

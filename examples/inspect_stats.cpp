@@ -5,16 +5,22 @@
  *
  * Usage: inspect_stats [APP] [baseline|transfw|sw|sw-transfw] [PAD]
  *        inspect_stats --json [APP] [mode] [PAD]
+ *        inspect_stats --ledger FILE
  *
  * With --json the unified metrics registry (every component's live
  * gauges, hierarchical "gpu0.gmmu.*" keys) is dumped as one JSON
  * object instead of the human-readable report.
+ *
+ * With --ledger the newest transfw-ledger-v1 record in FILE is pretty-
+ * printed instead of running a simulation: identity, every deterministic
+ * metric, and a [host profile] section from the wall-clock fields.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "obs/ledger.hpp"
 #include "transfw/transfw.hpp"
 
 using namespace transfw;
@@ -33,12 +39,52 @@ dump(const char *name, std::uint64_t v)
     std::printf("  %-32s %14llu\n", name, static_cast<unsigned long long>(v));
 }
 
+int
+inspectLedger(const std::string &path)
+{
+    std::vector<std::string> errors;
+    std::vector<obs::LedgerRecord> records =
+        obs::RunLedger::load(path, &errors);
+    for (const std::string &e : errors)
+        std::fprintf(stderr, "warn: %s: %s\n", path.c_str(), e.c_str());
+    if (records.empty()) {
+        std::fprintf(stderr, "no ledger records in %s\n", path.c_str());
+        return 1;
+    }
+    const obs::LedgerRecord &r = records.back();
+
+    std::printf("== ledger record %zu/%zu of %s ==\n", records.size(),
+                records.size(), path.c_str());
+    std::printf("  %-32s %s\n", "app", r.app.c_str());
+    std::printf("  %-32s %.17g\n", "scale", r.scale);
+    std::printf("  %-32s %s\n", "source", r.source.c_str());
+    std::printf("  %-32s %s\n", "recorded (UTC)",
+                r.wallTimestamp.c_str());
+    std::printf("  %-32s %s\n", "config", r.configSummary.c_str());
+
+    std::printf("\n[deterministic metrics]\n");
+    for (const auto &[key, value] : r.metrics)
+        dump(key.c_str(), value);
+
+    std::printf("\n[host profile]\n");
+    for (const auto &[key, value] : r.wall)
+        dump(key.c_str(), value);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
+    if (!args.empty() && args[0] == "--ledger") {
+        if (args.size() < 2) {
+            std::fprintf(stderr, "usage: %s --ledger FILE\n", argv[0]);
+            return 2;
+        }
+        return inspectLedger(args[1]);
+    }
     bool json = !args.empty() && args[0] == "--json";
     if (json)
         args.erase(args.begin());
@@ -127,6 +173,20 @@ main(int argc, char **argv)
     dump("watchdog checked requests", r.obsCheckedRequests);
     dump("watchdog violations", r.obsCheckViolations);
     dump("dropped spans", r.droppedSpans);
+
+    if (r.hostProfile.stride != 0) {
+        std::printf("[host profile, wall seconds]\n");
+        for (std::size_t b = 0; b < obs::kNumProfBuckets; ++b) {
+            if (r.hostProfile.seconds[b] == 0.0)
+                continue;
+            dump(obs::profBucketName(static_cast<obs::ProfBucket>(b)),
+                 r.hostProfile.seconds[b]);
+        }
+        dump("total (sampled dispatch)", r.hostProfile.totalSeconds);
+        dump("host wall seconds", r.hostWallSeconds);
+        dump("events per second", r.hostEventsPerSec);
+        dump("peak event backlog", r.peakEventBacklog);
+    }
 #endif
 
     std::printf("[TLBs]\n");

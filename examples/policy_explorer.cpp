@@ -4,11 +4,15 @@
  * Trans-FW, on one application — the design-space tour of Sections
  * V-D and V-E.
  *
- * Usage: policy_explorer [APP]   (defaults to KM)
+ * Usage: policy_explorer [APP] [--ledger PATH]   (APP defaults to KM)
+ *
+ * Every run appends a transfw-ledger-v1 record to --ledger (or
+ * $TRANSFW_LEDGER when set).
  */
 #include <cstdio>
 #include <string>
 
+#include "system/report.hpp"
 #include "transfw/transfw.hpp"
 
 using namespace transfw;
@@ -34,7 +38,15 @@ policyName(cfg::MigrationPolicy policy)
 int
 main(int argc, char **argv)
 {
-    std::string app = argc > 1 ? argv[1] : "KM";
+    std::string app = "KM";
+    std::string ledger = obs::RunLedger::envPath();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--ledger" && i + 1 < argc)
+            ledger = argv[++i];
+        else
+            app = arg;
+    }
     std::printf("placement policy exploration: %s\n\n", app.c_str());
     std::printf("%-12s %-9s %12s %10s %10s %12s\n", "policy", "trans-fw",
                 "exec", "faults", "pfpki", "bytesMoved");
@@ -47,6 +59,12 @@ main(int argc, char **argv)
                 transfw ? sys::transFwConfig() : sys::baselineConfig();
             config.migrationPolicy = policy;
             sys::SimResults r = sys::runApp(app, config);
+            if (!ledger.empty())
+                obs::RunLedger::append(
+                    ledger,
+                    sys::toLedgerRecord(r, config,
+                                        sys::effectiveScale(0.0),
+                                        "policy_explorer"));
             std::printf("%-12s %-9s %12llu %10llu %10.3f %12llu\n",
                         policyName(policy), transfw ? "yes" : "no",
                         static_cast<unsigned long long>(r.execTime),

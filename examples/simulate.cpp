@@ -54,7 +54,9 @@ usage(const char *argv0)
         "  --seed N\n"
         "output:\n"
         "  --report            full named-scalar report (default: summary)\n"
-        "  --csv               one CSV row (+ header)\n",
+        "  --csv               one CSV row (+ header)\n"
+        "  --ledger PATH       append a transfw-ledger-v1 JSONL record\n"
+        "                      (defaults to $TRANSFW_LEDGER when set)\n",
         argv0);
     std::exit(2);
 }
@@ -73,6 +75,7 @@ int
 main(int argc, char **argv)
 {
     std::string app = "MT", model, trace;
+    std::string ledger = obs::RunLedger::envPath();
     double scale = 0.0;
     bool report = false, csv = false;
     cfg::SystemConfig config = sys::baselineConfig();
@@ -151,6 +154,8 @@ main(int argc, char **argv)
             report = true;
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--ledger") {
+            ledger = next();
         } else {
             usage(argv[0]);
         }
@@ -165,6 +170,12 @@ main(int argc, char **argv)
         workload = wl::makeApp(app, sys::effectiveScale(scale));
 
     sys::SimResults r = sys::runWorkload(*workload, config);
+
+    if (!ledger.empty())
+        obs::RunLedger::append(
+            ledger, sys::toLedgerRecord(r, config,
+                                        sys::effectiveScale(scale),
+                                        "simulate"));
 
     if (csv) {
         std::printf("%s\n%s\n", sys::csvHeader().c_str(),

@@ -11,6 +11,9 @@
  * slots. -j N runs the independent grid points on N worker threads
  * (default: TRANSFW_JOBS or the hardware thread count); the CSV rows
  * and their values are identical to a serial run.
+ *
+ * --ledger PATH appends one transfw-ledger-v1 record per executed
+ * point (defaults to $TRANSFW_LEDGER when set).
  */
 #include <cstdio>
 #include <cstdlib>
@@ -77,6 +80,8 @@ int
 main(int argc, char **argv)
 {
     std::string app = "MT";
+    std::string ledger; // empty: SweepRunner's $TRANSFW_LEDGER default
+    bool ledgerSet = false;
     std::vector<Dimension> dims;
     int jobs = 0; // 0: SweepRunner default (TRANSFW_JOBS / hardware)
     for (int i = 1; i < argc; ++i) {
@@ -85,6 +90,9 @@ main(int argc, char **argv)
             app = argv[++i];
         } else if (arg == "--dim" && i + 1 < argc) {
             dims.push_back(makeDimension(argv[++i]));
+        } else if (arg == "--ledger" && i + 1 < argc) {
+            ledger = argv[++i];
+            ledgerSet = true;
         } else if (arg == "-j" && i + 1 < argc) {
             jobs = std::atoi(argv[++i]);
             if (jobs < 1) {
@@ -92,10 +100,10 @@ main(int argc, char **argv)
                 return 2;
             }
         } else {
-            std::fprintf(
-                stderr,
-                "usage: %s [--app ABBR] --dim NAME [--dim NAME] [-j N]\n",
-                argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--app ABBR] --dim NAME [--dim NAME] "
+                         "[-j N] [--ledger PATH]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -122,7 +130,13 @@ main(int argc, char **argv)
         }
     }
     sys::SweepRunner runner(jobs);
+    if (ledgerSet)
+        runner.setLedgerPath(ledger);
     std::vector<sys::SimResults> results = runner.run(specs);
+    std::fprintf(stderr, "sweep: %llu points executed on %llu job(s)\n",
+                 static_cast<unsigned long long>(runner.stats().executed),
+                 static_cast<unsigned long long>(
+                     runner.stats().effectiveJobs));
 
     std::printf("%s,%s,speedup,%s\n", dims[0].name.c_str(),
                 dims[1].name.c_str(), sys::csvHeader().c_str());

@@ -7,7 +7,11 @@
  *                          Perfetto "process" per GPU (plus one for the
  *                          host driver), one "thread" lane per
  *                          translation request, nested phase spans
- *                          (gmmu.queue, gmmu.walk, host.queue, ...).
+ *                          (gmmu.queue, gmmu.walk, host.queue, ...),
+ *                          plus a "metrics" process whose counter
+ *                          tracks plot the interval-sampler series
+ *                          (queue depths, event backlog, hit rates)
+ *                          under the spans.
  *   <out>/metrics.json     The unified metrics registry: every
  *                          component's gauges under hierarchical keys
  *                          ("gpu0.gmmu.pwc.hitRate", "host.mmu.queueDepth")
@@ -75,8 +79,9 @@ main(int argc, char **argv)
         std::printf("note: %llu spans dropped (raise obs.maxSpans)\n",
                     static_cast<unsigned long long>(obs.spans.dropped()));
 
-    writeFile(out + "/trace.json",
-              [&](std::ostream &os) { obs.spans.writeChromeTrace(os); });
+    writeFile(out + "/trace.json", [&](std::ostream &os) {
+        obs.spans.writeChromeTrace(os, &obs.sampler);
+    });
     writeFile(out + "/metrics.json",
               [&](std::ostream &os) { obs.metrics.writeJson(os); });
     writeFile(out + "/timeseries.csv",

@@ -6,19 +6,36 @@
 # AddressSanitizer + UBSan, where the obs::Checks invariant watchdog is
 # promoted to a hard abort (TRANSFW_OBS_STRICT) — a single attribution
 # or span-nesting violation anywhere in the suite fails the gate.
+# In between, the run-ledger gate replays a small config matrix through
+# ./build/examples/simulate into a fresh transfw-ledger-v1 JSONL file,
+# validates the schema, and diffs it against the committed
+# LEDGER_golden.jsonl with compare_runs — any deterministic metric that
+# moved fails the gate; wall-clock fields only warn.
 # Usage:
 #
-#   scripts/check.sh            # plain + no-obs + sanitizer pass
-#   scripts/check.sh --fast     # plain pass only
+#   scripts/check.sh                  # plain + no-obs + sanitizer pass
+#   scripts/check.sh --fast           # plain pass only
+#   scripts/check.sh --refresh-ledger # also regenerate LEDGER_golden.jsonl
 #
 # Environment:
 #   TRANSFW_SKIP_PERF_GATE=1    # skip the events/sec regression gate
 #                               # (shared/loaded machines)
+#   TRANSFW_SKIP_LEDGER_GATE=1  # skip the run-ledger regression gate
 #
-# Exit code is non-zero when any build, test, schema check or the perf
-# gate fails.
+# Exit code is non-zero when any build, test, schema check or gate
+# fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+REFRESH_LEDGER=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        --refresh-ledger) REFRESH_LEDGER=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
@@ -96,7 +113,61 @@ else
 fi
 rm -f "$SMOKE_JSON"
 
-if [[ "${1:-}" == "--fast" ]]; then
+echo "== run-ledger regression gate (LEDGER_golden.jsonl) =="
+if [[ "${TRANSFW_SKIP_LEDGER_GATE:-0}" == "1" ]]; then
+    echo "skipped (TRANSFW_SKIP_LEDGER_GATE=1)"
+else
+    LEDGER_NEW=$(mktemp /tmp/transfw_ledger.XXXXXX.jsonl)
+    rm -f "$LEDGER_NEW" # simulate appends; start from an empty ledger
+    # Small deterministic config matrix: both fault modes, with and
+    # without Trans-FW. Must match the matrix the committed golden was
+    # generated from (regenerate with --refresh-ledger).
+    LEDGER_MATRIX=(
+        "--app MT"
+        "--app MT --transfw"
+        "--app KM --fault-mode sw"
+        "--app KM --fault-mode sw --transfw"
+    )
+    for args in "${LEDGER_MATRIX[@]}"; do
+        # shellcheck disable=SC2086
+        ./build/examples/simulate $args --scale 0.25 \
+            --ledger "$LEDGER_NEW" >/dev/null
+    done
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$LEDGER_NEW" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 4, f"expected 4 records, got {len(lines)}"
+for n, line in enumerate(lines, 1):
+    rec = json.loads(line)
+    assert rec["schema"] == "transfw-ledger-v1", f"line {n}: schema"
+    for field in ("app", "scale", "configKey", "configSummary",
+                  "source", "metrics", "wall"):
+        assert field in rec, f"line {n}: {field} missing"
+    assert rec["source"] == "simulate", f"line {n}: source"
+    assert isinstance(rec["metrics"], dict) and rec["metrics"], \
+        f"line {n}: empty metrics"
+    assert "timestamp" in rec["wall"], f"line {n}: wall.timestamp"
+    for key in ("exec.cycles", "exec.events", "exec.peakEventBacklog"):
+        assert key in rec["metrics"], f"line {n}: metrics[{key}]"
+print("transfw-ledger-v1 schema OK (4 records)")
+EOF
+    else
+        grep -q '"schema":"transfw-ledger-v1"' "$LEDGER_NEW"
+        [[ "$(wc -l < "$LEDGER_NEW")" == "4" ]]
+        echo "transfw-ledger-v1 schema OK (grep fallback)"
+    fi
+    if [[ "$REFRESH_LEDGER" == "1" || ! -f LEDGER_golden.jsonl ]]; then
+        cp "$LEDGER_NEW" LEDGER_golden.jsonl
+        echo "LEDGER_golden.jsonl refreshed — review and commit it"
+    else
+        ./build/examples/compare_runs LEDGER_golden.jsonl "$LEDGER_NEW"
+        echo "ledger gate OK"
+    fi
+    rm -f "$LEDGER_NEW"
+fi
+
+if [[ "$FAST" == "1" ]]; then
     exit 0
 fi
 

@@ -102,6 +102,8 @@ SystemConfig::key() const
     u(obs.sampleInterval);
     u(obs.maxSpans);
     u(obs.attribution);
+    u(obs.selfProfile);
+    u(obs.profileStride);
     u(seed);
     return k;
 }

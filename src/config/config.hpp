@@ -119,6 +119,15 @@ struct ObsConfig
      * the config-matrix invariant gate actually exercises all paths.
      */
     bool attribution = true;
+    /**
+     * Host-side self-profiler: attribute event-dispatch wall clock to
+     * component buckets by sampling one dispatch in profileStride. On
+     * by default — sampled, it costs well under the 5% events/sec
+     * budget and every ledger record carries a host profile. No effect
+     * (and zero cost) when compiled with TRANSFW_OBS=0.
+     */
+    bool selfProfile = true;
+    std::uint32_t profileStride = 16; ///< sample 1 dispatch in N
 };
 
 /** Oracle switches for the Section III-B room-for-improvement study. */

@@ -40,6 +40,7 @@ ComputeUnit::acquireCta(std::size_t slot)
 void
 ComputeUnit::step(std::size_t slot)
 {
+    obs::ProfScope prof(profiler_, obs::ProfBucket::ComputeUnit);
     Slot &s = slots_[slot];
     if (!s.stream->next(s.op)) {
         // CTA finished: retire the stream and pull the next CTA.
@@ -58,6 +59,7 @@ ComputeUnit::step(std::size_t slot)
 void
 ComputeUnit::issue(std::size_t slot)
 {
+    obs::ProfScope prof(profiler_, obs::ProfBucket::ComputeUnit);
     Slot &s = slots_[slot];
     s.pendingPages = s.op.numPages;
     if (s.pendingPages == 0)

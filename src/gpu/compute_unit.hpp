@@ -29,6 +29,12 @@ class ComputeUnit : public sim::SimObject
     /** Begin execution: every slot pulls its first CTA. */
     void start();
 
+    /** Observability: charge host time to profiler buckets (nullable). */
+    void attachProfiler(obs::SelfProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
     std::uint64_t instructions() const { return instructions_; }
     std::uint64_t memOps() const { return memOps_; }
     std::uint64_t ctasExecuted() const { return ctas_; }
@@ -54,6 +60,7 @@ class ComputeUnit : public sim::SimObject
     std::uint64_t seed_;
 
     std::vector<Slot> slots_;
+    obs::SelfProfiler *profiler_ = nullptr;
     int activeSlots_ = 0;
     std::uint64_t instructions_ = 0;
     std::uint64_t memOps_ = 0;

@@ -17,6 +17,7 @@
 #include "mmu/request.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/self_profiler.hpp"
 #include "obs/span.hpp"
 #include "sim/random.hpp"
 #include "sim/sim_object.hpp"
@@ -141,6 +142,11 @@ class Gpu : public sim::SimObject, public mmu::GpuIface
     {
         attrib_ = attrib;
         gmmu_.attachAttribution(attrib);
+    }
+    /** Observability: host-time profiler (propagates to the GMMU). */
+    void attachProfiler(obs::SelfProfiler *profiler)
+    {
+        gmmu_.attachProfiler(profiler);
     }
     /** Register live gauges under "<prefix>." (e.g. "gpu0"). */
     void registerMetrics(obs::MetricRegistry &reg,

@@ -58,6 +58,7 @@ Gmmu::tryDispatch()
 void
 Gmmu::startWalk(Job job)
 {
+    obs::ProfScope prof(profiler_, obs::ProfBucket::Gmmu);
     sim::Tick wait = curTick() - job.enqueued;
     stats_.queueWait.record(static_cast<double>(wait));
     if (job.local) {
@@ -81,8 +82,16 @@ Gmmu::startWalk(Job job)
 
     ++busyWalkers_;
     mem::Vpn vpn = job.local ? job.local->vpn : job.remote->req->vpn;
-    int hit_level = pwc_->lookup(vpn);
-    mem::WalkResult walk = pt_.walk(vpn, hit_level);
+    int hit_level;
+    {
+        obs::ProfScope pwcProf(profiler_, obs::ProfBucket::TlbPwc);
+        hit_level = pwc_->lookup(vpn);
+    }
+    mem::WalkResult walk;
+    {
+        obs::ProfScope walkProf(profiler_, obs::ProfBucket::PageWalk);
+        walk = pt_.walk(vpn, hit_level);
+    }
     WalkTiming timing = walkTiming(walk.accesses, cfg_.asap, rng_);
 
     if (job.local) {
@@ -120,12 +129,14 @@ Gmmu::startWalk(Job job)
 void
 Gmmu::finishWalk(Job job, const mem::WalkResult &walk, int hit_level)
 {
+    obs::ProfScope prof(profiler_, obs::ProfBucket::Gmmu);
     // Fill the PW-cache with every intermediate entry this walk read
     // with a present entry (levels between the PW-cache hit point and
     // the deepest present level).
     int start_node = hit_level ? hit_level - 1
                                : pt_.geometry().levels;
     if (walk.deepestFilled >= pt_.geometry().lowestCachedLevel()) {
+        obs::ProfScope pwcProf(profiler_, obs::ProfBucket::TlbPwc);
         int top = std::min(start_node, pt_.geometry().levels);
         for (int level = walk.deepestFilled; level <= top; ++level) {
             if (level >= pt_.geometry().lowestCachedLevel())

@@ -9,6 +9,7 @@
 #include "mem/page_table.hpp"
 #include "mmu/request.hpp"
 #include "obs/metrics.hpp"
+#include "obs/self_profiler.hpp"
 #include "obs/span.hpp"
 #include "pwc/pwc.hpp"
 #include "sim/random.hpp"
@@ -74,6 +75,11 @@ class Gmmu : public sim::SimObject
     {
         attrib_ = attrib;
     }
+    /** Observability: charge host time to profiler buckets (nullable). */
+    void attachProfiler(obs::SelfProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
     /** Register live gauges under "<prefix>." (e.g. "gpu0.gmmu"). */
     void registerMetrics(obs::MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -105,6 +111,7 @@ class Gmmu : public sim::SimObject
     Stats stats_;
     obs::SpanRecorder *spans_ = nullptr;
     obs::AttributionEngine *attrib_ = nullptr;
+    obs::SelfProfiler *profiler_ = nullptr;
 };
 
 } // namespace transfw::mmu

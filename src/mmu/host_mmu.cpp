@@ -43,6 +43,7 @@ HostMmu::admit(XlatPtr req)
     sim::Tick t_admit = curTick();
     schedule(tlb_.lookupLatency(), [this, req = std::move(req),
                                     t_admit]() mutable {
+        obs::ProfScope prof(profiler_, obs::ProfBucket::HostMmu);
         if (spans_)
             spans_->record("host.tlb", req->gpu, req->id, t_admit,
                            curTick(), req->vpn);
@@ -73,6 +74,8 @@ HostMmu::admit(XlatPtr req)
         if (ft_ && forwardToGpu && cfg_.transFw.enableForwarding &&
             no_free_walker &&
             queue_.size() >= cfg_.forwardQueueTrigger()) {
+            obs::ProfScope fwdProf(profiler_,
+                                   obs::ProfBucket::Forwarding);
             if (auto owner =
                     ft_->findOwner(req->vpn, static_cast<int>(gpus_.size()),
                                    req->gpu)) {
@@ -142,10 +145,19 @@ HostMmu::tryDispatch()
 void
 HostMmu::startWalk(XlatPtr req)
 {
+    obs::ProfScope prof(profiler_, obs::ProfBucket::HostMmu);
     ++busyWalkers_;
     ++stats_.walks;
-    int hit_level = pwc_->lookup(req->vpn);
-    mem::WalkResult walk = central_.walk(req->vpn, hit_level);
+    int hit_level;
+    {
+        obs::ProfScope pwcProf(profiler_, obs::ProfBucket::TlbPwc);
+        hit_level = pwc_->lookup(req->vpn);
+    }
+    mem::WalkResult walk;
+    {
+        obs::ProfScope walkProf(profiler_, obs::ProfBucket::PageWalk);
+        walk = central_.walk(req->vpn, hit_level);
+    }
     if (!walk.present)
         sim::panic("central page table is missing a UVM page");
     WalkTiming timing = walkTiming(walk.accesses, cfg_.asap, rng_);
@@ -162,11 +174,16 @@ HostMmu::startWalk(XlatPtr req)
                        curTick() + latency, req->vpn);
     schedule(latency, [this, req = std::move(req), walk,
                        hit_level]() mutable {
-        int start_node =
-            hit_level ? hit_level - 1 : central_.geometry().levels;
-        for (int level = walk.deepestFilled; level <= start_node; ++level) {
-            if (level >= central_.geometry().lowestCachedLevel())
-                pwc_->fill(req->vpn, level);
+        obs::ProfScope prof(profiler_, obs::ProfBucket::HostMmu);
+        {
+            obs::ProfScope pwcProf(profiler_, obs::ProfBucket::TlbPwc);
+            int start_node =
+                hit_level ? hit_level - 1 : central_.geometry().levels;
+            for (int level = walk.deepestFilled; level <= start_node;
+                 ++level) {
+                if (level >= central_.geometry().lowestCachedLevel())
+                    pwc_->fill(req->vpn, level);
+            }
         }
         --busyWalkers_;
         tryDispatch();
@@ -192,6 +209,7 @@ HostMmu::startWalk(XlatPtr req)
 void
 HostMmu::remoteLookupDone(RemoteLookupPtr rl)
 {
+    obs::ProfScope prof(profiler_, obs::ProfBucket::Forwarding);
     XlatPtr req = rl->req;
     if (spans_)
         spans_->record(rl->success ? "host.forward" : "host.forward.fail",

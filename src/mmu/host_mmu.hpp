@@ -12,6 +12,7 @@
 #include "mmu/gpu_iface.hpp"
 #include "mmu/request.hpp"
 #include "obs/metrics.hpp"
+#include "obs/self_profiler.hpp"
 #include "obs/span.hpp"
 #include "pwc/pwc.hpp"
 #include "sim/random.hpp"
@@ -86,6 +87,11 @@ class HostMmu : public sim::SimObject
     {
         attrib_ = attrib;
     }
+    /** Observability: charge host time to profiler buckets (nullable). */
+    void attachProfiler(obs::SelfProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
     /** Register live gauges under "<prefix>." (e.g. "host.mmu"). */
     void registerMetrics(obs::MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -117,6 +123,7 @@ class HostMmu : public sim::SimObject
     Stats stats_;
     obs::SpanRecorder *spans_ = nullptr;
     obs::AttributionEngine *attrib_ = nullptr;
+    obs::SelfProfiler *profiler_ = nullptr;
 };
 
 } // namespace transfw::mmu

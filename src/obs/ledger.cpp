@@ -1,0 +1,713 @@
+#include "obs/ledger.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace transfw::obs {
+
+namespace {
+
+// --- minimal JSON reader --------------------------------------------------
+//
+// The repo emits JSON in several places but until the ledger never had
+// to read it back. This is a deliberately small recursive-descent
+// parser: just enough for the flat ledger schema (objects, strings,
+// numbers, and the null jsonNumber() writes for non-finite values).
+// It is private to this translation unit; tools parse ledgers through
+// RunLedger::parseLine().
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Object,
+        Array,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::vector<JsonValue> elements;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out, std::string *error)
+    {
+        skipWs();
+        if (!parseValue(out)) {
+            if (error)
+                *error = error_.empty() ? "malformed JSON" : error_;
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            if (error)
+                *error = "trailing characters after JSON value";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *why)
+    {
+        if (error_.empty()) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "%s at offset %zu", why,
+                          pos_);
+            error_ = buf;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string::traits_type::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true") || fail("bad literal");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false") || fail("bad literal");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null") || fail("bad literal");
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return fail("expected object key");
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.elements.push_back(std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Ledger strings are ASCII; jsonEscape only emits \u
+                // for control characters, so a raw byte suffices.
+                out += static_cast<char>(code & 0xff);
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c)) ||
+                c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                c == '-') {
+                digits = digits ||
+                         std::isdigit(static_cast<unsigned char>(c));
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (!digits)
+            return fail("expected number");
+        out.kind = JsonValue::Kind::Number;
+        out.number =
+            std::strtod(text_.substr(start, pos_ - start).c_str(),
+                        nullptr);
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+void
+emitMap(std::ostream &os, const std::map<std::string, double> &map)
+{
+    os << '{';
+    bool first = true;
+    for (const auto &[key, value] : map) {
+        if (!first)
+            os << ',';
+        first = false;
+        jsonEscape(os, key);
+        os << ':';
+        jsonNumber(os, value);
+    }
+    os << '}';
+}
+
+bool
+readMap(const JsonValue &object, std::map<std::string, double> &out,
+        std::string *timestamp)
+{
+    if (object.kind != JsonValue::Kind::Object)
+        return false;
+    for (const auto &[key, value] : object.members) {
+        if (timestamp && key == "timestamp" &&
+            value.kind == JsonValue::Kind::String) {
+            *timestamp = value.string;
+            continue;
+        }
+        if (value.kind == JsonValue::Kind::Number)
+            out[key] = value.number;
+        else if (value.kind == JsonValue::Kind::Null)
+            out[key] = std::nan(""); // jsonNumber() writes null for NaN
+        else
+            return false;
+    }
+    return true;
+}
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream ss;
+    jsonNumber(ss, v);
+    return ss.str();
+}
+
+} // namespace
+
+// --- LedgerRecord ---------------------------------------------------------
+
+std::string
+LedgerRecord::matchKey() const
+{
+    return app + ";scale=" + formatDouble(scale) + ";" + configKey;
+}
+
+std::string
+LedgerRecord::toJsonLine() const
+{
+    std::ostringstream os;
+    os << "{\"schema\":";
+    jsonEscape(os, schema.empty() ? RunLedger::kSchema : schema);
+    os << ",\"app\":";
+    jsonEscape(os, app);
+    os << ",\"scale\":";
+    jsonNumber(os, scale);
+    os << ",\"configKey\":";
+    jsonEscape(os, configKey);
+    os << ",\"configSummary\":";
+    jsonEscape(os, configSummary);
+    os << ",\"source\":";
+    jsonEscape(os, source);
+    os << ",\"metrics\":";
+    emitMap(os, metrics);
+    os << ",\"wall\":{";
+    os << "\"timestamp\":";
+    jsonEscape(os, wallTimestamp);
+    for (const auto &[key, value] : wall) {
+        os << ',';
+        jsonEscape(os, key);
+        os << ':';
+        jsonNumber(os, value);
+    }
+    os << "}}";
+    return os.str();
+}
+
+// --- RunLedger ------------------------------------------------------------
+
+std::string
+RunLedger::envPath()
+{
+    const char *path = std::getenv("TRANSFW_LEDGER");
+    return path ? std::string(path) : std::string();
+}
+
+void
+RunLedger::stampWall(LedgerRecord &record)
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    record.wallTimestamp = buf;
+}
+
+bool
+RunLedger::append(const std::string &path, const LedgerRecord &record)
+{
+    if (path.empty())
+        return false;
+    std::string line = record.toJsonLine();
+    line += '\n';
+    // One lock around one whole-line write: sweep workers appending
+    // concurrently interleave records, never bytes.
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    std::ofstream os(path, std::ios::app);
+    if (!os)
+        return false;
+    os << line;
+    return static_cast<bool>(os);
+}
+
+bool
+RunLedger::parseLine(const std::string &line, LedgerRecord &out,
+                     std::string *error)
+{
+    JsonValue root;
+    if (!JsonParser(line).parse(root, error))
+        return false;
+    if (root.kind != JsonValue::Kind::Object) {
+        if (error)
+            *error = "record is not a JSON object";
+        return false;
+    }
+    const JsonValue *schema = root.find("schema");
+    if (!schema || schema->kind != JsonValue::Kind::String) {
+        if (error)
+            *error = "missing schema field";
+        return false;
+    }
+    if (schema->string != kSchema) {
+        if (error)
+            *error = "schema mismatch: expected \"" +
+                     std::string(kSchema) + "\", got \"" +
+                     schema->string + "\"";
+        return false;
+    }
+    out = LedgerRecord{};
+    out.schema = schema->string;
+    auto str = [&](const char *key, std::string &dst) {
+        const JsonValue *v = root.find(key);
+        if (v && v->kind == JsonValue::Kind::String)
+            dst = v->string;
+    };
+    str("app", out.app);
+    str("configKey", out.configKey);
+    str("configSummary", out.configSummary);
+    str("source", out.source);
+    if (const JsonValue *v = root.find("scale");
+        v && v->kind == JsonValue::Kind::Number)
+        out.scale = v->number;
+    if (const JsonValue *v = root.find("metrics")) {
+        if (!readMap(*v, out.metrics, nullptr)) {
+            if (error)
+                *error = "bad metrics map";
+            return false;
+        }
+    }
+    if (const JsonValue *v = root.find("wall")) {
+        if (!readMap(*v, out.wall, &out.wallTimestamp)) {
+            if (error)
+                *error = "bad wall map";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<LedgerRecord>
+RunLedger::load(const std::string &path,
+                std::vector<std::string> *errors)
+{
+    std::vector<LedgerRecord> records;
+    std::ifstream is(path);
+    if (!is) {
+        if (errors)
+            errors->push_back("cannot open " + path);
+        return records;
+    }
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        LedgerRecord record;
+        std::string error;
+        if (RunLedger::parseLine(line, record, &error)) {
+            records.push_back(std::move(record));
+        } else if (errors) {
+            errors->push_back("line " + std::to_string(lineNo) + ": " +
+                              error);
+        }
+    }
+    return records;
+}
+
+// --- diffing --------------------------------------------------------------
+
+namespace {
+
+/**
+ * Index records by match key, keeping only the *newest* (last) record
+ * per key: a ledger is append-only, so later lines supersede earlier
+ * runs of the same configuration.
+ */
+std::vector<std::pair<std::string, const LedgerRecord *>>
+indexByKey(const std::vector<LedgerRecord> &records)
+{
+    std::map<std::string, const LedgerRecord *> latest;
+    for (const LedgerRecord &r : records)
+        latest[r.matchKey()] = &r;
+    return {latest.begin(), latest.end()};
+}
+
+void
+diffPair(const LedgerRecord &a, const LedgerRecord &b,
+         const LedgerDiffOptions &opts, LedgerDiff &diff)
+{
+    LedgerDiffEntry entry;
+    entry.app = a.app.empty() ? b.app : a.app;
+    entry.matchKey = a.matchKey();
+
+    auto ia = a.metrics.begin();
+    auto ib = b.metrics.begin();
+    while (ia != a.metrics.end() || ib != b.metrics.end()) {
+        if (ib == b.metrics.end() ||
+            (ia != a.metrics.end() && ia->first < ib->first)) {
+            entry.missingKeys.push_back("-" + ia->first);
+            ++ia;
+            continue;
+        }
+        if (ia == a.metrics.end() || ib->first < ia->first) {
+            entry.missingKeys.push_back("+" + ib->first);
+            ++ib;
+            continue;
+        }
+        ++diff.comparedMetrics;
+        bool bothNan =
+            std::isnan(ia->second) && std::isnan(ib->second);
+        if (ia->second != ib->second && !bothNan) {
+            entry.drifted.push_back(ia->first + ": " +
+                                    formatDouble(ia->second) + " -> " +
+                                    formatDouble(ib->second));
+        }
+        ++ia;
+        ++ib;
+    }
+
+    for (const auto &[key, va] : a.wall) {
+        auto it = b.wall.find(key);
+        if (it == b.wall.end())
+            continue;
+        double vb = it->second;
+        double base = std::max(std::fabs(va), std::fabs(vb));
+        if (base == 0.0)
+            continue;
+        double rel = std::fabs(va - vb) / base;
+        if (rel > opts.wallRelTol) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), " (%+.0f%%)",
+                          100.0 * (vb - va) /
+                              (va != 0.0 ? std::fabs(va) : 1.0));
+            entry.wallWarnings.push_back(key + ": " +
+                                         formatDouble(va) + " -> " +
+                                         formatDouble(vb) + buf);
+        }
+    }
+
+    diff.driftedMetrics += entry.drifted.size();
+    diff.missingKeys += entry.missingKeys.size();
+    diff.wallWarningCount += entry.wallWarnings.size();
+    if (!entry.drifted.empty() || !entry.missingKeys.empty() ||
+        !entry.wallWarnings.empty())
+        diff.pairs.push_back(std::move(entry));
+}
+
+void
+emitStringArray(std::ostream &os, const std::vector<std::string> &v)
+{
+    os << '[';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            os << ',';
+        jsonEscape(os, v[i]);
+    }
+    os << ']';
+}
+
+} // namespace
+
+LedgerDiff
+diffLedgers(const std::vector<LedgerRecord> &a,
+            const std::vector<LedgerRecord> &b,
+            const LedgerDiffOptions &opts)
+{
+    LedgerDiff diff;
+    for (const std::vector<LedgerRecord> *side : {&a, &b}) {
+        for (const LedgerRecord &r : *side) {
+            if (r.schema != RunLedger::kSchema)
+                diff.errors.push_back("schema mismatch in record for " +
+                                      r.app + ": \"" + r.schema +
+                                      "\"");
+        }
+    }
+    if (!diff.errors.empty())
+        return diff;
+
+    if (!opts.matchOnKey) {
+        std::size_t n = std::min(a.size(), b.size());
+        for (std::size_t i = 0; i < n; ++i)
+            diffPair(a[i], b[i], opts, diff);
+        for (std::size_t i = n; i < a.size(); ++i)
+            diff.unmatchedA.push_back(a[i].matchKey());
+        for (std::size_t i = n; i < b.size(); ++i)
+            diff.unmatchedB.push_back(b[i].matchKey());
+        return diff;
+    }
+
+    auto keyedA = indexByKey(a);
+    auto keyedB = indexByKey(b);
+    std::map<std::string, const LedgerRecord *> lookupB(keyedB.begin(),
+                                                        keyedB.end());
+    std::set<std::string> seen;
+    for (const auto &[key, ra] : keyedA) {
+        auto it = lookupB.find(key);
+        if (it == lookupB.end()) {
+            diff.unmatchedA.push_back(key);
+            continue;
+        }
+        seen.insert(key);
+        diffPair(*ra, *it->second, opts, diff);
+    }
+    for (const auto &[key, rb] : keyedB) {
+        (void)rb;
+        if (!seen.count(key))
+            diff.unmatchedB.push_back(key);
+    }
+    return diff;
+}
+
+std::string
+LedgerDiff::toMarkdown() const
+{
+    std::ostringstream os;
+    os << "# Ledger diff\n\n";
+    os << "- status: " << (clean() ? "CLEAN" : "DRIFT") << "\n";
+    os << "- deterministic metrics compared: " << comparedMetrics
+       << "\n";
+    os << "- drifted: " << driftedMetrics
+       << ", missing keys: " << missingKeys
+       << ", wall warnings: " << wallWarningCount << "\n";
+    if (!errors.empty()) {
+        os << "\n## Errors\n\n";
+        for (const std::string &e : errors)
+            os << "- " << e << "\n";
+    }
+    if (!unmatchedA.empty() || !unmatchedB.empty()) {
+        os << "\n## Unmatched records\n\n";
+        for (const std::string &k : unmatchedA)
+            os << "- only in A: `" << k << "`\n";
+        for (const std::string &k : unmatchedB)
+            os << "- only in B: `" << k << "`\n";
+    }
+    for (const LedgerDiffEntry &entry : pairs) {
+        os << "\n## " << entry.app << "\n\n";
+        os << "`" << entry.matchKey << "`\n\n";
+        for (const std::string &d : entry.drifted)
+            os << "- DRIFT " << d << "\n";
+        for (const std::string &m : entry.missingKeys)
+            os << "- MISSING " << m << "\n";
+        for (const std::string &w : entry.wallWarnings)
+            os << "- wall " << w << "\n";
+    }
+    return os.str();
+}
+
+std::string
+LedgerDiff::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"clean\":" << (clean() ? "true" : "false")
+       << ",\"comparedMetrics\":" << comparedMetrics
+       << ",\"driftedMetrics\":" << driftedMetrics
+       << ",\"missingKeys\":" << missingKeys
+       << ",\"wallWarnings\":" << wallWarningCount << ",\"errors\":";
+    emitStringArray(os, errors);
+    os << ",\"unmatchedA\":";
+    emitStringArray(os, unmatchedA);
+    os << ",\"unmatchedB\":";
+    emitStringArray(os, unmatchedB);
+    os << ",\"pairs\":[";
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const LedgerDiffEntry &entry = pairs[i];
+        if (i)
+            os << ',';
+        os << "{\"app\":";
+        jsonEscape(os, entry.app);
+        os << ",\"matchKey\":";
+        jsonEscape(os, entry.matchKey);
+        os << ",\"drifted\":";
+        emitStringArray(os, entry.drifted);
+        os << ",\"missingKeys\":";
+        emitStringArray(os, entry.missingKeys);
+        os << ",\"wallWarnings\":";
+        emitStringArray(os, entry.wallWarnings);
+        os << '}';
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace transfw::obs

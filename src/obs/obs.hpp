@@ -6,6 +6,7 @@
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
+#include "obs/self_profiler.hpp"
 #include "obs/span.hpp"
 
 namespace transfw::obs {
@@ -25,6 +26,7 @@ struct Observability
     IntervalSampler sampler;
     AttributionEngine attribution;
     Checks checks;
+    SelfProfiler profiler;
 };
 
 } // namespace transfw::obs

@@ -29,6 +29,7 @@ IntervalSampler::start(sim::EventQueue &eq, sim::Tick interval)
 void
 IntervalSampler::sample(sim::EventQueue &eq, sim::Tick interval)
 {
+    ProfScope prof(profiler_, ProfBucket::Stats);
     ticks_.push_back(eq.now());
     for (const Column &col : columns_)
         values_.push_back(col.probe());

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/self_profiler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ticks.hpp"
 
@@ -35,6 +36,9 @@ class IntervalSampler
     /** Add a column that reads metric @p name from @p registry. */
     void addRegistryColumn(const MetricRegistry &registry,
                            const std::string &name);
+
+    /** Charge probe time to the profiler's Stats bucket (may be null). */
+    void attachProfiler(SelfProfiler *profiler) { profiler_ = profiler; }
 
     /**
      * Begin sampling @p eq every @p interval ticks, starting with one
@@ -74,6 +78,7 @@ class IntervalSampler
     std::vector<Column> columns_;
     std::vector<sim::Tick> ticks_;
     std::vector<double> values_; ///< rows * columns, row-major
+    SelfProfiler *profiler_ = nullptr;
 };
 
 } // namespace transfw::obs

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "obs/json.hpp"
+#include "obs/sampler.hpp"
 #include "sim/logging.hpp"
 
 namespace transfw::obs {
@@ -42,7 +43,8 @@ SpanRecorder::noteDropped(sim::Tick start, sim::Tick end)
 }
 
 void
-SpanRecorder::writeChromeTrace(std::ostream &os) const
+SpanRecorder::writeChromeTrace(std::ostream &os,
+                               const IntervalSampler *sampler) const
 {
     os << "{\"traceEvents\":[";
     bool first = true;
@@ -53,17 +55,22 @@ SpanRecorder::writeChromeTrace(std::ostream &os) const
         os << "\n";
     };
 
+    bool counters = sampler && sampler->rows() && sampler->columns();
+
     // Process-name metadata first, one entry per distinct pid.
     std::set<std::uint32_t> pids;
     for (const Span &s : spans_)
         pids.insert(s.pid);
+    if (counters)
+        pids.insert(kMetricsPid);
     for (std::uint32_t pid : pids) {
         sep();
         os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
            << ",\"tid\":0,\"args\":{\"name\":";
-        jsonEscape(os, pid == kHostPid  ? std::string("host")
-                       : pid == kObsPid ? std::string("obs")
-                                        : sim::strfmt("gpu%u", pid));
+        jsonEscape(os, pid == kHostPid      ? std::string("host")
+                       : pid == kObsPid     ? std::string("obs")
+                       : pid == kMetricsPid ? std::string("metrics")
+                                            : sim::strfmt("gpu%u", pid));
         os << "}}";
     }
 
@@ -80,6 +87,24 @@ SpanRecorder::writeChromeTrace(std::ostream &os) const
             jsonNumber(os, s.arg);
         }
         os << "}}";
+    }
+
+    // IntervalSampler series as counter tracks: one "C" event per
+    // (row, column); Perfetto keys counter tracks on (pid, name).
+    if (counters) {
+        for (std::size_t row = 0; row < sampler->rows(); ++row) {
+            for (std::size_t col = 0; col < sampler->columns(); ++col) {
+                sep();
+                os << "{\"name\":";
+                jsonEscape(os, sampler->columnName(col));
+                os << ",\"cat\":\"metrics\",\"ph\":\"C\",\"ts\":"
+                   << sampler->rowTick(row)
+                   << ",\"pid\":" << kMetricsPid
+                   << ",\"tid\":0,\"args\":{\"value\":";
+                jsonNumber(os, sampler->cell(row, col));
+                os << "}}";
+            }
+        }
     }
     os << "\n]}\n";
 }

@@ -17,6 +17,8 @@
 
 namespace transfw::obs {
 
+class IntervalSampler;
+
 /**
  * One closed, timed span of a translation request's lifecycle. POD:
  * @p name must be a string literal (every call site passes one), so
@@ -54,6 +56,8 @@ class SpanRecorder
     static constexpr std::uint32_t kHostPid = 1000;
     /** pid for the recorder's own bookkeeping track (obs.dropped). */
     static constexpr std::uint32_t kObsPid = 1001;
+    /** pid for IntervalSampler counter tracks (queue depths, rates). */
+    static constexpr std::uint32_t kMetricsPid = 1002;
 
     bool enabled() const { return enabled_; }
     void setEnabled(bool on);
@@ -87,9 +91,13 @@ class SpanRecorder
     /**
      * Export as Chrome trace-event JSON ("X" complete events plus
      * process-name metadata), loadable in ui.perfetto.dev. Ticks map
-     * 1:1 onto trace microseconds.
+     * 1:1 onto trace microseconds. When @p sampler is non-null, its
+     * time series also export as Perfetto counter tracks ("C" events
+     * on the kMetricsPid process, one track per column) so queue
+     * depths and rates plot directly under the request spans.
      */
-    void writeChromeTrace(std::ostream &os) const;
+    void writeChromeTrace(std::ostream &os,
+                          const IntervalSampler *sampler = nullptr) const;
 
   private:
     static constexpr std::size_t kNoDropped = static_cast<std::size_t>(-1);

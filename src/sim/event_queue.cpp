@@ -31,6 +31,8 @@ void
 EventQueue::push(Tick when, Callback cb, bool weak)
 {
     ++size_;
+    if (size_ > peak_)
+        peak_ = size_;
     if (when - now_ < kWindow) {
         std::size_t idx = bucketIndex(when);
         buckets_[idx].entries.push_back(
@@ -186,6 +188,14 @@ EventQueue::fire(Entry e)
     if (!e.weak)
         --strong_;
     --size_;
+#if TRANSFW_OBS
+    if (hook_) {
+        hook_->beginDispatch();
+        e.cb();
+        hook_->endDispatch();
+        return;
+    }
+#endif
     e.cb();
 }
 

@@ -8,6 +8,13 @@
 #include "sim/event_fn.hpp"
 #include "sim/ticks.hpp"
 
+// Observability master switch. Canonically set by the build system
+// (TRANSFW_OBS=0 compiles instrumentation out); defaulting it here
+// keeps sim/ independent of the obs/ headers that also guard on it.
+#ifndef TRANSFW_OBS
+#define TRANSFW_OBS 1
+#endif
+
 namespace transfw::sim {
 
 /**
@@ -41,6 +48,33 @@ class EventQueue
 
     /** Near-future window covered by the bucket ring (power of two). */
     static constexpr std::size_t kWindow = 1024;
+
+#if TRANSFW_OBS
+    /**
+     * Observer of event-dispatch boundaries (the obs::SelfProfiler).
+     * beginDispatch() fires immediately before a callback is invoked
+     * and endDispatch() immediately after; both run on the hot path,
+     * so implementations must keep the common case to a few
+     * instructions. Compiled out entirely under TRANSFW_OBS=0.
+     */
+    class DispatchHook
+    {
+      public:
+        virtual ~DispatchHook() = default;
+        virtual void beginDispatch() = 0;
+        virtual void endDispatch() = 0;
+    };
+
+    /** Install (or clear, with nullptr) the dispatch observer. */
+    void setDispatchHook(DispatchHook *hook) { hook_ = hook; }
+#endif
+
+    /**
+     * High-water mark of queued events (strong + weak) over the queue's
+     * lifetime. A pure function of the event schedule, so deterministic
+     * — it lands in the ledger's metrics section, not the wall section.
+     */
+    std::size_t peakPending() const { return peak_; }
 
     /** Current simulation time. */
     Tick now() const { return now_; }
@@ -164,6 +198,10 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::size_t strong_ = 0;
     std::size_t size_ = 0; ///< live events, strong + weak
+    std::size_t peak_ = 0; ///< lifetime high-water mark of size_
+#if TRANSFW_OBS
+    DispatchHook *hook_ = nullptr;
+#endif
     std::array<Bucket, kWindow> buckets_;
     /** Bit i set ⇔ buckets_[i] has undrained entries. */
     std::array<std::uint64_t, kWindow / 64> liveBits_{};

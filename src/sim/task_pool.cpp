@@ -2,6 +2,10 @@
 
 #include <cstdlib>
 
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
 namespace transfw::sim {
 
 TaskPool::TaskPool(unsigned threads)
@@ -74,6 +78,16 @@ TaskPool::defaultThreads()
             return static_cast<unsigned>(v);
     }
     unsigned hw = std::thread::hardware_concurrency();
+#ifdef __unix__
+    // hardware_concurrency() is allowed to return 0, and in some
+    // containers/cgroup setups reports 1 on many-core hosts (observed
+    // here: BENCH_core.json shipped with hardware_threads=1 and the
+    // "parallel" sweep silently ran serial). sysconf sees the CPUs the
+    // process can actually schedule on; trust whichever is larger.
+    long online = sysconf(_SC_NPROCESSORS_ONLN);
+    if (online > 0 && static_cast<unsigned>(online) > hw)
+        hw = static_cast<unsigned>(online);
+#endif
     return hw ? hw : 1;
 }
 

@@ -43,8 +43,11 @@ class TaskPool
 
     /**
      * Parallelism for this machine/process: the TRANSFW_JOBS
-     * environment variable when set (positive), else
-     * std::thread::hardware_concurrency().
+     * environment variable when set (positive), else the larger of
+     * std::thread::hardware_concurrency() and (on POSIX)
+     * sysconf(_SC_NPROCESSORS_ONLN) — hardware_concurrency() may
+     * legally return 0, and under some container runtimes reports 1
+     * on many-core hosts, silently degrading sweeps to serial.
      */
     static unsigned defaultThreads();
 

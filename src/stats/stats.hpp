@@ -122,6 +122,9 @@ class Registry
     double get(const std::string &name) const;
     bool has(const std::string &name) const { return values_.count(name) > 0; }
 
+    /** All named scalars, sorted by name (ledger/diff iteration). */
+    const std::map<std::string, double> &values() const { return values_; }
+
     /** Render "name = value" lines sorted by name. */
     std::string format() const;
 

@@ -28,6 +28,12 @@ const Field kFields[] = {
     {"exec.pageAccesses", [](const SimResults &r) {
          return static_cast<double>(r.pageAccesses);
      }},
+    {"exec.events", [](const SimResults &r) {
+         return static_cast<double>(r.eventsExecuted);
+     }},
+    {"exec.peakEventBacklog", [](const SimResults &r) {
+         return static_cast<double>(r.peakEventBacklog);
+     }},
     {"xlat.l2Misses", [](const SimResults &r) {
          return static_cast<double>(r.l2TlbMisses);
      }},
@@ -258,6 +264,39 @@ csvRow(const SimResults &results)
     for (const Field &field : kFields)
         os << ',' << field.get(results);
     return os.str();
+}
+
+obs::LedgerRecord
+toLedgerRecord(const SimResults &results,
+               const cfg::SystemConfig &config, double scale,
+               const std::string &source)
+{
+    obs::LedgerRecord record;
+    record.schema = obs::RunLedger::kSchema;
+    record.app = results.app;
+    record.scale = scale;
+    record.configKey = config.key();
+    record.configSummary = results.configSummary;
+    record.source = source;
+    record.metrics = toRegistry(results).values();
+
+    record.wall["wall_seconds"] = results.hostWallSeconds;
+    record.wall["events_per_sec"] = results.hostEventsPerSec;
+    const obs::HostProfile &profile = results.hostProfile;
+    if (profile.stride != 0) {
+        record.wall["profile.total_seconds"] = profile.totalSeconds;
+        record.wall["profile.stride"] =
+            static_cast<double>(profile.stride);
+        record.wall["profile.sampled_dispatches"] =
+            static_cast<double>(profile.sampledDispatches);
+        for (std::size_t b = 0; b < obs::kNumProfBuckets; ++b)
+            record.wall[std::string("profile.") +
+                        obs::profBucketName(
+                            static_cast<obs::ProfBucket>(b))] =
+                profile.seconds[b];
+    }
+    obs::RunLedger::stampWall(record);
+    return record;
 }
 
 } // namespace transfw::sys

@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "config/config.hpp"
+#include "obs/ledger.hpp"
 #include "stats/stats.hpp"
 #include "system/results.hpp"
 
@@ -22,6 +24,17 @@ std::string formatReport(const SimResults &results);
 /** One CSV line (with a matching header line) for sweep tooling. */
 std::string csvHeader();
 std::string csvRow(const SimResults &results);
+
+/**
+ * Pack one run into a ledger record: the full toRegistry() metrics map
+ * plus host-side wall measurements (wall seconds, events/sec, profiler
+ * buckets) in the record's noisy wall section. Stamps the wall
+ * timestamp; callers append via obs::RunLedger::append().
+ */
+obs::LedgerRecord toLedgerRecord(const SimResults &results,
+                                 const cfg::SystemConfig &config,
+                                 double scale,
+                                 const std::string &source);
 
 } // namespace transfw::sys
 

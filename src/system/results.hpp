@@ -6,6 +6,7 @@
 
 #include "obs/attrib.hpp"
 #include "obs/histogram.hpp"
+#include "obs/self_profiler.hpp"
 #include "sim/ticks.hpp"
 #include "stats/stats.hpp"
 
@@ -103,6 +104,13 @@ struct SimResults
     std::uint64_t obsCheckViolations = 0;  ///< watchdog trips (expect 0)
     std::uint64_t obsCheckedRequests = 0;  ///< requests the watchdog saw
     std::uint64_t droppedSpans = 0;        ///< spans lost to capacity
+
+    // --- host-side execution (the ledger's wall section, except the
+    //     deterministic backlog peak) -----------------------------------
+    std::uint64_t peakEventBacklog = 0; ///< EventQueue::peakPending()
+    double hostWallSeconds = 0.0;       ///< wall clock inside run()
+    double hostEventsPerSec = 0.0;      ///< eventsExecuted / wall
+    obs::HostProfile hostProfile;       ///< SelfProfiler bucket snapshot
 };
 
 } // namespace transfw::sys

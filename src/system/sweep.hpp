@@ -50,6 +50,8 @@ class SweepRunner
         std::uint64_t requested = 0; ///< specs asked for
         std::uint64_t executed = 0;  ///< simulations actually run
         std::uint64_t memoHits = 0;  ///< served from the memo
+        /** Workers actually used by the most recent batch (1 = serial). */
+        std::uint64_t effectiveJobs = 0;
     };
 
     /** @p jobs == 0 picks TRANSFW_JOBS / hardware concurrency. */
@@ -69,6 +71,14 @@ class SweepRunner
     void clearMemo();
 
     /**
+     * JSONL run-ledger destination: every executed (non-memoised)
+     * point appends one transfw-ledger-v1 record there. Defaults to
+     * $TRANSFW_LEDGER; empty disables.
+     */
+    void setLedgerPath(std::string path);
+    const std::string &ledgerPath() const { return ledgerPath_; }
+
+    /**
      * Process-wide runner the benches share, so baseline runs are
      * memoised across every speedupSeries/figure in one binary.
      */
@@ -76,6 +86,7 @@ class SweepRunner
 
   private:
     int jobs_;
+    std::string ledgerPath_;
     mutable std::mutex mu_;
     std::unordered_map<std::string, SimResults> memo_;
     Stats stats_;

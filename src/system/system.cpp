@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "sim/logging.hpp"
 
@@ -46,6 +47,8 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
             }
             sim::Tick t0 = eq_.now();
             net_.fromHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0, g]() {
+                obs::ProfScope prof(profiler(),
+                                    obs::ProfBucket::Interconnect);
                 mmu::charge(*req, attribEngine(),
                             obs::AttribBucket::Network,
                             static_cast<double>(eq_.now() - t0), eq_.now());
@@ -58,6 +61,8 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
             int target = rl->targetGpu;
             net_.fromHost(target).sendCtrl(
                 kCtrlMsgBytes, [this, rl, t0, target]() {
+                    obs::ProfScope prof(profiler(),
+                                        obs::ProfBucket::Interconnect);
                     mmu::charge(*rl->req, attribEngine(),
                                 obs::AttribBucket::Network,
                                 static_cast<double>(eq_.now() - t0),
@@ -79,6 +84,8 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
             }
             sim::Tick t0 = eq_.now();
             net_.fromHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0, g]() {
+                obs::ProfScope prof(profiler(),
+                                    obs::ProfBucket::Interconnect);
                 mmu::charge(*req, attribEngine(),
                             obs::AttribBucket::Network,
                             static_cast<double>(eq_.now() - t0), eq_.now());
@@ -90,6 +97,8 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
             int target = rl->targetGpu;
             net_.fromHost(target).sendCtrl(kCtrlMsgBytes, [this, rl,
                                                        target]() {
+                obs::ProfScope prof(profiler(),
+                                    obs::ProfBucket::Interconnect);
                 gpus_[static_cast<std::size_t>(target)]
                     ->remoteLookupRequest(rl);
             });
@@ -127,20 +136,26 @@ MultiGpuSystem::setupObservability()
         gpu::Gpu &gpu = *gpus_[static_cast<std::size_t>(g)];
         gpu.attachSpans(&obs_->spans);
         gpu.attachAttribution(&obs_->attribution);
+        gpu.attachProfiler(&obs_->profiler);
         gpu.registerMetrics(reg, sim::strfmt("gpu%d", g));
     }
     if (hostMmu_) {
         hostMmu_->attachSpans(&obs_->spans);
         hostMmu_->attachAttribution(&obs_->attribution);
+        hostMmu_->attachProfiler(&obs_->profiler);
         hostMmu_->registerMetrics(reg, "host.mmu");
     }
     if (driver_) {
         driver_->attachSpans(&obs_->spans);
         driver_->attachAttribution(&obs_->attribution);
+        driver_->attachProfiler(&obs_->profiler);
         driver_->registerMetrics(reg, "host.driver");
     }
     engine_->attachAttribution(&obs_->attribution);
+    engine_->attachProfiler(&obs_->profiler);
     engine_->registerMetrics(reg, "host.migration");
+    for (auto &cu : cus_)
+        cu->attachProfiler(&obs_->profiler);
     if (ft_)
         ft_->registerMetrics(reg, "host.ft");
     net_.registerMetrics(reg);
@@ -149,6 +164,12 @@ MultiGpuSystem::setupObservability()
     });
     reg.registerGauge("sim.tick",
                       [this] { return static_cast<double>(eq_.now()); });
+    reg.registerGauge("sim.eventBacklog", [this] {
+        return static_cast<double>(eq_.pending());
+    });
+    reg.registerGauge("sim.peakEventBacklog", [this] {
+        return static_cast<double>(eq_.peakPending());
+    });
 
     // Observability self-health: span loss and watchdog trips must be
     // visible in the same exports they guard.
@@ -174,6 +195,14 @@ MultiGpuSystem::setupObservability()
     // Interval time series (Section IV-C dynamics): PW-queue pressure
     // and the forwarding trigger, filter load, translation-cache health.
     obs::IntervalSampler &sampler = obs_->sampler;
+    sampler.attachProfiler(&obs_->profiler);
+    // Host-side health: event backlog (deterministic) and events per
+    // wall second since the previous sample (noisy by nature — it
+    // rides the same rows but never feeds the deterministic metrics).
+    sampler.addRegistryColumn(reg, "sim.eventBacklog");
+    sampler.addColumn("host.eventsPerSec", [this] {
+        return obs_->profiler.recentEventsPerSec();
+    });
     if (hostMmu_) {
         sampler.addRegistryColumn(reg, "host.mmu.queueDepth");
         sampler.addRegistryColumn(reg, "host.mmu.queueAboveTrigger");
@@ -255,6 +284,8 @@ MultiGpuSystem::wireGpu(int g)
         // resolution (see DESIGN.md, remote forwarding approximation).
         sim::Tick t0 = eq_.now();
         net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, rl, t0]() {
+            obs::ProfScope prof(profiler(),
+                                obs::ProfBucket::Interconnect);
             mmu::charge(*rl->req, attribEngine(),
                         obs::AttribBucket::Network,
                         static_cast<double>(eq_.now() - t0), eq_.now());
@@ -274,6 +305,8 @@ MultiGpuSystem::sendFaultToHost(mmu::XlatPtr req)
     sim::Tick t0 = eq_.now();
     int g = req->gpu;
     net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0]() mutable {
+        obs::ProfScope prof(profiler(),
+                            obs::ProfBucket::Interconnect);
         mmu::charge(*req, attribEngine(), obs::AttribBucket::Network,
                     static_cast<double>(eq_.now() - t0), eq_.now());
         req->tHostArrive = eq_.now();
@@ -346,15 +379,34 @@ MultiGpuSystem::run()
         sim::fatal("MultiGpuSystem::run() may only be called once");
     ran_ = true;
 
+    obs_->profiler.configure(cfg_.obs.selfProfile,
+                             cfg_.obs.profileStride);
+#if TRANSFW_OBS
+    if (obs_->profiler.enabled())
+        eq_.setDispatchHook(&obs_->profiler);
+#endif
+
     for (auto &cu : cus_)
         cu->start();
     obs_->sampler.start(eq_, cfg_.obs.sampleInterval);
+    auto wall0 = std::chrono::steady_clock::now();
     std::uint64_t events = eq_.run();
+    double wallSeconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+#if TRANSFW_OBS
+    eq_.setDispatchHook(nullptr);
+#endif
 
     if (scheduler_.remaining() != 0)
         sim::panic("simulation drained with unscheduled CTAs");
     SimResults res = collect();
     res.eventsExecuted = events;
+    res.hostWallSeconds = wallSeconds;
+    res.hostEventsPerSec =
+        wallSeconds > 0.0 ? static_cast<double>(events) / wallSeconds
+                          : 0.0;
     return res;
 }
 
@@ -485,6 +537,8 @@ MultiGpuSystem::collect()
     r.obsCheckViolations = obs_->checks.violations();
     r.obsCheckedRequests = obs_->checks.checkedRequests();
     r.droppedSpans = obs_->spans.dropped();
+    r.peakEventBacklog = eq_.peakPending();
+    r.hostProfile = obs_->profiler.snapshot();
     return r;
 }
 

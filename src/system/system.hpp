@@ -71,6 +71,12 @@ class MultiGpuSystem
         return obs_ ? &obs_->attribution : nullptr;
     }
 
+    /** Self-profiler, same late-fetch rule as attribEngine(). */
+    obs::SelfProfiler *profiler()
+    {
+        return obs_ ? &obs_->profiler : nullptr;
+    }
+
     cfg::SystemConfig cfg_;
     const wl::Workload &workload_;
 

@@ -19,6 +19,7 @@ MigrationEngine::MigrationEngine(sim::EventQueue &eq,
 void
 MigrationEngine::resolve(mmu::XlatPtr req, DoneCb done)
 {
+    obs::ProfScope prof(profiler_, obs::ProfBucket::Migration);
     auto it = busy_.find(req->vpn);
     if (it != busy_.end()) {
         it->second.push_back(
@@ -32,6 +33,7 @@ MigrationEngine::resolve(mmu::XlatPtr req, DoneCb done)
 void
 MigrationEngine::doResolve(mmu::XlatPtr req, DoneCb done)
 {
+    obs::ProfScope prof(profiler_, obs::ProfBucket::Migration);
     mem::PageInfo *info = central_.lookup(req->vpn);
     if (!info)
         sim::panic("fault on a page missing from the central page table");

@@ -11,6 +11,7 @@
 #include "mmu/gpu_iface.hpp"
 #include "mmu/request.hpp"
 #include "obs/metrics.hpp"
+#include "obs/self_profiler.hpp"
 #include "sim/flat_map.hpp"
 #include "sim/sim_object.hpp"
 #include "transfw/forwarding_table.hpp"
@@ -71,6 +72,12 @@ class MigrationEngine : public sim::SimObject
     void attachAttribution(obs::AttributionEngine *attrib)
     {
         attrib_ = attrib;
+    }
+
+    /** Observability: charge host time to profiler buckets (nullable). */
+    void attachProfiler(obs::SelfProfiler *profiler)
+    {
+        profiler_ = profiler;
     }
 
     /** Register live gauges under "<prefix>." (e.g. "host.migration"). */
@@ -152,6 +159,7 @@ class MigrationEngine : public sim::SimObject
     core::ForwardingTable *ft_;
     Stats stats_;
     obs::AttributionEngine *attrib_ = nullptr;
+    obs::SelfProfiler *profiler_ = nullptr;
 
     /** Pages with a move in flight → resolves waiting on them.
      *  Checked on every resolve and every remote-access note, so flat. */

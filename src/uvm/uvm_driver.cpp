@@ -18,6 +18,7 @@ UvmDriver::UvmDriver(sim::EventQueue &eq, const cfg::SystemConfig &config,
 void
 UvmDriver::handleFault(mmu::XlatPtr req)
 {
+    obs::ProfScope prof(profiler_, obs::ProfBucket::HostMmu);
     ++stats_.faults;
     req->tHostArrive = curTick();
 
@@ -132,6 +133,8 @@ UvmDriver::startWalk(mmu::XlatPtr req)
         charge(*req, attrib_, obs::AttribBucket::FtProbe,
                static_cast<double>(cfg_.memLatency), curTick());
         schedule(cfg_.memLatency, [this, req]() mutable {
+            obs::ProfScope prof(profiler_,
+                                obs::ProfBucket::Forwarding);
             auto owner =
                 ft_->findOwner(req->vpn, cfg_.numGpus, req->gpu);
             if (owner) {
@@ -167,8 +170,17 @@ UvmDriver::startWalk(mmu::XlatPtr req)
 void
 UvmDriver::softwareWalk(mmu::XlatPtr req)
 {
-    int hit_level = pwc_->lookup(req->vpn);
-    mem::WalkResult walk = central_.walk(req->vpn, hit_level);
+    obs::ProfScope prof(profiler_, obs::ProfBucket::HostMmu);
+    int hit_level;
+    {
+        obs::ProfScope pwcProf(profiler_, obs::ProfBucket::TlbPwc);
+        hit_level = pwc_->lookup(req->vpn);
+    }
+    mem::WalkResult walk;
+    {
+        obs::ProfScope walkProf(profiler_, obs::ProfBucket::PageWalk);
+        walk = central_.walk(req->vpn, hit_level);
+    }
     sim::Tick latency =
         cfg_.driverPerFaultCost +
         static_cast<sim::Tick>(walk.accesses) * cfg_.memLatency;
@@ -180,9 +192,14 @@ UvmDriver::softwareWalk(mmu::XlatPtr req)
     int start_node =
         hit_level ? hit_level - 1 : central_.geometry().levels;
     schedule(latency, [this, req, walk, start_node]() mutable {
-        for (int level = walk.deepestFilled; level <= start_node; ++level) {
-            if (level >= central_.geometry().lowestCachedLevel())
-                pwc_->fill(req->vpn, level);
+        obs::ProfScope prof(profiler_, obs::ProfBucket::HostMmu);
+        {
+            obs::ProfScope pwcProf(profiler_, obs::ProfBucket::TlbPwc);
+            for (int level = walk.deepestFilled; level <= start_node;
+                 ++level) {
+                if (level >= central_.geometry().lowestCachedLevel())
+                    pwc_->fill(req->vpn, level);
+            }
         }
         walkDone(std::move(req));
     });
@@ -205,6 +222,7 @@ UvmDriver::walkDone(mmu::XlatPtr req)
 void
 UvmDriver::remoteLookupDone(mmu::RemoteLookupPtr rl)
 {
+    obs::ProfScope prof(profiler_, obs::ProfBucket::Forwarding);
     mmu::XlatPtr req = rl->req;
     if (spans_)
         spans_->record(rl->success ? "driver.forward"

@@ -9,6 +9,7 @@
 #include "mem/page_table.hpp"
 #include "mmu/request.hpp"
 #include "obs/metrics.hpp"
+#include "obs/self_profiler.hpp"
 #include "obs/span.hpp"
 #include "pwc/pwc.hpp"
 #include "sim/flat_map.hpp"
@@ -68,6 +69,11 @@ class UvmDriver : public sim::SimObject
     {
         attrib_ = attrib;
     }
+    /** Observability: charge host time to profiler buckets (nullable). */
+    void attachProfiler(obs::SelfProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
     /** Register live gauges under "<prefix>." (e.g. "host.driver"). */
     void registerMetrics(obs::MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -114,6 +120,7 @@ class UvmDriver : public sim::SimObject
     Stats stats_;
     obs::SpanRecorder *spans_ = nullptr;
     obs::AttributionEngine *attrib_ = nullptr;
+    obs::SelfProfiler *profiler_ = nullptr;
 };
 
 } // namespace transfw::uvm
