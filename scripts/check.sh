@@ -5,7 +5,9 @@
 # -DTRANSFW_OBS=OFF (observability compiled out entirely) and once with
 # AddressSanitizer + UBSan, where the obs::Checks invariant watchdog is
 # promoted to a hard abort (TRANSFW_OBS_STRICT) — a single attribution
-# or span-nesting violation anywhere in the suite fails the gate.
+# or span-nesting violation anywhere in the suite fails the gate — and
+# finally with ThreadSanitizer, which races the per-GPU lane kernel's
+# parallel-vs-serial bit-identity tests under every lane count.
 # In between, the run-ledger gate replays a small config matrix through
 # ./build/examples/simulate into a fresh transfw-ledger-v1 JSONL file,
 # validates the schema, and diffs it against the committed
@@ -21,6 +23,8 @@
 #   TRANSFW_SKIP_PERF_GATE=1    # skip the events/sec regression gate
 #                               # (shared/loaded machines)
 #   TRANSFW_SKIP_LEDGER_GATE=1  # skip the run-ledger regression gate
+#   TRANSFW_SKIP_TSAN=1         # skip the ThreadSanitizer build+test pass
+#   TRANSFW_JOBS=N              # lane/worker count for the parallel bits
 #
 # Exit code is non-zero when any build, test, schema check or gate
 # fails.
@@ -67,12 +71,17 @@ for section, fields in {
                      "single_pass_probes_per_sec", "speedup"],
     "sweep": ["serial_seconds", "parallel_seconds", "parallel_jobs",
               "identical_results"],
+    "parallel_kernel": ["lanes", "serial_events_per_sec",
+                        "lane_events_per_sec", "speedup",
+                        "identical_results"],
     "sim_end_to_end": ["rate_scale", "rate_wall_seconds",
                        "events_executed", "events_per_sec"],
 }.items():
     for f in fields:
         assert f in doc[section], f"{section}.{f} missing"
 assert doc["sweep"]["identical_results"] is True
+assert doc["parallel_kernel"]["identical_results"] is True
+assert doc["parallel_kernel"]["lanes"] >= 1
 assert doc["sim_end_to_end"]["events_executed"] > 0
 assert doc["peak_rss_bytes"] > 0
 print("BENCH_core.json schema OK")
@@ -106,6 +115,14 @@ print(f"events/sec now {now:.0f} vs committed {ref:.0f} "
 if now < floor:
     sys.exit("perf gate FAILED: >20% below the committed rate "
              "(set TRANSFW_SKIP_PERF_GATE=1 on shared machines)")
+# The lane kernel must keep producing results bit-identical to the
+# serial kernel; the speedup itself is machine-dependent (a 1-core
+# box legitimately records < 1x), so only determinism is gated here.
+lanes = json.load(open(sys.argv[1]))["parallel_kernel"]
+if not lanes["identical_results"]:
+    sys.exit("perf gate FAILED: lane kernel diverged from serial")
+print(f"parallel kernel {lanes['speedup']:.2f}x on {lanes['lanes']} "
+      f"lanes, identical to serial")
 print("perf gate OK")
 EOF
 else
@@ -182,3 +199,15 @@ echo "== sanitizer build (address,undefined + strict obs watchdog) =="
 cmake -B build-asan -S . -DTRANSFW_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== thread sanitizer build (lane kernel data races) =="
+# TSan is the gate for the per-GPU lane kernel: the parallel-vs-serial
+# bit-identity tests run every lane count under it, so any unsynchron-
+# ized cross-lane access surfaces as a hard failure here.
+if [[ "${TRANSFW_SKIP_TSAN:-0}" == "1" ]]; then
+    echo "skipped (TRANSFW_SKIP_TSAN=1)"
+else
+    cmake -B build-tsan -S . -DTRANSFW_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$JOBS"
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+fi

@@ -105,6 +105,10 @@ SystemConfig::key() const
     u(obs.selfProfile);
     u(obs.profileStride);
     u(seed);
+    // sim.lanes is intentionally absent: the lane count is a host-side
+    // execution strategy, and every lane count yields bit-identical
+    // simulation results (test_parallel_kernel pins this), so it must
+    // not fragment the sweep memo.
     return k;
 }
 
@@ -124,6 +128,8 @@ SystemConfig::validate() const
         sim::fatal("walker counts must be positive");
     if (transFw.enabled && transFw.forwardThreshold < 0)
         sim::fatal("forwardThreshold must be non-negative");
+    if (sim.lanes < 0)
+        sim::fatal("sim.lanes must be non-negative (0 = serial)");
     if (numGpus > 32 && faultMode == FaultMode::UvmDriver)
         sim::warn("UVM driver beyond 32 GPUs is far outside the "
                   "calibrated range");

@@ -130,6 +130,24 @@ struct ObsConfig
     std::uint32_t profileStride = 16; ///< sample 1 dispatch in N
 };
 
+/**
+ * Event-kernel execution knobs. Purely a host-side execution strategy:
+ * every lane count produces bit-identical simulation results (the
+ * parallel kernel is deterministic by construction — see DESIGN.md's
+ * lane/lookahead section), so these fields deliberately do NOT enter
+ * SystemConfig::key().
+ */
+struct SimConfig
+{
+    /**
+     * Worker threads for the per-GPU event lanes: 0 runs every lane on
+     * the calling thread (the serial fallback), N > 0 runs the GPU
+     * lanes on min(N, numGpus) workers. The host-MMU lane always
+     * executes on the calling thread.
+     */
+    int lanes = 0;
+};
+
 /** Oracle switches for the Section III-B room-for-improvement study. */
 struct OracleConfig
 {
@@ -216,6 +234,7 @@ struct SystemConfig
     LeastTlbConfig leastTlb;
     OracleConfig oracle;
     ObsConfig obs;
+    SimConfig sim;
 
     std::uint64_t seed = 1;
 

@@ -2,6 +2,8 @@
 #define TRANSFW_INTERCONNECT_LINK_HPP
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "sim/sim_object.hpp"
@@ -28,9 +30,31 @@ struct LinkConfig
 class Link : public sim::SimObject
 {
   public:
+    /**
+     * How a channel hands a fully-arrived message to the receiver:
+     * called with the arrival tick and the delivery callback. Defaults
+     * to scheduleAt on the link's own event queue; the parallel lane
+     * kernel overrides it per channel to cross lane boundaries (e.g.
+     * GPU uplink control messages land in a barrier-drained mailbox
+     * instead of a queue another thread is concurrently executing).
+     */
+    using Deliver =
+        std::function<void(sim::Tick, sim::EventQueue::Callback)>;
+
     Link(sim::EventQueue &eq, std::string name, const LinkConfig &config)
         : SimObject(eq, std::move(name)), config_(config)
     {}
+
+    /** Override delivery of bulk data-channel messages. */
+    void setDataDelivery(Deliver deliver)
+    {
+        dataDeliver_ = std::move(deliver);
+    }
+    /** Override delivery of priority control-channel messages. */
+    void setCtrlDelivery(Deliver deliver)
+    {
+        ctrlDeliver_ = std::move(deliver);
+    }
 
     /**
      * Send @p bytes on the bulk data channel; @p deliver fires at the
@@ -44,7 +68,10 @@ class Link : public sim::SimObject
             static_cast<double>(bytes) / config_.bytesPerCycle);
         busyUntil_ = depart + std::max<sim::Tick>(ser, 1);
         sim::Tick arrive = busyUntil_ + config_.latency;
-        eventq().scheduleAt(arrive, std::move(deliver));
+        if (dataDeliver_)
+            dataDeliver_(arrive, std::move(deliver));
+        else
+            eventq().scheduleAt(arrive, std::move(deliver));
         bytesSent_ += bytes;
         ++messages_;
         return arrive;
@@ -59,7 +86,10 @@ class Link : public sim::SimObject
     sendCtrl(std::uint64_t bytes, sim::EventQueue::Callback deliver)
     {
         sim::Tick arrive = curTick() + 2 + config_.latency;
-        eventq().scheduleAt(arrive, std::move(deliver));
+        if (ctrlDeliver_)
+            ctrlDeliver_(arrive, std::move(deliver));
+        else
+            eventq().scheduleAt(arrive, std::move(deliver));
         bytesSent_ += bytes;
         ++messages_;
         return arrive;
@@ -86,6 +116,8 @@ class Link : public sim::SimObject
     sim::Tick busyUntil_ = 0;
     std::uint64_t bytesSent_ = 0;
     std::uint64_t messages_ = 0;
+    Deliver dataDeliver_;
+    Deliver ctrlDeliver_;
 };
 
 } // namespace transfw::ic

@@ -58,6 +58,31 @@ class Network
     }
 
     /**
+     * Parallel lane kernel wiring: re-home every link onto the event
+     * queue of the lane that drives it. A link's queue supplies its
+     * clock (curTick / busyUntil accounting) and its default delivery
+     * target, so it must belong to the one lane that calls its send
+     * methods: GPU @p g's uplink is driven by lane g (far faults,
+     * remote-lookup notifications), while downlinks and every peer
+     * link are driven by the host lane (replies, forwards, page
+     * transfers, migration routing). Call once, before any traffic.
+     */
+    void
+    bindLaneQueues(const std::vector<sim::EventQueue *> &gpu_lanes,
+                   sim::EventQueue &host_lane)
+    {
+        for (int g = 0; g < numGpus_; ++g) {
+            up_[static_cast<std::size_t>(g)]->rebindEventQueue(
+                *gpu_lanes.at(static_cast<std::size_t>(g)));
+            down_[static_cast<std::size_t>(g)]->rebindEventQueue(
+                host_lane);
+        }
+        for (auto &link : peers_)
+            if (link)
+                link->rebindEventQueue(host_lane);
+    }
+
+    /**
      * Routed bulk transfer GPU @p from → GPU @p to; on a ring the
      * payload traverses (and occupies) every hop of the shorter arc.
      * @p done fires at final delivery.

@@ -71,7 +71,7 @@ class Gmmu : public sim::SimObject
     /** Observability: record lifecycle spans into @p spans (nullable). */
     void attachSpans(obs::SpanRecorder *spans) { spans_ = spans; }
     /** Observability: mirror latency charges per request (nullable). */
-    void attachAttribution(obs::AttributionEngine *attrib)
+    void attachAttribution(obs::AttribSink *attrib)
     {
         attrib_ = attrib;
     }
@@ -110,7 +110,7 @@ class Gmmu : public sim::SimObject
     int busyWalkers_ = 0;
     Stats stats_;
     obs::SpanRecorder *spans_ = nullptr;
-    obs::AttributionEngine *attrib_ = nullptr;
+    obs::AttribSink *attrib_ = nullptr;
     obs::SelfProfiler *profiler_ = nullptr;
 };
 

@@ -83,7 +83,7 @@ class HostMmu : public sim::SimObject
     /** Observability: record lifecycle spans into @p spans (nullable). */
     void attachSpans(obs::SpanRecorder *spans) { spans_ = spans; }
     /** Observability: mirror latency charges per request (nullable). */
-    void attachAttribution(obs::AttributionEngine *attrib)
+    void attachAttribution(obs::AttribSink *attrib)
     {
         attrib_ = attrib;
     }
@@ -122,7 +122,7 @@ class HostMmu : public sim::SimObject
 
     Stats stats_;
     obs::SpanRecorder *spans_ = nullptr;
-    obs::AttributionEngine *attrib_ = nullptr;
+    obs::AttribSink *attrib_ = nullptr;
     obs::SelfProfiler *profiler_ = nullptr;
 };
 

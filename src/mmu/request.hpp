@@ -62,10 +62,12 @@ using XlatPtr = sim::PoolRef<XlatRequest>;
  * — which is exactly the invariant obs::Checks enforces at finish.
  *
  * @p attrib may be null (observability detached); under TRANSFW_OBS=0
- * the mirror compiles out and only the breakdown update remains.
+ * the mirror compiles out and only the breakdown update remains. The
+ * sink is the engine itself on the host lane and an AttribRelay on a
+ * GPU lane (replayed at the next window barrier).
  */
 inline void
-charge(XlatRequest &req, obs::AttributionEngine *attrib,
+charge(XlatRequest &req, obs::AttribSink *attrib,
        obs::AttribBucket bucket, double cycles, sim::Tick now)
 {
     switch (obs::fieldOf(bucket)) {

@@ -27,6 +27,15 @@ IntervalSampler::start(sim::EventQueue &eq, sim::Tick interval)
 }
 
 void
+IntervalSampler::recordRow(sim::Tick tick)
+{
+    ProfScope prof(profiler_, ProfBucket::Stats);
+    ticks_.push_back(tick);
+    for (const Column &col : columns_)
+        values_.push_back(col.probe());
+}
+
+void
 IntervalSampler::sample(sim::EventQueue &eq, sim::Tick interval)
 {
     ProfScope prof(profiler_, ProfBucket::Stats);

@@ -47,6 +47,16 @@ class IntervalSampler
      */
     void start(sim::EventQueue &eq, sim::Tick interval);
 
+    /**
+     * Append one row stamped @p tick by probing every column now. The
+     * windowed lane kernel drives sampling this way — rows are recorded
+     * at window barriers, while every lane is quiescent — instead of
+     * riding weak events on a single queue (start()); the row schedule
+     * then depends only on the deterministic window sequence, never on
+     * the number of worker threads.
+     */
+    void recordRow(sim::Tick tick);
+
     std::size_t columns() const { return columns_.size(); }
     std::size_t rows() const { return ticks_.size(); }
     sim::Tick rowTick(std::size_t row) const { return ticks_[row]; }

@@ -146,6 +146,23 @@ EventQueue::drainTick(Tick when)
     return executed;
 }
 
+std::uint64_t
+EventQueue::runWindow(Tick end)
+{
+    std::uint64_t executed = 0;
+    // Guard on strong_: with only weak events left nothing may run
+    // (drainTick would execute zero events forever), and the decision
+    // to discard them belongs to the caller at global termination.
+    while (strong_ > 0) {
+        Tick t = nextEventTick();
+        if (t >= end)
+            break;
+        now_ = t;
+        executed += drainTick(t);
+    }
+    return executed;
+}
+
 bool
 EventQueue::runOne()
 {

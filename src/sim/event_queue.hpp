@@ -134,6 +134,30 @@ class EventQueue
     /** Execute exactly one event if available. @return true if one ran. */
     bool runOne();
 
+    /**
+     * Earliest pending tick (strong or weak); kMaxTick when nothing is
+     * queued. The lane scheduler uses this to skip empty lookahead
+     * windows.
+     */
+    Tick nextTick() const { return nextEventTick(); }
+
+    /**
+     * Execute every event with tick < @p end, in exact (tick, seq)
+     * order, and stop. Unlike run(), the weak remainder is never
+     * discarded and now() stays at the last executed tick — the queue
+     * remains open for the next lookahead window. Events a callback
+     * schedules inside [now, end) still execute within this call.
+     * @return the number of events executed.
+     */
+    std::uint64_t runWindow(Tick end);
+
+    /**
+     * Destroy everything still queued (the trailing weak events of a
+     * finished lane). The windowed kernel calls this once per lane
+     * after global termination, mirroring run()'s final discard.
+     */
+    void discardPending() { discardAll(); }
+
   private:
     /** Near event parked in a bucket: its tick is the bucket's tick. */
     struct Entry

@@ -89,7 +89,7 @@ class FlatMap
     clear()
     {
         for (std::size_t i = 0; i < cap(); ++i) {
-            if (ctrl_[i] == kFull)
+            if (isFull(ctrl_[i]))
                 slots_[i] = value_type();
             ctrl_[i] = kEmpty;
         }
@@ -130,7 +130,7 @@ class FlatMap
         void
         skip()
         {
-            while (idx_ < map_->cap() && map_->ctrl_[idx_] != kFull)
+            while (idx_ < map_->cap() && !isFull(map_->ctrl_[idx_]))
                 ++idx_;
         }
 
@@ -179,7 +179,7 @@ class FlatMap
         void
         skip()
         {
-            while (idx_ < map_->cap() && map_->ctrl_[idx_] != kFull)
+            while (idx_ < map_->cap() && !isFull(map_->ctrl_[idx_]))
                 ++idx_;
         }
 
@@ -264,13 +264,26 @@ class FlatMap
     void erase(iterator it) { eraseIndex(it.idx_); }
 
   private:
-    static constexpr std::uint8_t kEmpty = 0;
-    static constexpr std::uint8_t kFull = 1;
-    static constexpr std::uint8_t kTomb = 2;
+    // Control bytes, SwissTable-style: a full slot stores a 7-bit
+    // fragment of the key's hash (top bits, disjoint from the index
+    // bits), so a probe can reject almost every non-matching slot on
+    // the byte alone without touching the slot array; the two special
+    // states keep the high bit set.
+    static constexpr std::uint8_t kEmpty = 0x80;
+    static constexpr std::uint8_t kTomb = 0x81;
     static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
     static constexpr std::size_t kMinCap = 16;
 
     std::size_t cap() const { return ctrl_.size(); }
+
+    static bool isFull(std::uint8_t c) { return (c & 0x80) == 0; }
+
+    /** The 7 hash bits a full slot's control byte carries. */
+    static std::uint8_t
+    h2(std::size_t hash)
+    {
+        return static_cast<std::uint8_t>(hash >> 57);
+    }
 
     /** Smallest power-of-two table keeping @p n entries under 7/8 load. */
     static std::size_t
@@ -288,12 +301,17 @@ class FlatMap
         if (cap() == 0)
             return kNpos;
         std::size_t mask = cap() - 1;
-        std::size_t idx = Hash{}(key) & mask;
+        std::size_t hash = Hash{}(key);
+        std::size_t idx = hash & mask;
+        const std::uint8_t frag = h2(hash);
         while (true) {
-            if (ctrl_[idx] == kEmpty)
-                return kNpos;
-            if (ctrl_[idx] == kFull && slots_[idx].first == key)
+            // One ctrl byte per probe; the hash fragment rejects
+            // nearly every non-matching slot before the key compare.
+            std::uint8_t c = ctrl_[idx];
+            if (c == frag && slots_[idx].first == key)
                 return idx;
+            if (c == kEmpty)
+                return kNpos;
             idx = (idx + 1) & mask;
         }
     }
@@ -306,23 +324,26 @@ class FlatMap
         if (cap() == 0 || used_ + 1 >= cap() - cap() / 8)
             grow();
         std::size_t mask = cap() - 1;
-        std::size_t idx = Hash{}(key) & mask;
+        std::size_t hash = Hash{}(key);
+        std::size_t idx = hash & mask;
+        const std::uint8_t frag = h2(hash);
         std::size_t tomb = kNpos;
         while (true) {
-            if (ctrl_[idx] == kEmpty) {
+            std::uint8_t c = ctrl_[idx];
+            if (c == kEmpty) {
                 std::size_t target = tomb != kNpos ? tomb : idx;
                 if (target == idx)
                     ++used_; // a tombstone reuse does not raise load
-                ctrl_[target] = kFull;
+                ctrl_[target] = frag;
                 slots_[target] =
                     value_type(key, Value(std::forward<Args>(args)...));
                 ++size_;
                 return target;
             }
-            if (ctrl_[idx] == kTomb) {
+            if (c == kTomb) {
                 if (tomb == kNpos)
                     tomb = idx;
-            } else if (slots_[idx].first == key) {
+            } else if (c == frag && slots_[idx].first == key) {
                 return idx;
             }
             idx = (idx + 1) & mask;
@@ -332,11 +353,27 @@ class FlatMap
     void
     eraseIndex(std::size_t idx)
     {
-        if (idx >= cap() || ctrl_[idx] != kFull)
+        if (idx >= cap() || !isFull(ctrl_[idx]))
             sim::panic("FlatMap: erase of a non-live slot");
-        ctrl_[idx] = kTomb;
         slots_[idx] = value_type(); // release heavy values eagerly
         --size_;
+        std::size_t mask = cap() - 1;
+        if (ctrl_[(idx + 1) & mask] == kEmpty) {
+            // No probe sequence continues past this slot, so it can
+            // revert straight to empty — and so can the tombstone run
+            // leading up to it. Erase-heavy churn then keeps miss
+            // probes short instead of scanning ever-longer dead runs.
+            ctrl_[idx] = kEmpty;
+            --used_;
+            std::size_t prev = (idx + mask) & mask;
+            while (ctrl_[prev] == kTomb) {
+                ctrl_[prev] = kEmpty;
+                --used_;
+                prev = (prev + mask) & mask;
+            }
+        } else {
+            ctrl_[idx] = kTomb;
+        }
     }
 
     void
@@ -360,12 +397,13 @@ class FlatMap
         ctrl_.assign(newCap, kEmpty);
         std::size_t mask = newCap - 1;
         for (std::size_t i = 0; i < oldCtrl.size(); ++i) {
-            if (oldCtrl[i] != kFull)
+            if (!isFull(oldCtrl[i]))
                 continue;
-            std::size_t idx = Hash{}(oldSlots[i].first) & mask;
-            while (ctrl_[idx] == kFull)
+            std::size_t hash = Hash{}(oldSlots[i].first);
+            std::size_t idx = hash & mask;
+            while (ctrl_[idx] != kEmpty)
                 idx = (idx + 1) & mask;
-            ctrl_[idx] = kFull;
+            ctrl_[idx] = h2(hash);
             slots_[idx] = std::move(oldSlots[i]);
         }
         used_ = size_;

@@ -1,0 +1,109 @@
+#include "sim/lane_executor.hpp"
+
+#include <algorithm>
+
+#include "sim/pool.hpp"
+
+namespace transfw::sim {
+
+LaneExecutor &
+LaneExecutor::instance()
+{
+    static LaneExecutor executor;
+    return executor;
+}
+
+LaneExecutor::~LaneExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+LaneExecutor::forEach(std::size_t count, unsigned threads,
+                      const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (threads <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    unsigned helpers =
+        std::min<std::size_t>(threads, count) - 1;
+    ensureWorkers(helpers);
+    // Pooled objects may cross threads only inside this phase; the
+    // flag switches the pools' counters to real atomics for its
+    // duration (helpers observe it through mu_).
+    poolsShared.store(true, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &fn;
+        jobCount_ = count;
+        nextIndex_.store(0, std::memory_order_relaxed);
+        // Every live helper participates (extras find the index range
+        // exhausted and report done immediately); the phase ends when
+        // all of them have checked back in.
+        pending_ = workers_.size();
+        ++epoch_;
+    }
+    workCv_.notify_all();
+    runIndices(fn, count);
+    std::unique_lock<std::mutex> lock(mu_);
+    doneCv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    poolsShared.store(false, std::memory_order_relaxed);
+}
+
+void
+LaneExecutor::ensureWorkers(unsigned helpers)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    while (workers_.size() < helpers) {
+        // Capture the birth epoch under the lock: a freshly spawned
+        // helper must wait for the *next* phase, never race into the
+        // published state of one it was not counted in.
+        std::uint64_t birth = epoch_;
+        workers_.emplace_back(
+            [this, birth] { workerLoop(birth); });
+    }
+}
+
+void
+LaneExecutor::workerLoop(std::uint64_t seenEpoch)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        workCv_.wait(lock,
+                     [&] { return stop_ || epoch_ != seenEpoch; });
+        if (stop_)
+            return;
+        seenEpoch = epoch_;
+        const std::function<void(std::size_t)> *fn = job_;
+        std::size_t count = jobCount_;
+        lock.unlock();
+        runIndices(*fn, count);
+        lock.lock();
+        if (--pending_ == 0)
+            doneCv_.notify_all();
+    }
+}
+
+void
+LaneExecutor::runIndices(const std::function<void(std::size_t)> &fn,
+                         std::size_t count)
+{
+    for (std::size_t i =
+             nextIndex_.fetch_add(1, std::memory_order_relaxed);
+         i < count;
+         i = nextIndex_.fetch_add(1, std::memory_order_relaxed))
+        fn(i);
+}
+
+} // namespace transfw::sim

@@ -1,0 +1,75 @@
+#ifndef TRANSFW_SIM_LANE_EXECUTOR_HPP
+#define TRANSFW_SIM_LANE_EXECUTOR_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace transfw::sim {
+
+/**
+ * Process-wide worker pool for the lane-parallel event kernel. One
+ * forEach() call is one synchronized phase: fn(i) runs exactly once
+ * for every i in [0, count), distributed over the calling thread plus
+ * persistent helper threads, and forEach() returns only when every
+ * index has completed — the phase barrier of the lookahead window
+ * protocol.
+ *
+ * The pool is distinct from TaskPool on purpose: TaskPool runs
+ * coarse independent jobs (whole simulations) through a queue, while
+ * lanes need a low-overhead fork/join that fires thousands of times
+ * per run. Helpers are spawned on demand, persist for the process
+ * lifetime (so their thread_local ObjectPools outlive any one run),
+ * and sleep between phases.
+ *
+ * Happens-before: every phase transition passes through the pool
+ * mutex, so lane state written by whichever thread ran lane i in one
+ * phase is visible to whichever thread runs lane i in the next.
+ */
+class LaneExecutor
+{
+  public:
+    /** The process-wide executor (workers join at process exit). */
+    static LaneExecutor &instance();
+
+    /**
+     * Run fn(i) once for each i in [0, count) on @p threads threads
+     * total (the caller counts as one; helpers make up the rest).
+     * threads <= 1 executes every index on the caller in ascending
+     * order — the deterministic serial schedule.
+     */
+    void forEach(std::size_t count, unsigned threads,
+                 const std::function<void(std::size_t)> &fn);
+
+    ~LaneExecutor();
+    LaneExecutor(const LaneExecutor &) = delete;
+    LaneExecutor &operator=(const LaneExecutor &) = delete;
+
+  private:
+    LaneExecutor() = default;
+
+    void ensureWorkers(unsigned helpers);
+    void workerLoop(std::uint64_t seenEpoch);
+    void runIndices(const std::function<void(std::size_t)> &fn,
+                    std::size_t count);
+
+    std::mutex mu_;
+    std::condition_variable workCv_; ///< wakes helpers: new phase/stop
+    std::condition_variable doneCv_; ///< wakes forEach(): phase done
+    std::vector<std::thread> workers_;
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t jobCount_ = 0;
+    std::atomic<std::size_t> nextIndex_{0};
+    std::size_t pending_ = 0;  ///< helpers yet to finish this phase
+    std::uint64_t epoch_ = 0;  ///< bumped once per phase
+    bool stop_ = false;
+};
+
+} // namespace transfw::sim
+
+#endif // TRANSFW_SIM_LANE_EXECUTOR_HPP

@@ -1,6 +1,7 @@
 #ifndef TRANSFW_SIM_POOL_HPP
 #define TRANSFW_SIM_POOL_HPP
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -12,6 +13,49 @@
 
 namespace transfw::sim {
 
+template <typename Derived>
+class Pooled;
+
+/**
+ * True only while LaneExecutor runs a parallel phase — the one regime
+ * in which pooled objects can be touched by two threads at once. Every
+ * refcount/occupancy update branches on this flag: when clear (serial
+ * kernel, host stretches between phases, sweep workers on disjoint
+ * simulations) the counters use plain loads and stores, so the common
+ * path pays no lock-prefixed instructions; phase entry/exit passes
+ * through the executor's mutex, which orders the flag against the
+ * counter traffic on either side.
+ */
+inline std::atomic<bool> poolsShared{false};
+
+namespace poolops {
+
+template <typename U>
+inline U
+inc(std::atomic<U> &c)
+{
+    if (poolsShared.load(std::memory_order_relaxed))
+        return c.fetch_add(1, std::memory_order_relaxed);
+    U v = c.load(std::memory_order_relaxed);
+    c.store(v + 1, std::memory_order_relaxed);
+    return v;
+}
+
+template <typename U>
+inline U
+dec(std::atomic<U> &c)
+{
+    if (poolsShared.load(std::memory_order_relaxed))
+        // acq_rel: a final cross-thread decrement must observe every
+        // other thread's writes to the object before teardown runs.
+        return c.fetch_sub(1, std::memory_order_acq_rel);
+    U v = c.load(std::memory_order_relaxed);
+    c.store(v - 1, std::memory_order_relaxed);
+    return v;
+}
+
+} // namespace poolops
+
 /**
  * Slab allocator for fixed-type simulation objects (translation
  * requests, remote lookups). Objects are placement-constructed in
@@ -20,11 +64,16 @@ namespace transfw::sim {
  * block) per translation: after warmup, acquire/release never touch
  * the system allocator.
  *
- * Threading contract: a pool — like the simulator instances it feeds —
- * is single-threaded. Each thread gets its own pool via local(), and
- * every object must be acquired and released on the same thread
- * (SweepRunner confines each simulation instance to one worker thread,
- * which guarantees this by construction).
+ * Threading contract: each thread gets its own pool via local(), and
+ * acquire() is only ever called by the owning thread. Releases,
+ * however, may come from any thread: the parallel lane kernel hands
+ * pooled requests across lanes (forwarded lookups, replies), so the
+ * last reference can drop on a thread other than the allocator's.
+ * An object released off-thread is destroyed by the releasing thread
+ * and its slot is pushed onto a lock-free remote stack that the owner
+ * folds back into its freelist (push-only remote, pop-all owner — no
+ * ABA window). Everything else — slabs, the local freelist — remains
+ * owner-private and unsynchronized.
  */
 template <typename T>
 class ObjectPool
@@ -38,21 +87,26 @@ class ObjectPool
 
     ~ObjectPool()
     {
+        drainRemote();
         // Slabs go away with the pool; anything still live would
         // dangle. The simulator tears every system down before its
         // thread exits, so this indicates a leaked reference.
-        if (live_ != 0)
+        std::size_t live = live_.load(std::memory_order_relaxed);
+        if (live != 0)
             warn(strfmt("ObjectPool destroyed with %zu live objects",
-                        live_));
+                        live));
     }
 
-    /** Construct a T in a recycled (or fresh) slot. */
+    /** Construct a T in a recycled (or fresh) slot (owner thread only). */
     template <typename... Args>
     T *
     acquire(Args &&...args)
     {
-        if (!free_)
-            grow();
+        if (!free_) {
+            drainRemote();
+            if (!free_)
+                grow();
+        }
         Slot *slot = free_;
         free_ = slot->next;
         T *obj;
@@ -64,25 +118,49 @@ class ObjectPool
             free_ = slot;
             throw;
         }
-        ++live_;
+        static_cast<Pooled<T> &>(*obj).homePool_ = this;
+        poolops::inc(live_);
         return obj;
     }
 
-    /** Destroy @p obj and return its slot to the freelist. */
+    /**
+     * Destroy @p obj and return its slot. Callable from any thread:
+     * the owner recycles the slot directly; other threads destroy the
+     * object in place (nested PoolRefs unref through their own home
+     * pools) and park the slot on the remote stack.
+     */
     void
     release(T *obj) noexcept
     {
         obj->~T();
         Slot *slot = reinterpret_cast<Slot *>(obj);
-        slot->next = free_;
-        free_ = slot;
-        --live_;
+        poolops::dec(live_);
+        // Outside a parallel phase at most one thread is running, so
+        // even a foreign pool's freelist is safe to push directly (the
+        // owner is parked; the executor barrier orders the handoff) —
+        // and the thread_local lookup is skipped entirely.
+        if (!poolsShared.load(std::memory_order_relaxed) ||
+            this == &local()) {
+            slot->next = free_;
+            free_ = slot;
+            return;
+        }
+        Slot *head = remoteFree_.load(std::memory_order_relaxed);
+        do {
+            slot->next = head;
+        } while (!remoteFree_.compare_exchange_weak(
+            head, slot, std::memory_order_release,
+            std::memory_order_relaxed));
     }
 
-    std::size_t liveObjects() const { return live_; }
+    std::size_t
+    liveObjects() const
+    {
+        return live_.load(std::memory_order_relaxed);
+    }
     std::size_t capacity() const { return slabs_.size() * kSlabObjects; }
 
-    /** This thread's pool for T (one simulator instance per thread). */
+    /** This thread's pool for T. */
     static ObjectPool &
     local()
     {
@@ -97,6 +175,20 @@ class ObjectPool
         alignas(T) unsigned char storage[sizeof(T)];
     };
 
+    /** Fold remotely released slots back into the freelist (owner). */
+    void
+    drainRemote()
+    {
+        Slot *head = remoteFree_.exchange(nullptr,
+                                          std::memory_order_acquire);
+        while (head) {
+            Slot *next = head->next;
+            head->next = free_;
+            free_ = head;
+            head = next;
+        }
+    }
+
     void
     grow()
     {
@@ -109,8 +201,9 @@ class ObjectPool
     }
 
     Slot *free_ = nullptr;
+    std::atomic<Slot *> remoteFree_{nullptr};
     std::vector<std::unique_ptr<Slot[]>> slabs_;
-    std::size_t live_ = 0;
+    std::atomic<std::size_t> live_{0};
 };
 
 template <typename T>
@@ -118,7 +211,10 @@ class PoolRef;
 
 /**
  * CRTP base giving @p Derived an intrusive reference count so PoolRef
- * can manage it without a separate shared_ptr control block.
+ * can manage it without a separate shared_ptr control block. The count
+ * is atomic and the object remembers its home pool, so references may
+ * be copied and dropped on any thread; the release path routes the
+ * slot back to the pool that allocated it.
  */
 template <typename Derived>
 class Pooled
@@ -129,13 +225,15 @@ class Pooled
 
   private:
     friend class PoolRef<Derived>;
-    std::uint32_t poolRefs_ = 0;
+    friend class ObjectPool<Derived>;
+    std::atomic<std::uint32_t> poolRefs_{0};
+    void *homePool_ = nullptr;
 };
 
 /**
  * shared_ptr-shaped handle to a pool-allocated object. Copies bump the
- * intrusive count; the last reference returns the object to its
- * thread's pool. Single-threaded, like the pool itself.
+ * intrusive count; the last reference returns the object to the pool
+ * that allocated it, from whichever thread it drops on.
  */
 template <typename T>
 class PoolRef
@@ -147,7 +245,7 @@ class PoolRef
     PoolRef(const PoolRef &other) noexcept : p_(other.p_)
     {
         if (p_)
-            ++base()->poolRefs_;
+            poolops::inc(base()->poolRefs_);
     }
 
     PoolRef(PoolRef &&other) noexcept : p_(other.p_) { other.p_ = nullptr; }
@@ -184,7 +282,7 @@ class PoolRef
     std::uint32_t
     useCount() const noexcept
     {
-        return p_ ? base()->poolRefs_ : 0;
+        return p_ ? base()->poolRefs_.load(std::memory_order_relaxed) : 0;
     }
 
     friend bool
@@ -215,7 +313,7 @@ class PoolRef
         PoolRef ref;
         ref.p_ = obj;
         if (obj)
-            ++ref.base()->poolRefs_;
+            poolops::inc(ref.base()->poolRefs_);
         return ref;
     }
 
@@ -225,8 +323,8 @@ class PoolRef
     void
     unref() noexcept
     {
-        if (p_ && --base()->poolRefs_ == 0)
-            ObjectPool<T>::local().release(p_);
+        if (p_ && poolops::dec(base()->poolRefs_) == 1)
+            static_cast<ObjectPool<T> *>(base()->homePool_)->release(p_);
         p_ = nullptr;
     }
 

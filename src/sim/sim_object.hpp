@@ -17,7 +17,7 @@ class SimObject
 {
   public:
     SimObject(EventQueue &eq, std::string name)
-        : eq_(eq), name_(std::move(name))
+        : eq_(&eq), name_(std::move(name))
     {}
 
     virtual ~SimObject() = default;
@@ -26,19 +26,27 @@ class SimObject
     SimObject &operator=(const SimObject &) = delete;
 
     const std::string &name() const { return name_; }
-    EventQueue &eventq() { return eq_; }
-    Tick curTick() const { return eq_.now(); }
+    EventQueue &eventq() { return *eq_; }
+    Tick curTick() const { return eq_->now(); }
+
+    /**
+     * Re-home this object onto another event queue. The parallel lane
+     * kernel uses this to hand each interconnect link to the lane that
+     * drives it (links are constructed before the lane split is known);
+     * only call while no event scheduled by this object is pending.
+     */
+    void rebindEventQueue(EventQueue &eq) { eq_ = &eq; }
 
   protected:
     /** Schedule a member callback @p delay ticks in the future. */
     void
     schedule(Tick delay, EventQueue::Callback cb)
     {
-        eq_.schedule(delay, std::move(cb));
+        eq_->schedule(delay, std::move(cb));
     }
 
   private:
-    EventQueue &eq_;
+    EventQueue *eq_;
     std::string name_;
 };
 

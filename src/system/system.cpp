@@ -4,7 +4,9 @@
 #include <bit>
 #include <chrono>
 
+#include "sim/lane_executor.hpp"
 #include "sim/logging.hpp"
+#include "sim/trace.hpp"
 
 namespace transfw::sys {
 
@@ -13,82 +15,125 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
     : cfg_(config), workload_(workload), rng_(config.seed),
       central_(config.geometry()),
       cpuFrames_(256ULL << 30, config.pageShift),
-      net_(eq_, config.numGpus, config.hostLink, config.peerLink,
+      net_(hostEq_, config.numGpus, config.hostLink, config.peerLink,
            config.peerTopology),
       scheduler_(workload, config.numGpus)
 {
     cfg_.validate();
 
+    // Conservative lookahead: the cheapest link any cross-lane message
+    // can ride still pays at least its propagation latency, so no event
+    // sent in window [B, B+W) can demand execution before B+W. (The
+    // control channel adds a 2-cycle serialization token on top, which
+    // is what lets the host phase reply into a GPU's *next* window.)
+    // Conservative lookahead: the cheapest cross-lane message is a
+    // control token on the cheapest link, arriving sender-tick + 2
+    // (serialization) + latency later. A GPU segment of at most
+    // minLatency + 2 ticks therefore cannot produce a host event
+    // inside itself, which is what keeps the interleave exact.
+    window_ = cfg_.hostLink.latency;
+    if (cfg_.numGpus > 1)
+        window_ = std::min(window_, cfg_.peerLink.latency);
+    window_ += 2;
+
     if (cfg_.transFw.enabled)
         ft_ = std::make_unique<core::ForwardingTable>(cfg_.transFw);
 
+    for (int g = 0; g < cfg_.numGpus; ++g) {
+        gpuQs_.push_back(std::make_unique<sim::EventQueue>());
+        gpuRngs_.push_back(std::make_unique<sim::Rng>(
+            cfg_.seed * 0x9E3779B97F4A7C15ULL +
+            2ULL * static_cast<std::uint64_t>(g) + 1));
+        laneProfilers_.push_back(std::make_unique<obs::SelfProfiler>());
+    }
+    mail_.resize(static_cast<std::size_t>(cfg_.numGpus));
+    relays_.resize(static_cast<std::size_t>(cfg_.numGpus));
+    sharingShards_.resize(static_cast<std::size_t>(cfg_.numGpus));
+    farFaultShards_.assign(static_cast<std::size_t>(cfg_.numGpus), 0);
+
     for (int g = 0; g < cfg_.numGpus; ++g)
-        gpus_.push_back(std::make_unique<gpu::Gpu>(eq_, cfg_, g, rng_));
+        gpus_.push_back(std::make_unique<gpu::Gpu>(
+            *gpuQs_[static_cast<std::size_t>(g)], cfg_, g,
+            *gpuRngs_[static_cast<std::size_t>(g)]));
 
     std::vector<mmu::GpuIface *> ifaces;
     for (auto &g : gpus_)
         ifaces.push_back(g.get());
 
     engine_ = std::make_unique<uvm::MigrationEngine>(
-        eq_, cfg_, central_, ifaces, net_, ft_.get());
+        hostEq_, cfg_, central_, ifaces, net_, ft_.get());
 
     if (cfg_.faultMode == cfg::FaultMode::HostMmu) {
         hostMmu_ = std::make_unique<mmu::HostMmu>(
-            eq_, cfg_, central_, *engine_, ft_.get(), ifaces, rng_);
+            hostEq_, cfg_, central_, *engine_, ft_.get(), ifaces, rng_);
         hostMmu_->onResolved = [this](mmu::XlatPtr req) {
             int g = req->gpu;
             if (req->resolvedByRemote) {
                 // The owner GPU replied to the requester directly along
                 // with the pushed page (Fig. 10, path I); no extra
-                // host -> GPU reply hop.
-                gpus_[static_cast<std::size_t>(g)]->translationReturned(
-                    req);
+                // host -> GPU reply hop. Hand the completion to lane g
+                // at the current tick — its window has not run yet.
+                gpuQs_[static_cast<std::size_t>(g)]->scheduleAt(
+                    hostEq_.now(), [this, req]() {
+                        gpus_[static_cast<std::size_t>(req->gpu)]
+                            ->translationReturned(req);
+                    });
                 return;
             }
-            sim::Tick t0 = eq_.now();
+            sim::Tick t0 = hostEq_.now();
             net_.fromHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0, g]() {
-                obs::ProfScope prof(profiler(),
+                // Delivered on GPU lane g.
+                sim::Tick now =
+                    gpuQs_[static_cast<std::size_t>(g)]->now();
+                obs::ProfScope prof(laneProfiler(g),
                                     obs::ProfBucket::Interconnect);
-                mmu::charge(*req, attribEngine(),
+                mmu::charge(*req, laneAttrib(g),
                             obs::AttribBucket::Network,
-                            static_cast<double>(eq_.now() - t0), eq_.now());
+                            static_cast<double>(now - t0), now);
                 gpus_[static_cast<std::size_t>(g)]->translationReturned(
                     req);
             });
         };
         hostMmu_->forwardToGpu = [this](mmu::RemoteLookupPtr rl) {
-            sim::Tick t0 = eq_.now();
+            sim::Tick t0 = hostEq_.now();
             int target = rl->targetGpu;
             net_.fromHost(target).sendCtrl(
                 kCtrlMsgBytes, [this, rl, t0, target]() {
-                    obs::ProfScope prof(profiler(),
+                    // Delivered on GPU lane `target`.
+                    sim::Tick now =
+                        gpuQs_[static_cast<std::size_t>(target)]->now();
+                    obs::ProfScope prof(laneProfiler(target),
                                         obs::ProfBucket::Interconnect);
-                    mmu::charge(*rl->req, attribEngine(),
+                    mmu::charge(*rl->req, laneAttrib(target),
                                 obs::AttribBucket::Network,
-                                static_cast<double>(eq_.now() - t0),
-                                eq_.now());
+                                static_cast<double>(now - t0), now);
                     gpus_[static_cast<std::size_t>(target)]
                         ->remoteLookupRequest(rl);
                 });
         };
     } else {
         driver_ = std::make_unique<uvm::UvmDriver>(
-            eq_, cfg_, central_, *engine_, ft_.get(), rng_);
+            hostEq_, cfg_, central_, *engine_, ft_.get(), rng_);
         driver_->onResolved = [this](mmu::XlatPtr req) {
             int g = req->gpu;
             if (req->resolvedByRemote) {
                 // Owner-push: reply arrived with the page (Fig. 10 I).
-                gpus_[static_cast<std::size_t>(g)]->translationReturned(
-                    req);
+                gpuQs_[static_cast<std::size_t>(g)]->scheduleAt(
+                    hostEq_.now(), [this, req]() {
+                        gpus_[static_cast<std::size_t>(req->gpu)]
+                            ->translationReturned(req);
+                    });
                 return;
             }
-            sim::Tick t0 = eq_.now();
+            sim::Tick t0 = hostEq_.now();
             net_.fromHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0, g]() {
-                obs::ProfScope prof(profiler(),
+                sim::Tick now =
+                    gpuQs_[static_cast<std::size_t>(g)]->now();
+                obs::ProfScope prof(laneProfiler(g),
                                     obs::ProfBucket::Interconnect);
-                mmu::charge(*req, attribEngine(),
+                mmu::charge(*req, laneAttrib(g),
                             obs::AttribBucket::Network,
-                            static_cast<double>(eq_.now() - t0), eq_.now());
+                            static_cast<double>(now - t0), now);
                 gpus_[static_cast<std::size_t>(g)]->translationReturned(
                     req);
             });
@@ -97,7 +142,7 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
             int target = rl->targetGpu;
             net_.fromHost(target).sendCtrl(kCtrlMsgBytes, [this, rl,
                                                        target]() {
-                obs::ProfScope prof(profiler(),
+                obs::ProfScope prof(laneProfiler(target),
                                     obs::ProfBucket::Interconnect);
                 gpus_[static_cast<std::size_t>(target)]
                     ->remoteLookupRequest(rl);
@@ -107,6 +152,7 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
 
     for (int g = 0; g < cfg_.numGpus; ++g)
         wireGpu(g);
+    wireLanes();
 
     placeInitialPages();
 
@@ -114,12 +160,45 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
     for (int g = 0; g < cfg_.numGpus; ++g) {
         for (int cu = 0; cu < cfg_.cusPerGpu; ++cu) {
             cus_.push_back(std::make_unique<gpu::ComputeUnit>(
-                eq_, cfg_, *gpus_[static_cast<std::size_t>(g)], cu,
-                workload_, scheduler_, cu_seed));
+                *gpuQs_[static_cast<std::size_t>(g)], cfg_,
+                *gpus_[static_cast<std::size_t>(g)], cu, workload_,
+                scheduler_, cu_seed));
         }
     }
 
     setupObservability();
+}
+
+void
+MultiGpuSystem::wireLanes()
+{
+    // Each link belongs to the one lane that calls its send methods:
+    // uplinks to their GPU's lane, downlinks and peer links to the
+    // host lane (replies, forwards, migration traffic).
+    std::vector<sim::EventQueue *> lanes;
+    for (auto &q : gpuQs_)
+        lanes.push_back(q.get());
+    net_.bindLaneQueues(lanes, hostEq_);
+
+    for (int g = 0; g < cfg_.numGpus; ++g) {
+        // GPU -> host control traffic crosses a lane boundary into a
+        // queue another thread may be executing; park it in this lane's
+        // mailbox for the next window barrier instead.
+        net_.toHost(g).setCtrlDelivery(
+            [this, g](sim::Tick at, sim::EventQueue::Callback cb) {
+                mail_[static_cast<std::size_t>(g)].push_back(
+                    MailMsg{at, std::move(cb)});
+            });
+        // Host -> GPU control traffic is sent while the host phase runs
+        // alone and always arrives at least one full window ahead of
+        // the receiving lane's clock, so it can land directly in the
+        // parked queue.
+        net_.fromHost(g).setCtrlDelivery(
+            [this, g](sim::Tick at, sim::EventQueue::Callback cb) {
+                gpuQs_[static_cast<std::size_t>(g)]->scheduleAt(
+                    at, std::move(cb));
+            });
+    }
 }
 
 void
@@ -135,8 +214,11 @@ MultiGpuSystem::setupObservability()
     for (int g = 0; g < cfg_.numGpus; ++g) {
         gpu::Gpu &gpu = *gpus_[static_cast<std::size_t>(g)];
         gpu.attachSpans(&obs_->spans);
-        gpu.attachAttribution(&obs_->attribution);
-        gpu.attachProfiler(&obs_->profiler);
+        // GPU-lane components report attribution into their lane's
+        // relay and host time into their lane's profiler; the barrier
+        // and collect() merge both deterministically.
+        gpu.attachAttribution(laneAttrib(g));
+        gpu.attachProfiler(laneProfiler(g));
         gpu.registerMetrics(reg, sim::strfmt("gpu%d", g));
     }
     if (hostMmu_) {
@@ -154,21 +236,36 @@ MultiGpuSystem::setupObservability()
     engine_->attachAttribution(&obs_->attribution);
     engine_->attachProfiler(&obs_->profiler);
     engine_->registerMetrics(reg, "host.migration");
-    for (auto &cu : cus_)
-        cu->attachProfiler(&obs_->profiler);
+    for (std::size_t i = 0; i < cus_.size(); ++i) {
+        int g = static_cast<int>(i) / cfg_.cusPerGpu;
+        cus_[i]->attachProfiler(laneProfiler(g));
+    }
     if (ft_)
         ft_->registerMetrics(reg, "host.ft");
     net_.registerMetrics(reg);
     reg.registerGauge("sim.farFaults", [this] {
-        return static_cast<double>(farFaults_);
+        std::uint64_t total = 0;
+        for (std::uint64_t shard : farFaultShards_)
+            total += shard;
+        return static_cast<double>(total);
     });
-    reg.registerGauge("sim.tick",
-                      [this] { return static_cast<double>(eq_.now()); });
+    reg.registerGauge("sim.tick", [this] {
+        sim::Tick t = hostEq_.now();
+        for (auto &q : gpuQs_)
+            t = std::max(t, q->now());
+        return static_cast<double>(t);
+    });
     reg.registerGauge("sim.eventBacklog", [this] {
-        return static_cast<double>(eq_.pending());
+        std::size_t pending = hostEq_.pending();
+        for (auto &q : gpuQs_)
+            pending += q->pending();
+        return static_cast<double>(pending);
     });
     reg.registerGauge("sim.peakEventBacklog", [this] {
-        return static_cast<double>(eq_.peakPending());
+        std::size_t peak = hostEq_.peakPending();
+        for (auto &q : gpuQs_)
+            peak += q->peakPending();
+        return static_cast<double>(peak);
     });
 
     // Observability self-health: span loss and watchdog trips must be
@@ -243,8 +340,10 @@ MultiGpuSystem::wireGpu(int g)
         sendFaultToHost(std::move(req));
     };
 
-    gpu.hooks.onPageAccess = [this](mem::Vpn vpn, int from, bool write) {
-        PageSharing &ps = sharing_[vpn];
+    gpu.hooks.onPageAccess = [this, g](mem::Vpn vpn, int from,
+                                       bool write) {
+        // Runs on GPU lane g: update this lane's shard only.
+        PageSharing &ps = sharingShards_[static_cast<std::size_t>(g)][vpn];
         ps.gpuMask |= 1u << from;
         if (write)
             ++ps.writes;
@@ -252,10 +351,20 @@ MultiGpuSystem::wireGpu(int g)
             ++ps.reads;
     };
 
-    gpu.hooks.remoteAccessLatency = [this](mem::Vpn vpn,
-                                           const tlb::TlbEntry &entry,
-                                           int from) -> sim::Tick {
-        engine_->noteRemoteAccess(vpn, from);
+    gpu.hooks.remoteAccessLatency = [this, g](mem::Vpn vpn,
+                                              const tlb::TlbEntry &entry,
+                                              int from) -> sim::Tick {
+        // The access-counter bump mutates host-lane state (the
+        // migration engine); ship it through the mailbox with the
+        // same GPU -> host control latency every other uplink message
+        // pays (>= the lookahead window, so it always lands beyond
+        // the segment that posted it).
+        mail_[static_cast<std::size_t>(g)].push_back(MailMsg{
+            gpuQs_[static_cast<std::size_t>(g)]->now() + 2 +
+                cfg_.hostLink.latency,
+            [this, vpn, from]() {
+                engine_->noteRemoteAccess(vpn, from);
+            }});
         sim::Tick hop = entry.owner == mem::kCpuDevice
                             ? cfg_.hostLink.latency
                             : net_.peerLatency(from, entry.owner);
@@ -282,13 +391,15 @@ MultiGpuSystem::wireGpu(int g)
         // Notify the host side over this GPU's uplink; the direct
         // remote -> requester reply is folded into the host-side
         // resolution (see DESIGN.md, remote forwarding approximation).
-        sim::Tick t0 = eq_.now();
+        sim::Tick t0 = gpuQs_[static_cast<std::size_t>(g)]->now();
         net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, rl, t0]() {
+            // Delivered on the host lane after the mailbox drain.
             obs::ProfScope prof(profiler(),
                                 obs::ProfBucket::Interconnect);
             mmu::charge(*rl->req, attribEngine(),
                         obs::AttribBucket::Network,
-                        static_cast<double>(eq_.now() - t0), eq_.now());
+                        static_cast<double>(hostEq_.now() - t0),
+                        hostEq_.now());
             if (hostMmu_)
                 hostMmu_->remoteLookupDone(rl);
             else
@@ -300,16 +411,18 @@ MultiGpuSystem::wireGpu(int g)
 void
 MultiGpuSystem::sendFaultToHost(mmu::XlatPtr req)
 {
-    ++farFaults_;
-    req->faulted = true;
-    sim::Tick t0 = eq_.now();
     int g = req->gpu;
+    ++farFaultShards_[static_cast<std::size_t>(g)];
+    req->faulted = true;
+    sim::Tick t0 = gpuQs_[static_cast<std::size_t>(g)]->now();
     net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0]() mutable {
+        // Delivered on the host lane after the mailbox drain.
         obs::ProfScope prof(profiler(),
                             obs::ProfBucket::Interconnect);
         mmu::charge(*req, attribEngine(), obs::AttribBucket::Network,
-                    static_cast<double>(eq_.now() - t0), eq_.now());
-        req->tHostArrive = eq_.now();
+                    static_cast<double>(hostEq_.now() - t0),
+                    hostEq_.now());
+        req->tHostArrive = hostEq_.now();
         if (hostMmu_)
             hostMmu_->handleFault(std::move(req));
         else
@@ -372,6 +485,145 @@ MultiGpuSystem::placeInitialPages()
     }
 }
 
+unsigned
+MultiGpuSystem::laneWorkers() const
+{
+    unsigned workers = 1;
+    if (cfg_.sim.lanes > 0)
+        workers = static_cast<unsigned>(
+            std::min(cfg_.sim.lanes, cfg_.numGpus));
+    // These features reach across lane boundaries from GPU lanes
+    // (sibling-L2 probes, the shared span recorder, the trace sink), so
+    // their windows must run on one thread — still in deterministic
+    // lane-index order, so the results do not change, only the speedup.
+    if (cfg_.leastTlb.enabled || cfg_.obs.spans ||
+        sim::trace::anyEnabled())
+        workers = 1;
+    return workers;
+}
+
+void
+MultiGpuSystem::drainMail()
+{
+    // Box-by-box in lane order: the host queue orders same-tick events
+    // by insertion sequence, so this realizes the canonical (arrival
+    // tick, source lane, post order) merge without an explicit sort.
+    for (auto &box : mail_) {
+        for (MailMsg &msg : box)
+            hostEq_.scheduleAt(msg.at, std::move(msg.cb));
+        box.clear();
+    }
+}
+
+std::uint64_t
+MultiGpuSystem::runLanes()
+{
+    const int n = cfg_.numGpus;
+    const unsigned workers = laneWorkers();
+
+    std::vector<std::uint64_t> laneEvents(static_cast<std::size_t>(n),
+                                          0);
+    std::uint64_t hostEvents = 0;
+
+    obs::IntervalSampler &sampler = obs_->sampler;
+    const sim::Tick interval =
+        sampler.columns() ? cfg_.obs.sampleInterval : 0;
+    sim::Tick nextSample = interval;
+
+    // Adaptive alternating schedule. The host lane writes GPU state
+    // with zero modeled latency (page-table maps, TLB shootdowns, PRT
+    // arrivals), so exactness requires strict tick order between the
+    // host and every GPU lane: the host runs one tick at a time, and
+    // only while it is not ahead of any pending GPU event (host first
+    // on ties); GPU lanes run in parallel across host-free stretches,
+    // bounded by the host's next event and by the lookahead window.
+    // Every cross-lane message lands at a tick no earlier than the end
+    // of the segment that produced it (see window_), so neither side
+    // ever executes a tick the other has passed — the schedule is a
+    // pure function of event ticks, independent of the worker count.
+    sim::LaneExecutor &exec = sim::LaneExecutor::instance();
+
+    // `gpuNext` is maintained incrementally: while the host runs, the
+    // lanes are parked, so a lane's queue can only change through the
+    // host scheduling onto it — detected by its O(1) strong-event
+    // count moving — and then only ever toward earlier ticks. A full
+    // rescan is needed only after a parallel segment, when the lanes
+    // themselves consumed and produced events.
+    sim::Tick gpuNext = sim::kMaxTick;
+    std::vector<std::size_t> laneSeen(static_cast<std::size_t>(n), 0);
+    auto rescanLane = [&](std::size_t g) {
+        laneSeen[g] = gpuQs_[g]->strongPending();
+        if (laneSeen[g])
+            gpuNext = std::min(gpuNext, gpuQs_[g]->nextTick());
+    };
+    for (std::size_t g = 0; g < static_cast<std::size_t>(n); ++g)
+        rescanLane(g);
+
+    for (;;) {
+        // Termination: no strong events anywhere and no cross-lane
+        // message pending (the mailboxes are drained at each segment
+        // barrier, onto the host queue where they count as strong
+        // events; between segments they stay empty).
+        const sim::Tick hostNext = hostEq_.strongPending()
+                                       ? hostEq_.nextTick()
+                                       : sim::kMaxTick;
+        if (hostNext == sim::kMaxTick && gpuNext == sim::kMaxTick)
+            break;
+
+        // Interval rows ride the deterministic sample grid: a row for
+        // tick S is recorded once every event below S has executed.
+        if (interval) {
+            const sim::Tick next = std::min(hostNext, gpuNext);
+            for (; nextSample < next; nextSample += interval)
+                sampler.recordRow(nextSample);
+        }
+
+        if (hostNext <= gpuNext) {
+            // Serial host stretch: exactly one tick, so a same-tick
+            // handoff to a GPU lane (remote-resolution replies) can
+            // never be overtaken by a later host write. Host events at
+            // this tick may touch any state — every GPU lane is parked
+            // at or before hostNext.
+            hostEvents += hostEq_.runWindow(hostNext + 1);
+            for (std::size_t g = 0; g < static_cast<std::size_t>(n);
+                 ++g) {
+                if (gpuQs_[g]->strongPending() != laneSeen[g])
+                    rescanLane(g);
+            }
+            continue;
+        }
+
+        // Parallel GPU segment: the range below min(hostNext, gpuNext
+        // + window_) is host-event-free and too short for any message
+        // posted inside it to demand delivery inside it, so each lane
+        // sees exactly the state a serial tick-ordered run would see.
+        const sim::Tick end =
+            std::min(hostNext, gpuNext + window_);
+        exec.forEach(static_cast<std::size_t>(n), workers,
+                     [this, end, &laneEvents](std::size_t g) {
+                         laneEvents[g] += gpuQs_[g]->runWindow(end);
+                     });
+
+        // Barrier: replay each lane's attribution reports into the
+        // shared engine in lane-index order, fixing the floating-point
+        // summation order independently of the worker count.
+        for (auto &relay : relays_)
+            relay.drainTo(obs_->attribution);
+        drainMail();
+        gpuNext = sim::kMaxTick;
+        for (std::size_t g = 0; g < static_cast<std::size_t>(n); ++g)
+            rescanLane(g);
+    }
+
+    std::uint64_t total = hostEvents;
+    hostEq_.discardPending();
+    for (int g = 0; g < n; ++g) {
+        total += laneEvents[static_cast<std::size_t>(g)];
+        gpuQs_[static_cast<std::size_t>(g)]->discardPending();
+    }
+    return total;
+}
+
 SimResults
 MultiGpuSystem::run()
 {
@@ -381,22 +633,29 @@ MultiGpuSystem::run()
 
     obs_->profiler.configure(cfg_.obs.selfProfile,
                              cfg_.obs.profileStride);
+    for (auto &prof : laneProfilers_)
+        prof->configure(cfg_.obs.selfProfile, cfg_.obs.profileStride);
 #if TRANSFW_OBS
-    if (obs_->profiler.enabled())
-        eq_.setDispatchHook(&obs_->profiler);
+    if (obs_->profiler.enabled()) {
+        hostEq_.setDispatchHook(&obs_->profiler);
+        for (int g = 0; g < cfg_.numGpus; ++g)
+            gpuQs_[static_cast<std::size_t>(g)]->setDispatchHook(
+                laneProfiler(g));
+    }
 #endif
 
     for (auto &cu : cus_)
         cu->start();
-    obs_->sampler.start(eq_, cfg_.obs.sampleInterval);
     auto wall0 = std::chrono::steady_clock::now();
-    std::uint64_t events = eq_.run();
+    std::uint64_t events = runLanes();
     double wallSeconds =
         std::chrono::duration_cast<std::chrono::duration<double>>(
             std::chrono::steady_clock::now() - wall0)
             .count();
 #if TRANSFW_OBS
-    eq_.setDispatchHook(nullptr);
+    hostEq_.setDispatchHook(nullptr);
+    for (auto &q : gpuQs_)
+        q->setDispatchHook(nullptr);
 #endif
 
     if (scheduler_.remaining() != 0)
@@ -416,8 +675,11 @@ MultiGpuSystem::collect()
     SimResults r;
     r.app = workload_.name();
     r.configSummary = cfg_.summary();
-    r.execTime = eq_.now();
-    r.farFaults = farFaults_;
+    r.execTime = hostEq_.now();
+    for (auto &q : gpuQs_)
+        r.execTime = std::max(r.execTime, q->now());
+    for (std::uint64_t shard : farFaultShards_)
+        r.farFaults += shard;
 
     for (auto &cu : cus_) {
         r.instructions += cu->instructions();
@@ -517,7 +779,19 @@ MultiGpuSystem::collect()
     r.counterMigrations = es.counterMigrations;
     r.bytesMoved = es.bytesMoved;
 
-    for (const auto &[vpn, ps] : sharing_) {
+    // Merge the per-lane sharing shards in lane order; every combining
+    // op (mask OR, count sums) is commutative, so the merged table is
+    // a pure function of the simulation.
+    sim::FlatMap<mem::Vpn, PageSharing> sharing;
+    for (auto &shard : sharingShards_) {
+        for (const auto &[vpn, ps] : shard) {
+            PageSharing &m = sharing[vpn];
+            m.gpuMask |= ps.gpuMask;
+            m.reads += ps.reads;
+            m.writes += ps.writes;
+        }
+    }
+    for (const auto &[vpn, ps] : sharing) {
         int sharers = std::popcount(ps.gpuMask);
         r.sharingAccesses.record(static_cast<std::size_t>(sharers),
                                  ps.reads + ps.writes);
@@ -527,9 +801,12 @@ MultiGpuSystem::collect()
         }
     }
 
-    // Latency attribution + watchdog verdicts. finalize() counts races
-    // still open after the queue drained; the span-nesting sweep runs
-    // here because it needs the complete trace.
+    // Latency attribution + watchdog verdicts. Relays are drained at
+    // every window barrier, but drain once more for safety before
+    // finalize() counts races still open after the lanes parked; the
+    // span-nesting sweep runs here because it needs the full trace.
+    for (auto &relay : relays_)
+        relay.drainTo(obs_->attribution);
     obs_->attribution.finalize();
     if (cfg_.obs.spans)
         obs_->checks.verifySpanNesting(obs_->spans);
@@ -537,8 +814,23 @@ MultiGpuSystem::collect()
     r.obsCheckViolations = obs_->checks.violations();
     r.obsCheckedRequests = obs_->checks.checkedRequests();
     r.droppedSpans = obs_->spans.dropped();
-    r.peakEventBacklog = eq_.peakPending();
-    r.hostProfile = obs_->profiler.snapshot();
+    r.peakEventBacklog = hostEq_.peakPending();
+    for (auto &q : gpuQs_)
+        r.peakEventBacklog += q->peakPending();
+
+    // Lane self-profiles merge by sum: every bucket second and every
+    // dispatch was measured on exactly one lane, so bucket-sum ==
+    // total survives the merge by construction.
+    obs::HostProfile prof = obs_->profiler.snapshot();
+    for (auto &lp : laneProfilers_) {
+        obs::HostProfile p = lp->snapshot();
+        for (std::size_t b = 0; b < obs::kNumProfBuckets; ++b)
+            prof.seconds[b] += p.seconds[b];
+        prof.totalSeconds += p.totalSeconds;
+        prof.dispatches += p.dispatches;
+        prof.sampledDispatches += p.sampledDispatches;
+    }
+    r.hostProfile = prof;
     return r;
 }
 

@@ -11,7 +11,9 @@
 #include "interconnect/network.hpp"
 #include "mmu/host_mmu.hpp"
 #include "obs/obs.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/flat_map.hpp"
+#include "sim/random.hpp"
 #include "system/results.hpp"
 #include "transfw/forwarding_table.hpp"
 #include "uvm/migration.hpp"
@@ -26,6 +28,22 @@ namespace transfw::sys {
  * configured far-fault handler (host MMU or UVM driver), optionally
  * augmented with Trans-FW's PRT/FT. Construct with a config and a
  * workload, call run() once, read the SimResults.
+ *
+ * Event kernel: the machine is decomposed into N+1 event lanes — one
+ * per GPU plus one for everything host-side (host MMU / UVM driver,
+ * migration engine, central page table, interconnect routing) — run
+ * on an adaptive alternating schedule. Host events execute one tick
+ * at a time with every GPU lane parked (the host writes GPU-visible
+ * state with zero modeled latency, so it must never run ahead of a
+ * lane); between host ticks the GPU lanes execute in parallel up to
+ * min(next host event, earliest GPU event + `window_`), where
+ * `window_` is the conservative lookahead derived from the minimum
+ * link latency. Cross-lane messages post into per-lane SPSC mailboxes
+ * drained at each segment boundary; the lookahead guarantees they
+ * land at ticks no lane has passed. cfg.sim.lanes picks the worker-
+ * thread count for the GPU segments; 0 runs the identical schedule
+ * serially, and every lane count produces bit-identical SimResults
+ * (see DESIGN.md).
  */
 class MultiGpuSystem
 {
@@ -43,7 +61,16 @@ class MultiGpuSystem
     uvm::MigrationEngine &migrationEngine() { return *engine_; }
     core::ForwardingTable *forwardingTable() { return ft_.get(); }
     mem::PageTable &centralPageTable() { return central_; }
-    sim::EventQueue &eventq() { return eq_; }
+    /** The host lane's queue (runs in host-exclusive single-tick
+     *  stretches between parallel GPU segments). */
+    sim::EventQueue &eventq() { return hostEq_; }
+    /** GPU @p gpu's lane queue. */
+    sim::EventQueue &gpuEventq(int gpu)
+    {
+        return *gpuQs_[static_cast<std::size_t>(gpu)];
+    }
+    /** Lookahead window (ticks) derived from the link latencies. */
+    sim::Tick lookaheadWindow() const { return window_; }
     const cfg::SystemConfig &config() const { return cfg_; }
 
     /** Observability bundle: spans, metric registry, sampler. */
@@ -58,30 +85,72 @@ class MultiGpuSystem
         std::uint64_t writes = 0;
     };
 
+    /** One cross-lane message: a delivery parked until the barrier. */
+    struct MailMsg
+    {
+        sim::Tick at = 0;
+        sim::EventQueue::Callback cb;
+    };
+
     void placeInitialPages();
     void wireGpu(int gpu);
+    void wireLanes();
     void sendFaultToHost(mmu::XlatPtr req);
     void setupObservability();
     SimResults collect();
 
+    /** The windowed multi-lane kernel; @return events executed. */
+    std::uint64_t runLanes();
+    /** Barrier: move every mailbox message onto the host queue in
+     *  deterministic (arrival tick, source lane, post order). */
+    void drainMail();
+    /** Worker threads for the GPU phase (forced to 1 when a feature
+     *  reaches across lanes: Least-TLB sibling probes, the shared span
+     *  recorder, or tracing). */
+    unsigned laneWorkers() const;
+
     /** Attribution engine for event-time charge mirroring. Fetched at
-     *  call time because the wiring lambdas are created before obs_. */
+     *  call time because the wiring lambdas are created before obs_.
+     *  Host-lane sink: GPU lanes report through laneAttrib(). */
     obs::AttributionEngine *attribEngine()
     {
         return obs_ ? &obs_->attribution : nullptr;
     }
 
-    /** Self-profiler, same late-fetch rule as attribEngine(). */
+    /** GPU lane @p g's attribution sink (barrier-drained relay). */
+    obs::AttribSink *laneAttrib(int g)
+    {
+        return &relays_[static_cast<std::size_t>(g)];
+    }
+
+    /** Host-lane self-profiler, same late-fetch rule as attribEngine(). */
     obs::SelfProfiler *profiler()
     {
         return obs_ ? &obs_->profiler : nullptr;
     }
 
+    /** GPU lane @p g's self-profiler. */
+    obs::SelfProfiler *laneProfiler(int g)
+    {
+        return laneProfilers_[static_cast<std::size_t>(g)].get();
+    }
+
     cfg::SystemConfig cfg_;
     const wl::Workload &workload_;
 
-    sim::EventQueue eq_;
-    sim::Rng rng_;
+    /** Conservative lookahead window: no cross-lane message can arrive
+     *  sooner than this many ticks after it is sent. */
+    sim::Tick window_ = 1;
+
+    /** Per-GPU event lanes; filled before any component exists. */
+    std::vector<std::unique_ptr<sim::EventQueue>> gpuQs_;
+    /** The host/IOMMU lane (also the pre-run construction clock). */
+    sim::EventQueue hostEq_;
+
+    sim::Rng rng_; ///< host lane
+    /** Per-GPU streams, seed-derived; each used only by its own lane. */
+    std::vector<std::unique_ptr<sim::Rng>> gpuRngs_;
+
     mem::PageTable central_;
     mem::FrameAllocator cpuFrames_;
     ic::Network net_;
@@ -94,9 +163,17 @@ class MultiGpuSystem
     gpu::CtaScheduler scheduler_;
     std::vector<std::unique_ptr<gpu::ComputeUnit>> cus_;
 
-    /** Updated on every coalesced page access (sharing tracker tap). */
-    sim::FlatMap<mem::Vpn, PageSharing> sharing_;
-    std::uint64_t farFaults_ = 0;
+    /** GPU→host mailboxes, one per source lane (single writer each). */
+    std::vector<std::vector<MailMsg>> mail_;
+    /** Per-GPU-lane attribution buffers, replayed in lane order. */
+    std::vector<obs::AttribRelay> relays_;
+    /** Per-GPU-lane self-profilers, merged into the host profile. */
+    std::vector<std::unique_ptr<obs::SelfProfiler>> laneProfilers_;
+
+    /** Sharing tracker shards, one per GPU lane; merged at collect. */
+    std::vector<sim::FlatMap<mem::Vpn, PageSharing>> sharingShards_;
+    /** Far-fault counters, one per GPU lane; summed at collect. */
+    std::vector<std::uint64_t> farFaultShards_;
     bool ran_ = false;
 
     /**

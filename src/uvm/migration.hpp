@@ -69,7 +69,7 @@ class MigrationEngine : public sim::SimObject
     const Stats &stats() const { return stats_; }
 
     /** Observability: mirror latency charges per request (nullable). */
-    void attachAttribution(obs::AttributionEngine *attrib)
+    void attachAttribution(obs::AttribSink *attrib)
     {
         attrib_ = attrib;
     }
@@ -158,7 +158,7 @@ class MigrationEngine : public sim::SimObject
     ic::Network &net_;
     core::ForwardingTable *ft_;
     Stats stats_;
-    obs::AttributionEngine *attrib_ = nullptr;
+    obs::AttribSink *attrib_ = nullptr;
     obs::SelfProfiler *profiler_ = nullptr;
 
     /** Pages with a move in flight → resolves waiting on them.

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "transfw/transfw.hpp"
+
+using namespace transfw;
+
+namespace {
+
+/** Sharing-heavy workload that exercises faults, migrations, and
+ *  remote traffic on every lane. */
+wl::SyntheticSpec
+laneSpec(const char *name = "lanes")
+{
+    wl::SyntheticSpec spec;
+    spec.name = name;
+    spec.numCtas = 48;
+    spec.memOpsPerCta = 30;
+    spec.computePerOp = 2;
+    spec.regions = {
+        {.name = "hot", .pages = 48, .pattern = wl::Pattern::Random,
+         .shareDegree = 64, .weight = 0.5, .writeFrac = 0.4, .reuse = 2},
+        {.name = "own", .pages = 192, .weight = 0.5, .reuse = 2},
+    };
+    return spec;
+}
+
+/** Every deterministic SimResults field must match bit-for-bit. Wall
+ *  clock fields (hostWallSeconds, hostEventsPerSec, hostProfile) are
+ *  the only ones allowed to differ between runs. */
+void
+expectIdentical(const sys::SimResults &a, const sys::SimResults &b)
+{
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.memOps, b.memOps);
+    EXPECT_EQ(a.pageAccesses, b.pageAccesses);
+    EXPECT_EQ(a.l2TlbMisses, b.l2TlbMisses);
+    EXPECT_EQ(a.farFaults, b.farFaults);
+
+    EXPECT_EQ(a.xlat.gmmuQueue, b.xlat.gmmuQueue);
+    EXPECT_EQ(a.xlat.gmmuMem, b.xlat.gmmuMem);
+    EXPECT_EQ(a.xlat.hostQueue, b.xlat.hostQueue);
+    EXPECT_EQ(a.xlat.hostMem, b.xlat.hostMem);
+    EXPECT_EQ(a.xlat.migration, b.xlat.migration);
+    EXPECT_EQ(a.xlat.network, b.xlat.network);
+    EXPECT_EQ(a.xlat.other, b.xlat.other);
+    EXPECT_EQ(a.avgXlatLatency, b.avgXlatLatency);
+    EXPECT_EQ(a.xlatLatencyHist.count(), b.xlatLatencyHist.count());
+    EXPECT_EQ(a.xlatLatencyHist.quantile(0.99),
+              b.xlatLatencyHist.quantile(0.99));
+
+    EXPECT_EQ(a.l1HitRate, b.l1HitRate);
+    EXPECT_EQ(a.l2HitRate, b.l2HitRate);
+    EXPECT_EQ(a.hostTlbHitRate, b.hostTlbHitRate);
+    EXPECT_EQ(a.gmmuQueueWaitMean, b.gmmuQueueWaitMean);
+    EXPECT_EQ(a.hostQueueWaitMean, b.hostQueueWaitMean);
+    EXPECT_EQ(a.gmmuQueueOverflows, b.gmmuQueueOverflows);
+    EXPECT_EQ(a.hostQueueOverflows, b.hostQueueOverflows);
+
+    for (std::size_t i = 0; i < a.sharingAccesses.buckets(); ++i)
+        EXPECT_EQ(a.sharingAccesses.bucket(i),
+                  b.sharingAccesses.bucket(i));
+    EXPECT_EQ(a.sharedPageReads, b.sharedPageReads);
+    EXPECT_EQ(a.sharedPageWrites, b.sharedPageWrites);
+
+    EXPECT_EQ(a.shortCircuits, b.shortCircuits);
+    EXPECT_EQ(a.prtLookups, b.prtLookups);
+    EXPECT_EQ(a.prtHits, b.prtHits);
+    EXPECT_EQ(a.ftLookups, b.ftLookups);
+    EXPECT_EQ(a.ftHits, b.ftHits);
+    EXPECT_EQ(a.forwards, b.forwards);
+    EXPECT_EQ(a.forwardSuccess, b.forwardSuccess);
+    EXPECT_EQ(a.forwardFail, b.forwardFail);
+    EXPECT_EQ(a.duplicateWalks, b.duplicateWalks);
+    EXPECT_EQ(a.removedFromQueue, b.removedFromQueue);
+
+    EXPECT_EQ(a.gmmuWalkMemAccesses, b.gmmuWalkMemAccesses);
+    EXPECT_EQ(a.gmmuRemoteMemAccesses, b.gmmuRemoteMemAccesses);
+    EXPECT_EQ(a.hostWalks, b.hostWalks);
+    EXPECT_EQ(a.hostWalkMemAccesses, b.hostWalkMemAccesses);
+
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.replications, b.replications);
+    EXPECT_EQ(a.writeInvalidations, b.writeInvalidations);
+    EXPECT_EQ(a.remoteMappings, b.remoteMappings);
+    EXPECT_EQ(a.counterMigrations, b.counterMigrations);
+    EXPECT_EQ(a.bytesMoved, b.bytesMoved);
+    EXPECT_EQ(a.driverBatches, b.driverBatches);
+    EXPECT_EQ(a.driverAvgBatchSize, b.driverAvgBatchSize);
+
+#if TRANSFW_OBS
+    // Attribution sums are floating point: the relay replay order is
+    // fixed (lane index, post order), so even these match exactly.
+    for (int f = 0; f < static_cast<int>(obs::LatField::kCount); ++f) {
+        EXPECT_EQ(
+            a.attribution.fieldTotal(static_cast<obs::LatField>(f)),
+            b.attribution.fieldTotal(static_cast<obs::LatField>(f)))
+            << "attribution field " << f;
+    }
+    EXPECT_EQ(a.attribution.requests, b.attribution.requests);
+    EXPECT_EQ(a.obsCheckViolations, b.obsCheckViolations);
+    EXPECT_EQ(a.obsCheckedRequests, b.obsCheckedRequests);
+#endif
+    EXPECT_EQ(a.peakEventBacklog, b.peakEventBacklog);
+}
+
+} // namespace
+
+TEST(ParallelKernel, LookaheadWindowDerivedFromLinks)
+{
+    wl::SyntheticWorkload workload(laneSpec());
+    cfg::SystemConfig config = sys::baselineConfig();
+    sys::MultiGpuSystem system(config, workload);
+    sim::Tick min_lat = config.hostLink.latency;
+    if (config.numGpus > 1)
+        min_lat = std::min(min_lat, config.peerLink.latency);
+    EXPECT_EQ(system.lookaheadWindow(), min_lat + 2);
+    // Per-lane queues exist and are distinct from the host queue.
+    for (int g = 0; g < config.numGpus; ++g)
+        EXPECT_NE(&system.gpuEventq(g), &system.eventq());
+}
+
+TEST(ParallelKernel, LaneCountExcludedFromConfigKey)
+{
+    cfg::SystemConfig serial = sys::baselineConfig();
+    cfg::SystemConfig parallel = serial;
+    parallel.sim.lanes = 8;
+    // The worker count is an execution detail, not a simulated-machine
+    // parameter: the ledger key must not fork on it.
+    EXPECT_EQ(serial.key(), parallel.key());
+}
+
+/** Lane count sweep over the full (policy × mode × transfw) matrix:
+ *  every worker count must reproduce the serial kernel bit-for-bit. */
+class ParallelMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<cfg::MigrationPolicy, cfg::FaultMode, bool>>
+{};
+
+TEST_P(ParallelMatrix, BitIdenticalToSerial)
+{
+    auto [policy, mode, transfw] = GetParam();
+    wl::SyntheticWorkload workload(laneSpec("matrix"));
+
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.cusPerGpu = 6;
+    config.migrationPolicy = policy;
+    config.faultMode = mode;
+    config.transFw.enabled = transfw;
+
+    config.sim.lanes = 0;
+    sys::SimResults serial = sys::runWorkload(workload, config);
+
+    for (int lanes : {2, 8}) {
+        config.sim.lanes = lanes;
+        sys::SimResults parallel = sys::runWorkload(workload, config);
+        SCOPED_TRACE("lanes=" + std::to_string(lanes));
+        expectIdentical(serial, parallel);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ParallelMatrix,
+    ::testing::Combine(
+        ::testing::Values(cfg::MigrationPolicy::OnTouch,
+                          cfg::MigrationPolicy::ReadReplicate,
+                          cfg::MigrationPolicy::RemoteMap),
+        ::testing::Values(cfg::FaultMode::HostMmu,
+                          cfg::FaultMode::UvmDriver),
+        ::testing::Bool()));
+
+/** Mailbox/lookahead stress: 1-cycle links shrink the window to its
+ *  floor so every segment crosses a barrier, randomized lane counts
+ *  catch schedules that accidentally depend on the worker count. */
+TEST(ParallelKernel, TinyWindowRandomLaneStress)
+{
+    wl::SyntheticSpec spec = laneSpec("stress");
+    spec.numCtas = 32;
+    wl::SyntheticWorkload workload(spec);
+
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.numGpus = 4;
+    config.cusPerGpu = 4;
+    config.hostLink.latency = 1;
+    config.peerLink.latency = 1;
+    config.transFw.enabled = true;
+
+    sys::MultiGpuSystem probe(config, workload);
+    EXPECT_EQ(probe.lookaheadWindow(), 3u);
+
+    config.sim.lanes = 0;
+    sys::SimResults serial = sys::runWorkload(workload, config);
+    EXPECT_GT(serial.farFaults, 0u);
+
+    std::mt19937 rng(12345);
+    std::uniform_int_distribution<int> lane_dist(1, 8);
+    for (int trial = 0; trial < 6; ++trial) {
+        config.sim.lanes = lane_dist(rng);
+        SCOPED_TRACE("trial " + std::to_string(trial) + " lanes=" +
+                     std::to_string(config.sim.lanes));
+        expectIdentical(serial,
+                        sys::runWorkload(workload, config));
+    }
+}
+
+/** Ring topology routes peer traffic hop-by-hop through host-driven
+ *  links — the lane schedule must stay identical there too. */
+TEST(ParallelKernel, RingTopologyBitIdentical)
+{
+    wl::SyntheticWorkload workload(laneSpec("ring"));
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.peerTopology = ic::Topology::Ring;
+    config.transFw.enabled = true;
+
+    config.sim.lanes = 0;
+    sys::SimResults serial = sys::runWorkload(workload, config);
+    config.sim.lanes = 4;
+    expectIdentical(serial, sys::runWorkload(workload, config));
+}
+
+/** Features that reach across lanes (sibling-L2 probes, spans) force
+ *  one worker but must still run the same windowed schedule. */
+TEST(ParallelKernel, CrossLaneFeaturesStayIdentical)
+{
+    wl::SyntheticWorkload workload(laneSpec("least"));
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.leastTlb.enabled = true;
+
+    config.sim.lanes = 0;
+    sys::SimResults serial = sys::runWorkload(workload, config);
+    config.sim.lanes = 8;
+    expectIdentical(serial, sys::runWorkload(workload, config));
+}
