@@ -143,7 +143,11 @@ struct SimConfig
      * Worker threads for the per-GPU event lanes: 0 runs every lane on
      * the calling thread (the serial fallback), N > 0 runs the GPU
      * lanes on min(N, numGpus) workers. The host-MMU lane always
-     * executes on the calling thread.
+     * executes on the calling thread. Lanes advance under adaptive
+     * per-lane lookahead windows derived from each lane's uplink
+     * latency; lanes with no work before the window bound skip the
+     * window entirely, so over-provisioning lanes on quiet
+     * configurations costs only the idle workers.
      */
     int lanes = 0;
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/sim_object.hpp"
 
 namespace transfw::ic {
@@ -57,6 +58,27 @@ class Link : public sim::SimObject
     }
 
     /**
+     * Batch-forwarding fast path for lane-crossing control traffic:
+     * every control message is parked in @p mailbox instead of being
+     * handed through the type-erased Deliver hop. The lane kernel
+     * drains the batch once per lookahead window, so the per-message
+     * cost on the forwarding/fault/reply uplink path collapses to an
+     * InlineVec append on the sending lane's own cache lines.
+     * Takes precedence over setCtrlDelivery; pass nullptr to clear.
+     */
+    void setCtrlMailbox(sim::Mailbox *mailbox) { ctrlMailbox_ = mailbox; }
+
+    /**
+     * Direct-schedule fast path for control messages that may land
+     * straight in another lane's (parked) event queue — host→GPU
+     * replies and forwards, which the lookahead protocol guarantees
+     * arrive beyond every tick the receiving lane has executed. Skips
+     * the Deliver hop entirely. Takes precedence over setCtrlDelivery;
+     * pass nullptr to clear.
+     */
+    void setCtrlTarget(sim::EventQueue *target) { ctrlTarget_ = target; }
+
+    /**
      * Send @p bytes on the bulk data channel; @p deliver fires at the
      * receiver when the whole payload has arrived. @return that tick.
      */
@@ -86,7 +108,11 @@ class Link : public sim::SimObject
     sendCtrl(std::uint64_t bytes, sim::EventQueue::Callback deliver)
     {
         sim::Tick arrive = curTick() + 2 + config_.latency;
-        if (ctrlDeliver_)
+        if (ctrlMailbox_)
+            ctrlMailbox_->post(arrive, std::move(deliver));
+        else if (ctrlTarget_)
+            ctrlTarget_->scheduleAt(arrive, std::move(deliver));
+        else if (ctrlDeliver_)
             ctrlDeliver_(arrive, std::move(deliver));
         else
             eventq().scheduleAt(arrive, std::move(deliver));
@@ -118,6 +144,8 @@ class Link : public sim::SimObject
     std::uint64_t messages_ = 0;
     Deliver dataDeliver_;
     Deliver ctrlDeliver_;
+    sim::Mailbox *ctrlMailbox_ = nullptr;
+    sim::EventQueue *ctrlTarget_ = nullptr;
 };
 
 } // namespace transfw::ic

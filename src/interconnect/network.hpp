@@ -125,6 +125,29 @@ class Network
     int numGpus() const { return numGpus_; }
     Topology topology() const { return topology_; }
 
+    /**
+     * Topology-aware GPU ordering for lane-group assignment: GPUs
+     * adjacent in the returned sequence are the tightest-latency
+     * neighbours the interconnect has, so a contiguous block of the
+     * sequence is the right set to co-schedule on one worker (their
+     * mutual traffic has the smallest lower-bound latencies, and
+     * block-partitioning keeps each worker walking a compact slice of
+     * per-GPU state). On a ring this is the ring walk itself; on
+     * all-to-all every pair is equidistant and index order is already
+     * optimal. Future hierarchical topologies (mesh, switch trees)
+     * supply their own traversal here without the scheduler changing.
+     */
+    std::vector<int>
+    laneAffinityOrder() const
+    {
+        std::vector<int> order(static_cast<std::size_t>(numGpus_));
+        for (int g = 0; g < numGpus_; ++g)
+            order[static_cast<std::size_t>(g)] = g;
+        // Ring: identity *is* the adjacency walk (g and g+1 share a
+        // link). All-to-all: any order is an adjacency walk.
+        return order;
+    }
+
     /** Direct link accessor (tests; neighbours only on a ring). */
     Link &
     peer(int from, int to)

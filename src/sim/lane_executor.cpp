@@ -1,10 +1,26 @@
 #include "sim/lane_executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sim/pool.hpp"
 
 namespace transfw::sim {
+
+namespace {
+
+/**
+ * Marks this thread as a parallel-phase participant for the pools'
+ * counter mode (see sim::poolsShared). RAII so an index function that
+ * unwinds the stack can never leave the thread stuck in atomic mode.
+ */
+struct SharedPoolsScope
+{
+    SharedPoolsScope() { poolsShared = true; }
+    ~SharedPoolsScope() { poolsShared = false; }
+};
+
+} // namespace
 
 LaneExecutor &
 LaneExecutor::instance()
@@ -26,11 +42,16 @@ LaneExecutor::~LaneExecutor()
 
 void
 LaneExecutor::forEach(std::size_t count, unsigned threads,
-                      const std::function<void(std::size_t)> &fn)
+                      const std::function<void(std::size_t)> &fn,
+                      std::uint64_t *waitNs)
 {
     if (count == 0)
         return;
-    if (threads <= 1 || count == 1) {
+    // Serial request, a single index, or a phase already live on
+    // another thread (sweep jobs running lanes concurrently): run the
+    // indices inline. No helper shares these objects, so the thread
+    // stays in plain-counter pool mode.
+    if (threads <= 1 || count == 1 || !phaseMu_.try_lock()) {
         for (std::size_t i = 0; i < count; ++i)
             fn(i);
         return;
@@ -38,10 +59,6 @@ LaneExecutor::forEach(std::size_t count, unsigned threads,
     unsigned helpers =
         std::min<std::size_t>(threads, count) - 1;
     ensureWorkers(helpers);
-    // Pooled objects may cross threads only inside this phase; the
-    // flag switches the pools' counters to real atomics for its
-    // duration (helpers observe it through mu_).
-    poolsShared.store(true, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mu_);
         job_ = &fn;
@@ -54,11 +71,25 @@ LaneExecutor::forEach(std::size_t count, unsigned threads,
         ++epoch_;
     }
     workCv_.notify_all();
-    runIndices(fn, count);
-    std::unique_lock<std::mutex> lock(mu_);
-    doneCv_.wait(lock, [&] { return pending_ == 0; });
-    job_ = nullptr;
-    poolsShared.store(false, std::memory_order_relaxed);
+    {
+        // Pooled objects this thread touches may cross threads only
+        // while the phase is live; each participant flips its own
+        // pool mode (helpers do the same around their share).
+        SharedPoolsScope shared;
+        runIndices(fn, count);
+        std::chrono::steady_clock::time_point t0;
+        if (waitNs)
+            t0 = std::chrono::steady_clock::now();
+        std::unique_lock<std::mutex> lock(mu_);
+        doneCv_.wait(lock, [&] { return pending_ == 0; });
+        job_ = nullptr;
+        if (waitNs)
+            *waitNs += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+    }
+    phaseMu_.unlock();
 }
 
 void
@@ -88,7 +119,10 @@ LaneExecutor::workerLoop(std::uint64_t seenEpoch)
         const std::function<void(std::size_t)> *fn = job_;
         std::size_t count = jobCount_;
         lock.unlock();
-        runIndices(*fn, count);
+        {
+            SharedPoolsScope shared;
+            runIndices(*fn, count);
+        }
         lock.lock();
         if (--pending_ == 0)
             doneCv_.notify_all();

@@ -41,10 +41,20 @@ class LaneExecutor
      * Run fn(i) once for each i in [0, count) on @p threads threads
      * total (the caller counts as one; helpers make up the rest).
      * threads <= 1 executes every index on the caller in ascending
-     * order — the deterministic serial schedule.
+     * order — the deterministic serial schedule. The same inline
+     * fallback covers a second simulation entering a phase while one
+     * is already running (parallel sweep jobs with lanes enabled):
+     * the late arrival simply runs its own indices on its own thread,
+     * which is always correct, instead of corrupting the live phase.
+     *
+     * When @p waitNs is non-null, the nanoseconds the caller spends
+     * blocked at the phase barrier after finishing its own share of
+     * the indices are added to it — the lane kernel samples this into
+     * the profiler's laneSync bucket.
      */
     void forEach(std::size_t count, unsigned threads,
-                 const std::function<void(std::size_t)> &fn);
+                 const std::function<void(std::size_t)> &fn,
+                 std::uint64_t *waitNs = nullptr);
 
     ~LaneExecutor();
     LaneExecutor(const LaneExecutor &) = delete;
@@ -59,6 +69,7 @@ class LaneExecutor
                     std::size_t count);
 
     std::mutex mu_;
+    std::mutex phaseMu_; ///< held by the one live phase's caller
     std::condition_variable workCv_; ///< wakes helpers: new phase/stop
     std::condition_variable doneCv_; ///< wakes forEach(): phase done
     std::vector<std::thread> workers_;

@@ -1,0 +1,74 @@
+#ifndef TRANSFW_SIM_MAILBOX_HPP
+#define TRANSFW_SIM_MAILBOX_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/flat_map.hpp" // InlineVec
+
+namespace transfw::sim {
+
+/** Destructive-interference padding unit for per-lane hot state. */
+inline constexpr std::size_t kCacheLine = 64;
+
+/** One cross-lane message: a delivery parked until the next barrier. */
+struct MailMsg
+{
+    Tick at = 0;
+    EventQueue::Callback cb;
+};
+
+/**
+ * Single-producer batch mailbox for one (source lane, destination
+ * lane) pair of the parallel event kernel. During a lookahead window
+ * exactly one worker thread owns the source lane and appends into the
+ * batch with no synchronization at all; at the window barrier the
+ * scheduler thread drains the whole batch onto the destination queue
+ * in post order and resets it. The executor barrier is the only
+ * synchronization either side ever pays — there is no per-message
+ * atomic, lock, or type-erased delivery hop — and the InlineVec body
+ * keeps the common few-messages-per-window case off the heap.
+ *
+ * The class is cache-line aligned so adjacent lanes' mailboxes never
+ * false-share: each batch header lives alone on its line(s).
+ */
+class alignas(kCacheLine) Mailbox
+{
+  public:
+    /** Park @p cb for delivery at @p at (source-lane worker only). */
+    void
+    post(Tick at, EventQueue::Callback cb)
+    {
+        batch_.emplace_back(MailMsg{at, std::move(cb)});
+    }
+
+    bool empty() const { return batch_.empty(); }
+    std::size_t size() const { return batch_.size(); }
+
+    /**
+     * Flush every parked message onto @p eq in post order and reset
+     * the batch (barrier/scheduler thread only). The destination
+     * queue orders same-tick events by insertion sequence, so draining
+     * mailboxes in a fixed lane order realizes the canonical (arrival
+     * tick, source lane, post order) merge without a sort.
+     * @return the number of messages delivered.
+     */
+    std::size_t
+    drainTo(EventQueue &eq)
+    {
+        std::size_t delivered = batch_.size();
+        for (MailMsg &msg : batch_)
+            eq.scheduleAt(msg.at, std::move(msg.cb));
+        batch_.clear();
+        return delivered;
+    }
+
+  private:
+    /** Sized for the few control messages a typical window produces. */
+    InlineVec<MailMsg, 4> batch_;
+};
+
+} // namespace transfw::sim
+
+#endif // TRANSFW_SIM_MAILBOX_HPP

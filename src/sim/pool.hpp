@@ -17,16 +17,25 @@ template <typename Derived>
 class Pooled;
 
 /**
- * True only while LaneExecutor runs a parallel phase — the one regime
- * in which pooled objects can be touched by two threads at once. Every
+ * True on a thread only while it executes lane work inside a
+ * LaneExecutor parallel phase — the one regime in which pooled objects
+ * this thread touches can be shared with another thread. Every
  * refcount/occupancy update branches on this flag: when clear (serial
  * kernel, host stretches between phases, sweep workers on disjoint
  * simulations) the counters use plain loads and stores, so the common
- * path pays no lock-prefixed instructions; phase entry/exit passes
- * through the executor's mutex, which orders the flag against the
- * counter traffic on either side.
+ * path pays no lock-prefixed instructions.
+ *
+ * The flag is thread_local on purpose. A process-global flag would
+ * put one heavily-read byte on a line every pool op in every thread
+ * touches, and — worse — would switch *unrelated* threads (sweep
+ * workers running disjoint serial simulations) to atomic counters
+ * whenever any one simulation runs a parallel phase. Thread-locality
+ * makes the mode a property of the only threads that can actually
+ * share objects: the phase caller and its helpers, all of which pass
+ * through the executor's mutex at phase entry/exit, which orders the
+ * mode transitions against the counter traffic on either side.
  */
-inline std::atomic<bool> poolsShared{false};
+inline thread_local bool poolsShared = false;
 
 namespace poolops {
 
@@ -34,7 +43,7 @@ template <typename U>
 inline U
 inc(std::atomic<U> &c)
 {
-    if (poolsShared.load(std::memory_order_relaxed))
+    if (poolsShared)
         return c.fetch_add(1, std::memory_order_relaxed);
     U v = c.load(std::memory_order_relaxed);
     c.store(v + 1, std::memory_order_relaxed);
@@ -45,7 +54,7 @@ template <typename U>
 inline U
 dec(std::atomic<U> &c)
 {
-    if (poolsShared.load(std::memory_order_relaxed))
+    if (poolsShared)
         // acq_rel: a final cross-thread decrement must observe every
         // other thread's writes to the object before teardown runs.
         return c.fetch_sub(1, std::memory_order_acq_rel);
@@ -135,12 +144,12 @@ class ObjectPool
         obj->~T();
         Slot *slot = reinterpret_cast<Slot *>(obj);
         poolops::dec(live_);
-        // Outside a parallel phase at most one thread is running, so
-        // even a foreign pool's freelist is safe to push directly (the
-        // owner is parked; the executor barrier orders the handoff) —
+        // Outside a parallel phase this thread cannot be racing the
+        // pool's owner (any thread that could share this object is
+        // either this one or parked behind the executor barrier), so
+        // even a foreign pool's freelist is safe to push directly —
         // and the thread_local lookup is skipped entirely.
-        if (!poolsShared.load(std::memory_order_relaxed) ||
-            this == &local()) {
+        if (!poolsShared || this == &local()) {
             slot->next = free_;
             free_ = slot;
             return;

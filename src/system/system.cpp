@@ -21,20 +21,25 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
 {
     cfg_.validate();
 
-    // Conservative lookahead: the cheapest link any cross-lane message
-    // can ride still pays at least its propagation latency, so no event
-    // sent in window [B, B+W) can demand execution before B+W. (The
-    // control channel adds a 2-cycle serialization token on top, which
-    // is what lets the host phase reply into a GPU's *next* window.)
-    // Conservative lookahead: the cheapest cross-lane message is a
-    // control token on the cheapest link, arriving sender-tick + 2
-    // (serialization) + latency later. A GPU segment of at most
-    // minLatency + 2 ticks therefore cannot produce a host event
-    // inside itself, which is what keeps the interleave exact.
-    window_ = cfg_.hostLink.latency;
-    if (cfg_.numGpus > 1)
-        window_ = std::min(window_, cfg_.peerLink.latency);
-    window_ += 2;
+    // Per-lane conservative lookahead: the only cross-lane channel a
+    // GPU lane *originates* traffic on is its own uplink (far faults,
+    // remote-done notifications, access-counter mail) — peer links and
+    // downlinks are driven by the host lane, which runs one tick at a
+    // time and never inside a GPU window. So lane g's window is its
+    // uplink's control-message lower bound: 2 ticks of serialization
+    // token plus propagation. A message posted at tick t >= next_g
+    // arrives at t + laneWindows_[g] >= the window bound, i.e. beyond
+    // every tick any lane executes this window — which is what keeps
+    // the interleave exact. Notably the peer-link latency does NOT
+    // clamp the window (it did in the first lane kernel), so cheap
+    // NVLink-class peers no longer shrink every window to their
+    // latency.
+    laneWindows_.resize(static_cast<std::size_t>(cfg_.numGpus));
+    for (int g = 0; g < cfg_.numGpus; ++g)
+        laneWindows_[static_cast<std::size_t>(g)] =
+            2 + net_.toHost(g).latency();
+    window_ = *std::min_element(laneWindows_.begin(),
+                                laneWindows_.end());
 
     if (cfg_.transFw.enabled)
         ft_ = std::make_unique<core::ForwardingTable>(cfg_.transFw);
@@ -49,7 +54,8 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
     mail_.resize(static_cast<std::size_t>(cfg_.numGpus));
     relays_.resize(static_cast<std::size_t>(cfg_.numGpus));
     sharingShards_.resize(static_cast<std::size_t>(cfg_.numGpus));
-    farFaultShards_.assign(static_cast<std::size_t>(cfg_.numGpus), 0);
+    farFaultShards_.assign(static_cast<std::size_t>(cfg_.numGpus),
+                           LaneCounter{});
 
     for (int g = 0; g < cfg_.numGpus; ++g)
         gpus_.push_back(std::make_unique<gpu::Gpu>(
@@ -182,22 +188,16 @@ MultiGpuSystem::wireLanes()
 
     for (int g = 0; g < cfg_.numGpus; ++g) {
         // GPU -> host control traffic crosses a lane boundary into a
-        // queue another thread may be executing; park it in this lane's
-        // mailbox for the next window barrier instead.
-        net_.toHost(g).setCtrlDelivery(
-            [this, g](sim::Tick at, sim::EventQueue::Callback cb) {
-                mail_[static_cast<std::size_t>(g)].push_back(
-                    MailMsg{at, std::move(cb)});
-            });
+        // queue another thread may be executing; batch it in this
+        // lane's mailbox (an InlineVec append, no type-erased Deliver
+        // hop) and flush once at the next window barrier.
+        net_.toHost(g).setCtrlMailbox(&mail_[static_cast<std::size_t>(g)]);
         // Host -> GPU control traffic is sent while the host phase runs
-        // alone and always arrives at least one full window ahead of
-        // the receiving lane's clock, so it can land directly in the
-        // parked queue.
-        net_.fromHost(g).setCtrlDelivery(
-            [this, g](sim::Tick at, sim::EventQueue::Callback cb) {
-                gpuQs_[static_cast<std::size_t>(g)]->scheduleAt(
-                    at, std::move(cb));
-            });
+        // alone and always arrives beyond every tick the receiving
+        // (parked) lane has executed, so it lands directly in that
+        // lane's queue.
+        net_.fromHost(g).setCtrlTarget(
+            gpuQs_[static_cast<std::size_t>(g)].get());
     }
 }
 
@@ -245,8 +245,8 @@ MultiGpuSystem::setupObservability()
     net_.registerMetrics(reg);
     reg.registerGauge("sim.farFaults", [this] {
         std::uint64_t total = 0;
-        for (std::uint64_t shard : farFaultShards_)
-            total += shard;
+        for (const LaneCounter &shard : farFaultShards_)
+            total += shard.value;
         return static_cast<double>(total);
     });
     reg.registerGauge("sim.tick", [this] {
@@ -343,7 +343,8 @@ MultiGpuSystem::wireGpu(int g)
     gpu.hooks.onPageAccess = [this, g](mem::Vpn vpn, int from,
                                        bool write) {
         // Runs on GPU lane g: update this lane's shard only.
-        PageSharing &ps = sharingShards_[static_cast<std::size_t>(g)][vpn];
+        PageSharing &ps =
+            sharingShards_[static_cast<std::size_t>(g)].map[vpn];
         ps.gpuMask |= 1u << from;
         if (write)
             ++ps.writes;
@@ -357,14 +358,14 @@ MultiGpuSystem::wireGpu(int g)
         // The access-counter bump mutates host-lane state (the
         // migration engine); ship it through the mailbox with the
         // same GPU -> host control latency every other uplink message
-        // pays (>= the lookahead window, so it always lands beyond
-        // the segment that posted it).
-        mail_[static_cast<std::size_t>(g)].push_back(MailMsg{
-            gpuQs_[static_cast<std::size_t>(g)]->now() + 2 +
-                cfg_.hostLink.latency,
+        // pays (exactly laneWindows_[g], so it always lands beyond
+        // the window that posted it).
+        mail_[static_cast<std::size_t>(g)].post(
+            gpuQs_[static_cast<std::size_t>(g)]->now() +
+                laneWindows_[static_cast<std::size_t>(g)],
             [this, vpn, from]() {
                 engine_->noteRemoteAccess(vpn, from);
-            }});
+            });
         sim::Tick hop = entry.owner == mem::kCpuDevice
                             ? cfg_.hostLink.latency
                             : net_.peerLatency(from, entry.owner);
@@ -412,7 +413,7 @@ void
 MultiGpuSystem::sendFaultToHost(mmu::XlatPtr req)
 {
     int g = req->gpu;
-    ++farFaultShards_[static_cast<std::size_t>(g)];
+    ++farFaultShards_[static_cast<std::size_t>(g)].value;
     req->faulted = true;
     sim::Tick t0 = gpuQs_[static_cast<std::size_t>(g)]->now();
     net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, req, t0]() mutable {
@@ -508,21 +509,51 @@ MultiGpuSystem::drainMail()
     // Box-by-box in lane order: the host queue orders same-tick events
     // by insertion sequence, so this realizes the canonical (arrival
     // tick, source lane, post order) merge without an explicit sort.
-    for (auto &box : mail_) {
-        for (MailMsg &msg : box)
-            hostEq_.scheduleAt(msg.at, std::move(msg.cb));
-        box.clear();
+    // Skipping empty boxes changes nothing in that order and keeps a
+    // quiet lane's barrier cost at one branch.
+    for (sim::Mailbox &box : mail_) {
+        if (!box.empty())
+            box.drainTo(hostEq_);
     }
+}
+
+std::vector<std::vector<int>>
+MultiGpuSystem::buildLaneGroups(unsigned workers) const
+{
+    // One static group per worker, built once per run: contiguous
+    // blocks of the interconnect's affinity order, balanced to within
+    // one GPU. Static assignment keeps each worker walking the same
+    // compact slice of per-GPU state every window (warm caches), and
+    // determinism is trivial — group contents depend only on the
+    // config, and lanes within a window are independent.
+    const std::vector<int> order = net_.laneAffinityOrder();
+    const std::size_t count = std::max<std::size_t>(
+        1, std::min<std::size_t>(workers, order.size()));
+    std::vector<std::vector<int>> groups(count);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        groups[i * count / order.size()].push_back(order[i]);
+    return groups;
 }
 
 std::uint64_t
 MultiGpuSystem::runLanes()
 {
-    const int n = cfg_.numGpus;
+    const std::size_t n = static_cast<std::size_t>(cfg_.numGpus);
     const unsigned workers = laneWorkers();
+    const std::vector<std::vector<int>> groups =
+        buildLaneGroups(workers);
 
-    std::vector<std::uint64_t> laneEvents(static_cast<std::size_t>(n),
-                                          0);
+    // Per-lane hot scheduling state, one cache line per lane: during a
+    // window each worker reads and writes only its own lanes' entries,
+    // so the scheduler itself generates zero coherence traffic.
+    struct alignas(sim::kCacheLine) LaneState
+    {
+        sim::Tick next = sim::kMaxTick; ///< earliest runnable tick
+        std::size_t seen = 0;    ///< strongPending at the last refresh
+        std::uint64_t events = 0; ///< events executed on this lane
+    };
+    std::vector<LaneState> lanes(n);
+
     std::uint64_t hostEvents = 0;
 
     obs::IntervalSampler &sampler = obs_->sampler;
@@ -536,37 +567,68 @@ MultiGpuSystem::runLanes()
     // host and every GPU lane: the host runs one tick at a time, and
     // only while it is not ahead of any pending GPU event (host first
     // on ties); GPU lanes run in parallel across host-free stretches,
-    // bounded by the host's next event and by the lookahead window.
-    // Every cross-lane message lands at a tick no earlier than the end
-    // of the segment that produced it (see window_), so neither side
-    // ever executes a tick the other has passed — the schedule is a
-    // pure function of event ticks, independent of the worker count.
+    // bounded by the host's next event and by the *adaptive* lookahead
+    // min_g(next_g + laneWindows_[g]) — any message lane g posts does
+    // so at a tick >= next_g and arrives laneWindows_[g] later, i.e.
+    // at or beyond that bound, so neither side ever executes a tick
+    // the other has passed. The schedule is a pure function of event
+    // ticks, independent of the worker count.
     sim::LaneExecutor &exec = sim::LaneExecutor::instance();
+    obs::SelfProfiler *hostProf = profiler();
 
-    // `gpuNext` is maintained incrementally: while the host runs, the
-    // lanes are parked, so a lane's queue can only change through the
-    // host scheduling onto it — detected by its O(1) strong-event
-    // count moving — and then only ever toward earlier ticks. A full
-    // rescan is needed only after a parallel segment, when the lanes
-    // themselves consumed and produced events.
-    sim::Tick gpuNext = sim::kMaxTick;
-    std::vector<std::size_t> laneSeen(static_cast<std::size_t>(n), 0);
-    auto rescanLane = [&](std::size_t g) {
-        laneSeen[g] = gpuQs_[g]->strongPending();
-        if (laneSeen[g])
-            gpuNext = std::min(gpuNext, gpuQs_[g]->nextTick());
+    // A lane's entry is refreshed by its own worker after its window,
+    // and by the host loop when a host tick schedules onto the (then
+    // parked) lane — detected by the O(1) strong-event count moving.
+    auto refreshLane = [&](std::size_t g) {
+        LaneState &st = lanes[g];
+        st.seen = gpuQs_[g]->strongPending();
+        st.next = st.seen ? gpuQs_[g]->nextTick() : sim::kMaxTick;
     };
-    for (std::size_t g = 0; g < static_cast<std::size_t>(n); ++g)
-        rescanLane(g);
+    for (std::size_t g = 0; g < n; ++g)
+        refreshLane(g);
+
+    // The per-window group job, hoisted so the loop below does not
+    // rebuild a std::function (and re-copy its captures) per window;
+    // `winEnd` carries the current window bound into it. Lanes with
+    // nothing runnable before the bound skip their queue entirely —
+    // a quiet lane costs one cache-line read per window.
+    sim::Tick winEnd = 0;
+    const std::function<void(std::size_t)> groupJob =
+        [&](std::size_t gi) {
+            for (int lane : groups[gi]) {
+                const std::size_t g = static_cast<std::size_t>(lane);
+                LaneState &st = lanes[g];
+                if (st.next >= winEnd)
+                    continue;
+                st.events += gpuQs_[g]->runWindow(winEnd);
+                st.seen = gpuQs_[g]->strongPending();
+                st.next =
+                    st.seen ? gpuQs_[g]->nextTick() : sim::kMaxTick;
+            }
+        };
 
     for (;;) {
         // Termination: no strong events anywhere and no cross-lane
-        // message pending (the mailboxes are drained at each segment
-        // barrier, onto the host queue where they count as strong
-        // events; between segments they stay empty).
+        // message pending (the mailboxes are flushed at each window
+        // barrier onto the host queue, where they count as strong
+        // events; between windows they stay empty).
         const sim::Tick hostNext = hostEq_.strongPending()
                                        ? hostEq_.nextTick()
                                        : sim::kMaxTick;
+        // Fold the per-lane state: the earliest GPU event anywhere and
+        // the adaptive window bound. Staggered lanes stretch the
+        // bound — a lane parked far in the future contributes its own
+        // (large) next + window term instead of clamping everyone to
+        // the global minimum window.
+        sim::Tick gpuNext = sim::kMaxTick;
+        sim::Tick laneBound = sim::kMaxTick;
+        for (std::size_t g = 0; g < n; ++g) {
+            const sim::Tick next = lanes[g].next;
+            if (next == sim::kMaxTick)
+                continue;
+            gpuNext = std::min(gpuNext, next);
+            laneBound = std::min(laneBound, next + laneWindows_[g]);
+        }
         if (hostNext == sim::kMaxTick && gpuNext == sim::kMaxTick)
             break;
 
@@ -585,41 +647,64 @@ MultiGpuSystem::runLanes()
             // this tick may touch any state — every GPU lane is parked
             // at or before hostNext.
             hostEvents += hostEq_.runWindow(hostNext + 1);
-            for (std::size_t g = 0; g < static_cast<std::size_t>(n);
-                 ++g) {
-                if (gpuQs_[g]->strongPending() != laneSeen[g])
-                    rescanLane(g);
-            }
+            for (std::size_t g = 0; g < n; ++g)
+                if (gpuQs_[g]->strongPending() != lanes[g].seen)
+                    refreshLane(g);
             continue;
         }
 
-        // Parallel GPU segment: the range below min(hostNext, gpuNext
-        // + window_) is host-event-free and too short for any message
-        // posted inside it to demand delivery inside it, so each lane
-        // sees exactly the state a serial tick-ordered run would see.
-        const sim::Tick end =
-            std::min(hostNext, gpuNext + window_);
-        exec.forEach(static_cast<std::size_t>(n), workers,
-                     [this, end, &laneEvents](std::size_t g) {
-                         laneEvents[g] += gpuQs_[g]->runWindow(end);
-                     });
+        // Parallel GPU window: the range below the bound is host-
+        // event-free and too short for any message posted inside it to
+        // demand delivery inside it, so each lane sees exactly the
+        // state a serial tick-ordered run would see.
+        winEnd = std::min(hostNext, laneBound);
+
+        // Sample this window's synchronization cost (barrier wait +
+        // drain bookkeeping) at the profiler's 1-in-stride discipline.
+        const bool sampleSync = hostProf && hostProf->syncSampleDue();
+        std::uint64_t syncNs = 0;
+
+        // Windows with at most one busy lane — the common shape in
+        // drain phases and small configs — run inline: same per-lane
+        // effects, no handoff or wakeup cost.
+        std::size_t busy = 0;
+        for (std::size_t g = 0; g < n && busy < 2; ++g)
+            if (lanes[g].next < winEnd)
+                ++busy;
+        if (workers <= 1 || busy <= 1) {
+            for (std::size_t gi = 0; gi < groups.size(); ++gi)
+                groupJob(gi);
+        } else {
+            exec.forEach(groups.size(), workers, groupJob,
+                         sampleSync ? &syncNs : nullptr);
+        }
 
         // Barrier: replay each lane's attribution reports into the
         // shared engine in lane-index order, fixing the floating-point
-        // summation order independently of the worker count.
-        for (auto &relay : relays_)
-            relay.drainTo(obs_->attribution);
+        // summation order independently of the worker count, then
+        // flush the mailboxes the same way. Empty relays/boxes are
+        // skipped — that changes nothing in the replay/merge order.
+        std::chrono::steady_clock::time_point drain0;
+        if (sampleSync)
+            drain0 = std::chrono::steady_clock::now();
+        for (obs::AttribRelay &relay : relays_)
+            if (!relay.empty())
+                relay.drainTo(obs_->attribution);
         drainMail();
-        gpuNext = sim::kMaxTick;
-        for (std::size_t g = 0; g < static_cast<std::size_t>(n); ++g)
-            rescanLane(g);
+        if (sampleSync) {
+            syncNs += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - drain0)
+                    .count());
+            hostProf->chargeSync(syncNs);
+        }
     }
 
     std::uint64_t total = hostEvents;
     hostEq_.discardPending();
-    for (int g = 0; g < n; ++g) {
-        total += laneEvents[static_cast<std::size_t>(g)];
-        gpuQs_[static_cast<std::size_t>(g)]->discardPending();
+    for (std::size_t g = 0; g < n; ++g) {
+        total += lanes[g].events;
+        gpuQs_[g]->discardPending();
     }
     return total;
 }
@@ -678,8 +763,8 @@ MultiGpuSystem::collect()
     r.execTime = hostEq_.now();
     for (auto &q : gpuQs_)
         r.execTime = std::max(r.execTime, q->now());
-    for (std::uint64_t shard : farFaultShards_)
-        r.farFaults += shard;
+    for (const LaneCounter &shard : farFaultShards_)
+        r.farFaults += shard.value;
 
     for (auto &cu : cus_) {
         r.instructions += cu->instructions();
@@ -784,7 +869,7 @@ MultiGpuSystem::collect()
     // a pure function of the simulation.
     sim::FlatMap<mem::Vpn, PageSharing> sharing;
     for (auto &shard : sharingShards_) {
-        for (const auto &[vpn, ps] : shard) {
+        for (const auto &[vpn, ps] : shard.map) {
             PageSharing &m = sharing[vpn];
             m.gpuMask |= ps.gpuMask;
             m.reads += ps.reads;

@@ -13,6 +13,7 @@
 #include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/flat_map.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/random.hpp"
 #include "system/results.hpp"
 #include "transfw/forwarding_table.hpp"
@@ -36,14 +37,24 @@ namespace transfw::sys {
  * at a time with every GPU lane parked (the host writes GPU-visible
  * state with zero modeled latency, so it must never run ahead of a
  * lane); between host ticks the GPU lanes execute in parallel up to
- * min(next host event, earliest GPU event + `window_`), where
- * `window_` is the conservative lookahead derived from the minimum
- * link latency. Cross-lane messages post into per-lane SPSC mailboxes
- * drained at each segment boundary; the lookahead guarantees they
- * land at ticks no lane has passed. cfg.sim.lanes picks the worker-
- * thread count for the GPU segments; 0 runs the identical schedule
- * serially, and every lane count produces bit-identical SimResults
- * (see DESIGN.md).
+ * the *adaptive* lookahead bound
+ *
+ *   min(next host event, min_g(lane g's next event + laneWindow(g)))
+ *
+ * where laneWindow(g) is the lower-bound latency of the cheapest
+ * cross-lane channel lane g can send on (its uplink's control token +
+ * propagation). Because the bound follows the dynamic per-lane next-
+ * event times instead of one static global minimum, staggered lanes
+ * buy long windows, and lanes with nothing runnable before the bound
+ * skip the window (and its barrier) entirely. Cross-lane messages
+ * batch into per-(source lane, host) mailboxes flushed once per
+ * window; the lookahead guarantees they land at ticks no lane has
+ * passed. GPUs are block-partitioned onto workers along the
+ * interconnect's affinity order (ring neighbours share a worker), one
+ * static group per worker. cfg.sim.lanes picks the worker-thread
+ * count for the GPU windows; 0 runs the identical schedule serially,
+ * and every lane count produces bit-identical SimResults (see
+ * DESIGN.md).
  */
 class MultiGpuSystem
 {
@@ -69,8 +80,18 @@ class MultiGpuSystem
     {
         return *gpuQs_[static_cast<std::size_t>(gpu)];
     }
-    /** Lookahead window (ticks) derived from the link latencies. */
+    /** Minimum per-lane lookahead window (ticks): the smallest
+     *  laneWindow(g) over all GPUs. Kept as the scalar summary for
+     *  ledger/results reporting; the scheduler itself uses the
+     *  per-lane values. */
     sim::Tick lookaheadWindow() const { return window_; }
+    /** Lane @p gpu's lookahead window: the lower-bound delay of the
+     *  cheapest cross-lane message it can originate (uplink control
+     *  token + propagation). */
+    sim::Tick laneWindow(int gpu) const
+    {
+        return laneWindows_[static_cast<std::size_t>(gpu)];
+    }
     const cfg::SystemConfig &config() const { return cfg_; }
 
     /** Observability bundle: spans, metric registry, sampler. */
@@ -85,11 +106,18 @@ class MultiGpuSystem
         std::uint64_t writes = 0;
     };
 
-    /** One cross-lane message: a delivery parked until the barrier. */
-    struct MailMsg
+    /** A lane-owned counter on its own cache line: parallel windows
+     *  bump these with zero coherence traffic between workers. */
+    struct alignas(sim::kCacheLine) LaneCounter
     {
-        sim::Tick at = 0;
-        sim::EventQueue::Callback cb;
+        std::uint64_t value = 0;
+    };
+
+    /** A lane-owned sharing-tracker shard, cache-line separated for
+     *  the same reason as LaneCounter. */
+    struct alignas(sim::kCacheLine) SharingShard
+    {
+        sim::FlatMap<mem::Vpn, PageSharing> map;
     };
 
     void placeInitialPages();
@@ -104,6 +132,9 @@ class MultiGpuSystem
     /** Barrier: move every mailbox message onto the host queue in
      *  deterministic (arrival tick, source lane, post order). */
     void drainMail();
+    /** Block-partition the GPUs onto @p workers groups along the
+     *  interconnect's affinity order (one static group per worker). */
+    std::vector<std::vector<int>> buildLaneGroups(unsigned workers) const;
     /** Worker threads for the GPU phase (forced to 1 when a feature
      *  reaches across lanes: Least-TLB sibling probes, the shared span
      *  recorder, or tracing). */
@@ -138,9 +169,14 @@ class MultiGpuSystem
     cfg::SystemConfig cfg_;
     const wl::Workload &workload_;
 
-    /** Conservative lookahead window: no cross-lane message can arrive
-     *  sooner than this many ticks after it is sent. */
+    /** Minimum of laneWindows_ (scalar summary for reporting). */
     sim::Tick window_ = 1;
+    /** Per-lane conservative lookahead: no message *originated by*
+     *  lane g can arrive anywhere sooner than laneWindows_[g] ticks
+     *  after it is sent. Only the uplink bounds it — peer and downlink
+     *  traffic is host-lane-driven, so peer latency never clamps a
+     *  GPU lane's window. */
+    std::vector<sim::Tick> laneWindows_;
 
     /** Per-GPU event lanes; filled before any component exists. */
     std::vector<std::unique_ptr<sim::EventQueue>> gpuQs_;
@@ -163,17 +199,19 @@ class MultiGpuSystem
     gpu::CtaScheduler scheduler_;
     std::vector<std::unique_ptr<gpu::ComputeUnit>> cus_;
 
-    /** GPU→host mailboxes, one per source lane (single writer each). */
-    std::vector<std::vector<MailMsg>> mail_;
+    /** GPU→host mailboxes, one per source lane (single writer each;
+     *  cache-line aligned so neighbouring lanes' batches never share
+     *  a line). Flushed once per window by drainMail(). */
+    std::vector<sim::Mailbox> mail_;
     /** Per-GPU-lane attribution buffers, replayed in lane order. */
     std::vector<obs::AttribRelay> relays_;
     /** Per-GPU-lane self-profilers, merged into the host profile. */
     std::vector<std::unique_ptr<obs::SelfProfiler>> laneProfilers_;
 
     /** Sharing tracker shards, one per GPU lane; merged at collect. */
-    std::vector<sim::FlatMap<mem::Vpn, PageSharing>> sharingShards_;
+    std::vector<SharingShard> sharingShards_;
     /** Far-fault counters, one per GPU lane; summed at collect. */
-    std::vector<std::uint64_t> farFaultShards_;
+    std::vector<LaneCounter> farFaultShards_;
     bool ran_ = false;
 
     /**

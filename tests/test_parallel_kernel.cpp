@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
 
 #include "transfw/transfw.hpp"
@@ -114,13 +115,27 @@ TEST(ParallelKernel, LookaheadWindowDerivedFromLinks)
     wl::SyntheticWorkload workload(laneSpec());
     cfg::SystemConfig config = sys::baselineConfig();
     sys::MultiGpuSystem system(config, workload);
-    sim::Tick min_lat = config.hostLink.latency;
-    if (config.numGpus > 1)
-        min_lat = std::min(min_lat, config.peerLink.latency);
-    EXPECT_EQ(system.lookaheadWindow(), min_lat + 2);
+    // A GPU lane only originates cross-lane traffic on its uplink
+    // (control token 2 + propagation); peer links are host-driven.
+    EXPECT_EQ(system.lookaheadWindow(), config.hostLink.latency + 2);
+    for (int g = 0; g < config.numGpus; ++g)
+        EXPECT_EQ(system.laneWindow(g), config.hostLink.latency + 2);
     // Per-lane queues exist and are distinct from the host queue.
     for (int g = 0; g < config.numGpus; ++g)
         EXPECT_NE(&system.gpuEventq(g), &system.eventq());
+}
+
+TEST(ParallelKernel, CheapPeerLinksDoNotClampWindow)
+{
+    // The first lane kernel took min(host, peer) + 2, so NVLink-class
+    // peers shrank every window ~3x below what the uplink allows. The
+    // adaptive kernel must keep the full uplink bound.
+    wl::SyntheticWorkload workload(laneSpec("cheap-peer"));
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.hostLink.latency = 150;
+    config.peerLink.latency = 1;
+    sys::MultiGpuSystem system(config, workload);
+    EXPECT_EQ(system.lookaheadWindow(), 152u);
 }
 
 TEST(ParallelKernel, LaneCountExcludedFromConfigKey)
@@ -233,4 +248,115 @@ TEST(ParallelKernel, CrossLaneFeaturesStayIdentical)
     sys::SimResults serial = sys::runWorkload(workload, config);
     config.sim.lanes = 8;
     expectIdentical(serial, sys::runWorkload(workload, config));
+}
+
+/** Asymmetric link latencies probe both edges of the adaptive bound:
+ *  a 1-tick uplink floors every window at 3 ticks no matter how slow
+ *  the peers are, and a slow uplink must keep its full window even
+ *  when peer links are 1 tick (the case the old min() got wrong). */
+TEST(ParallelKernel, AsymmetricLinkLatenciesBitIdentical)
+{
+    wl::SyntheticSpec spec = laneSpec("asym");
+    spec.numCtas = 32;
+    wl::SyntheticWorkload workload(spec);
+
+    struct Edge
+    {
+        sim::Tick host;
+        sim::Tick peer;
+    };
+    for (Edge edge : {Edge{1, 200}, Edge{200, 1}}) {
+        cfg::SystemConfig config = sys::baselineConfig();
+        config.numGpus = 4;
+        config.cusPerGpu = 4;
+        config.hostLink.latency = edge.host;
+        config.peerLink.latency = edge.peer;
+        config.transFw.enabled = true;
+        SCOPED_TRACE("host=" + std::to_string(edge.host) +
+                     " peer=" + std::to_string(edge.peer));
+
+        sys::MultiGpuSystem probe(config, workload);
+        EXPECT_EQ(probe.lookaheadWindow(), edge.host + 2);
+
+        config.sim.lanes = 0;
+        sys::SimResults serial = sys::runWorkload(workload, config);
+        EXPECT_GT(serial.farFaults, 0u);
+        for (int lanes : {1, 3}) {
+            config.sim.lanes = lanes;
+            SCOPED_TRACE("lanes=" + std::to_string(lanes));
+            expectIdentical(serial,
+                            sys::runWorkload(workload, config));
+        }
+    }
+}
+
+/** An 8-GPU pod on a ring — the widest config the scaling story is
+ *  about — must be bit-identical at every lane count, including lane
+ *  counts that leave some workers idle. */
+TEST(ParallelKernel, EightGpuPodBitIdentical)
+{
+    wl::SyntheticSpec spec = laneSpec("pod8");
+    spec.numCtas = 64;
+    wl::SyntheticWorkload workload(spec);
+
+    cfg::SystemConfig config = sys::baselineConfig();
+    config.numGpus = 8;
+    config.cusPerGpu = 2;
+    config.peerTopology = ic::Topology::Ring;
+    config.transFw.enabled = true;
+
+    config.sim.lanes = 0;
+    sys::SimResults serial = sys::runWorkload(workload, config);
+    EXPECT_GT(serial.farFaults, 0u);
+
+    for (int lanes : {1, 2, 4, 8}) {
+        config.sim.lanes = lanes;
+        SCOPED_TRACE("lanes=" + std::to_string(lanes));
+        expectIdentical(serial, sys::runWorkload(workload, config));
+    }
+}
+
+/** Long-run randomized stress for the race detector: random lane
+ *  counts and random per-link latencies (including the 1-tick edge)
+ *  against a fixed serial baseline per latency draw. The TSan config
+ *  extends the rounds via TRANSFW_STRESS_ROUNDS to soak the worker
+ *  pool, mailbox batches, and shared-pool handoffs. */
+TEST(ParallelKernel, RandomizedLatencyLaneStress)
+{
+    int rounds = 3;
+    if (const char *env = std::getenv("TRANSFW_STRESS_ROUNDS"))
+        rounds = std::max(1, std::atoi(env));
+
+    wl::SyntheticSpec spec = laneSpec("soak");
+    spec.numCtas = 24;
+    wl::SyntheticWorkload workload(spec);
+
+    std::mt19937 rng(987654321u);
+    std::uniform_int_distribution<int> host_lat(1, 200);
+    std::uniform_int_distribution<int> peer_lat(1, 80);
+    std::uniform_int_distribution<int> lane_dist(1, 8);
+    std::bernoulli_distribution edge_case(0.25);
+
+    for (int round = 0; round < rounds; ++round) {
+        cfg::SystemConfig config = sys::baselineConfig();
+        config.numGpus = 4;
+        config.cusPerGpu = 4;
+        config.hostLink.latency =
+            edge_case(rng) ? 1 : static_cast<sim::Tick>(host_lat(rng));
+        config.peerLink.latency =
+            edge_case(rng) ? 1 : static_cast<sim::Tick>(peer_lat(rng));
+        config.transFw.enabled = (round % 2) == 0;
+        SCOPED_TRACE("round " + std::to_string(round) + " host=" +
+                     std::to_string(config.hostLink.latency) + " peer=" +
+                     std::to_string(config.peerLink.latency));
+
+        config.sim.lanes = 0;
+        sys::SimResults serial = sys::runWorkload(workload, config);
+        for (int trial = 0; trial < 2; ++trial) {
+            config.sim.lanes = lane_dist(rng);
+            SCOPED_TRACE("lanes=" + std::to_string(config.sim.lanes));
+            expectIdentical(serial,
+                            sys::runWorkload(workload, config));
+        }
+    }
 }
