@@ -817,6 +817,84 @@ parallelKernel(bool smoke)
     return m;
 }
 
+/** One point of the pod-scaling surface. */
+struct PodPoint
+{
+    const char *topology = "";
+    int gpus = 0;
+    double wallSeconds = 0.0;
+    double eventsPerSec = 0.0;
+    double xlatP99 = 0.0;
+    std::uint64_t events = 0;
+};
+
+struct PodScalingMeasurement
+{
+    double scale = 0.0;
+    int shards = 0;
+    unsigned hardwareThreads = 0;
+    bool degraded = false; ///< single hardware thread (wall noise only)
+    std::vector<PodPoint> points;
+};
+
+/**
+ * Pod-scaling surface: simulator throughput (events/sec) and modeled
+ * p99 translation latency as the pod grows across fabric topologies,
+ * under the Trans-FW config with a 4-way sharded host MMU. The
+ * events/sec column is wall-clock (hardware_threads / degraded say
+ * how much to trust it on this box); the p99 column is deterministic
+ * modeled latency and diffs cleanly across runs. Smoke stops at 16
+ * GPUs; the full run walks 4..64.
+ */
+PodScalingMeasurement
+podScaling(bool smoke)
+{
+    PodScalingMeasurement m;
+    m.scale = smoke ? 0.02 : 0.05;
+    m.shards = 4;
+    m.hardwareThreads = sim::TaskPool::defaultThreads();
+    m.degraded = m.hardwareThreads <= 1;
+
+    const std::pair<ic::Topology, const char *> topos[] = {
+        {ic::Topology::AllToAll, "a2a"},
+        {ic::Topology::Ring, "ring"},
+        {ic::Topology::Mesh2D, "mesh"},
+        {ic::Topology::Switch, "switch"},
+    };
+    std::vector<int> gpuCounts = {4, 8, 16};
+    if (!smoke) {
+        gpuCounts.push_back(32);
+        gpuCounts.push_back(64);
+    }
+
+    for (const auto &[topo, name] : topos) {
+        for (int gpus : gpuCounts) {
+            cfg::SystemConfig config = sys::transFwConfig();
+            config.numGpus = gpus;
+            config.cusPerGpu = 4;
+            config.peerTopology = topo;
+            config.hostShards = m.shards;
+
+            auto start = std::chrono::steady_clock::now();
+            sys::SimResults r = sys::runApp("MT", config, m.scale);
+            double wall = secondsSince(start);
+
+            PodPoint p;
+            p.topology = name;
+            p.gpus = gpus;
+            p.wallSeconds = wall;
+            p.events = r.eventsExecuted;
+            p.eventsPerSec =
+                wall > 0.0
+                    ? static_cast<double>(r.eventsExecuted) / wall
+                    : 0.0;
+            p.xlatP99 = r.xlatLatencyHist.quantile(0.99);
+            m.points.push_back(p);
+        }
+    }
+    return m;
+}
+
 std::uint64_t
 peakRssBytes()
 {
@@ -915,13 +993,16 @@ writeCoreJson(const std::string &path, bool smoke)
     std::fprintf(stderr, "parallel kernel: lane A/B...\n");
     ParallelKernelMeasurement lanes = parallelKernel(smoke);
 
+    std::fprintf(stderr, "pod scaling: gpus x topology...\n");
+    PodScalingMeasurement pod = podScaling(smoke);
+
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"transfw-bench-core-v2\",\n");
+    std::fprintf(f, "  \"schema\": \"transfw-bench-core-v3\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  sim::TaskPool::defaultThreads());
@@ -1023,6 +1104,28 @@ writeCoreJson(const std::string &path, bool smoke)
     std::fprintf(f, "    ],\n");
     std::fprintf(f, "    \"identical_results\": %s\n",
                  lanes.identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"pod_scaling\": {\n");
+    std::fprintf(f, "    \"app\": \"MT\",\n");
+    std::fprintf(f, "    \"config\": \"transfw\",\n");
+    std::fprintf(f, "    \"scale\": %.3f,\n", pod.scale);
+    std::fprintf(f, "    \"host_shards\": %d,\n", pod.shards);
+    std::fprintf(f, "    \"hardware_threads\": %u,\n",
+                 pod.hardwareThreads);
+    std::fprintf(f, "    \"degraded\": %s,\n",
+                 pod.degraded ? "true" : "false");
+    std::fprintf(f, "    \"points\": [\n");
+    for (std::size_t i = 0; i < pod.points.size(); ++i) {
+        const PodPoint &p = pod.points[i];
+        std::fprintf(f,
+                     "      {\"topology\": \"%s\", \"gpus\": %d, "
+                     "\"wall_seconds\": %.4f, \"events_per_sec\": "
+                     "%.0f, \"xlat_p99\": %.1f}%s\n",
+                     p.topology, p.gpus, p.wallSeconds, p.eventsPerSec,
+                     p.xlatP99,
+                     i + 1 < pod.points.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"sim_end_to_end\": {\n");
     std::fprintf(f, "    \"app\": \"MT\",\n");

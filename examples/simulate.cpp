@@ -47,7 +47,11 @@ usage(const char *argv0)
         "  --pwc-entries N\n"
         "  --fault-mode hw|sw  host MMU or UVM driver\n"
         "  --mem-model simple|hier  data-side memory model\n"
-        "  --topology mesh|ring     GPU-GPU fabric\n"
+        "  --topology a2a|ring|mesh|switch  GPU-GPU fabric\n"
+        "  --mesh-cols N       mesh columns (0 = near-square auto)\n"
+        "  --switch-radix N    GPUs per leaf switch (default 8)\n"
+        "  --shards K          host-MMU/IOMMU shards (default 1)\n"
+        "  --ft-mode part|repl FT placement across shards\n"
         "  --policy on-touch|replicate|remote-map\n"
         "  --asap --least-tlb  comparator techniques\n"
         "  --cold              disable first-touch pre-placement\n"
@@ -130,8 +134,30 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(std::atoi(next()));
         } else if (arg == "--topology") {
             std::string v = next();
-            config.peerTopology = v == "ring" ? ic::Topology::Ring
-                                              : ic::Topology::AllToAll;
+            if (v == "ring")
+                config.peerTopology = ic::Topology::Ring;
+            else if (v == "mesh")
+                config.peerTopology = ic::Topology::Mesh2D;
+            else if (v == "switch")
+                config.peerTopology = ic::Topology::Switch;
+            else if (v == "a2a" || v == "all-to-all")
+                config.peerTopology = ic::Topology::AllToAll;
+            else
+                usage(argv[0]);
+        } else if (arg == "--mesh-cols") {
+            config.meshCols = std::atoi(next());
+        } else if (arg == "--switch-radix") {
+            config.switchRadix = std::atoi(next());
+        } else if (arg == "--shards") {
+            config.hostShards = std::atoi(next());
+        } else if (arg == "--ft-mode") {
+            std::string v = next();
+            if (v == "repl" || v == "replicated")
+                config.transFw.ftReplicated = true;
+            else if (v == "part" || v == "partitioned")
+                config.transFw.ftReplicated = false;
+            else
+                usage(argv[0]);
         } else if (arg == "--mem-model") {
             std::string v = next();
             config.memModel = v == "hier" ? cfg::MemModel::Hierarchy

@@ -8,17 +8,24 @@
  *   sweep --app MT --dim walkers --dim threshold [-j N] > mt.csv
  *
  * Supported dimensions: gpus, cus, walkers, threshold, pwc, peerlat,
- * slots. -j N runs the independent grid points on N worker threads
- * (default: TRANSFW_JOBS or the hardware thread count); the CSV rows
- * and their values are identical to a serial run.
+ * slots, shards, topology. -j N runs the independent grid points on N
+ * worker threads (default: TRANSFW_JOBS or the hardware thread count);
+ * the CSV rows and their values are identical to a serial run.
+ *
+ * --pod-study runs the fixed pod-scaling grid instead (GPU count x
+ * fabric topology x host-MMU shard count, Trans-FW on) and emits one
+ * CSV row per point with the host-walk-queue pressure signals — the
+ * "where does forwarding break down as the pod grows?" study.
  *
  * --ledger PATH appends one transfw-ledger-v1 record per executed
  * point (defaults to $TRANSFW_LEDGER when set).
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "system/report.hpp"
@@ -51,6 +58,10 @@ makeDimension(const std::string &name)
         return {name, {100, 200, 400, 800}};
     if (name == "slots")
         return {name, {2, 4, 6, 8}};
+    if (name == "shards")
+        return {name, {1, 2, 4, 8}};
+    if (name == "topology") // Topology enum order: a2a ring mesh switch
+        return {name, {0, 1, 2, 3}};
     sim::fatal("unknown sweep dimension: " + name);
 }
 
@@ -72,6 +83,90 @@ apply(cfg::SystemConfig &config, const std::string &dim, double value)
         config.peerLink.latency = static_cast<sim::Tick>(value);
     else if (dim == "slots")
         config.wavefrontSlotsPerCu = static_cast<int>(value);
+    else if (dim == "shards")
+        config.hostShards = static_cast<int>(value);
+    else if (dim == "topology")
+        config.peerTopology =
+            static_cast<ic::Topology>(static_cast<int>(value));
+}
+
+/**
+ * The pod-scaling study: one Trans-FW run per (topology, GPU count,
+ * shard count) point, scaled down so the whole grid fits in minutes.
+ * Columns expose the serialization point the sharding removes: the
+ * host PW-queue wait (aggregate and the worst single shard) and how
+ * forwarding holds up as hops stretch the fabric.
+ */
+int
+podStudy(const std::string &app, int jobs, bool ledger_set,
+         const std::string &ledger)
+{
+    const std::pair<ic::Topology, const char *> kTopos[] = {
+        {ic::Topology::AllToAll, "a2a"},
+        {ic::Topology::Ring, "ring"},
+        {ic::Topology::Mesh2D, "mesh"},
+        {ic::Topology::Switch, "switch"},
+    };
+    const int kGpus[] = {8, 16, 32, 64};
+    const int kShards[] = {1, 2, 4, 8};
+    const double kScale = 0.05;
+
+    std::vector<sys::RunSpec> specs;
+    for (const auto &[topo, name] : kTopos) {
+        for (int gpus : kGpus) {
+            for (int shards : kShards) {
+                cfg::SystemConfig config = sys::transFwConfig();
+                config.numGpus = gpus;
+                config.cusPerGpu = 4;
+                config.peerTopology = topo;
+                config.hostShards = shards;
+                specs.push_back({app, config, kScale});
+            }
+        }
+    }
+    sys::SweepRunner runner(jobs);
+    if (ledger_set)
+        runner.setLedgerPath(ledger);
+    std::vector<sys::SimResults> results = runner.run(specs);
+
+    std::printf("topology,gpus,shards,exec.cycles,xlat.avgLatency,"
+                "xlat.p99,fault.count,walk.host,transfw.forwards,"
+                "transfw.forwardSuccess,queue.hostWaitMean,"
+                "shard.maxQueueWaitMean,shard.routedFaults,"
+                "attrib.hostQueue,attrib.hostRoute,obs.checkViolations"
+                "\n");
+    std::size_t idx = 0;
+    for (const auto &[topo, name] : kTopos) {
+        for (int gpus : kGpus) {
+            for (int shards : kShards) {
+                const sys::SimResults &r = results[idx++];
+                double worst_wait = r.hostQueueWaitMean;
+                for (double w : r.hostShardQueueWaitMean)
+                    worst_wait = std::max(worst_wait, w);
+                const auto &attr = r.attribution.bucket;
+                std::printf(
+                    "%s,%d,%d,%llu,%.1f,%.1f,%llu,%llu,%llu,%llu,"
+                    "%.2f,%.2f,%llu,%.0f,%.0f,%llu\n",
+                    name, gpus, shards,
+                    static_cast<unsigned long long>(r.execTime),
+                    r.avgXlatLatency, r.xlatLatencyHist.quantile(0.99),
+                    static_cast<unsigned long long>(r.farFaults),
+                    static_cast<unsigned long long>(r.hostWalks),
+                    static_cast<unsigned long long>(r.forwards),
+                    static_cast<unsigned long long>(r.forwardSuccess),
+                    r.hostQueueWaitMean, worst_wait,
+                    static_cast<unsigned long long>(r.hostRoutedFaults),
+                    attr[static_cast<std::size_t>(
+                        obs::AttribBucket::HostQueue)],
+                    attr[static_cast<std::size_t>(
+                        obs::AttribBucket::HostRoute)],
+                    static_cast<unsigned long long>(
+                        r.obsCheckViolations));
+                std::fflush(stdout);
+            }
+        }
+    }
+    return 0;
 }
 
 } // namespace
@@ -84,12 +179,15 @@ main(int argc, char **argv)
     bool ledgerSet = false;
     std::vector<Dimension> dims;
     int jobs = 0; // 0: SweepRunner default (TRANSFW_JOBS / hardware)
+    bool pod_study = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--app" && i + 1 < argc) {
             app = argv[++i];
         } else if (arg == "--dim" && i + 1 < argc) {
             dims.push_back(makeDimension(argv[++i]));
+        } else if (arg == "--pod-study") {
+            pod_study = true;
         } else if (arg == "--ledger" && i + 1 < argc) {
             ledger = argv[++i];
             ledgerSet = true;
@@ -102,11 +200,13 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--app ABBR] --dim NAME [--dim NAME] "
-                         "[-j N] [--ledger PATH]\n",
+                         "[--pod-study] [-j N] [--ledger PATH]\n",
                          argv[0]);
             return 2;
         }
     }
+    if (pod_study)
+        return podStudy(app, jobs, ledgerSet, ledger);
     if (dims.empty())
         dims.push_back(makeDimension("walkers"));
     if (dims.size() > 2)

@@ -48,14 +48,14 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== microbench smoke (BENCH_core.json schema v2) =="
+echo "== microbench smoke (BENCH_core.json schema v3) =="
 SMOKE_JSON=$(mktemp /tmp/bench_core_smoke.XXXXXX.json)
 ./build/bench/bench_micro_structures --json "$SMOKE_JSON" --smoke
 if command -v python3 >/dev/null 2>&1; then
     python3 - "$SMOKE_JSON" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "transfw-bench-core-v2", doc.get("schema")
+assert doc["schema"] == "transfw-bench-core-v3", doc.get("schema")
 for section, fields in {
     "event_kernel": ["legacy_events_per_sec", "fast_events_per_sec",
                      "speedup"],
@@ -74,6 +74,8 @@ for section, fields in {
     "parallel_kernel": ["hardware_threads", "degraded", "lanes",
                         "serial_events_per_sec", "lane_events_per_sec",
                         "speedup", "sweep", "identical_results"],
+    "pod_scaling": ["app", "config", "scale", "host_shards",
+                    "hardware_threads", "degraded", "points"],
     "sim_end_to_end": ["rate_scale", "rate_wall_seconds",
                        "events_executed", "events_per_sec"],
 }.items():
@@ -90,12 +92,23 @@ for point in curve:
         assert f in point, f"parallel_kernel.sweep[].{f} missing"
     assert point["identical"] is True, \
         f"lane count {point['lanes']} diverged from serial"
+pod = doc["pod_scaling"]["points"]
+assert isinstance(pod, list) and pod, "empty pod_scaling points"
+topos = set()
+for point in pod:
+    for f in ("topology", "gpus", "wall_seconds", "events_per_sec",
+              "xlat_p99"):
+        assert f in point, f"pod_scaling.points[].{f} missing"
+    assert point["gpus"] >= 4 and point["events_per_sec"] > 0
+    topos.add(point["topology"])
+assert topos == {"a2a", "ring", "mesh", "switch"}, topos
 assert doc["sim_end_to_end"]["events_executed"] > 0
 assert doc["peak_rss_bytes"] > 0
 print("BENCH_core.json schema OK")
 EOF
 else
-    grep -q '"schema": "transfw-bench-core-v2"' "$SMOKE_JSON"
+    grep -q '"schema": "transfw-bench-core-v3"' "$SMOKE_JSON"
+    grep -q '"pod_scaling"' "$SMOKE_JSON"
     grep -q '"identical_results": true' "$SMOKE_JSON"
     grep -q '"sim_end_to_end"' "$SMOKE_JSON"
     echo "BENCH_core.json schema OK (grep fallback)"
@@ -220,6 +233,12 @@ echo "== sanitizer build (address,undefined + strict obs watchdog) =="
 cmake -B build-asan -S . -DTRANSFW_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+# Pod smoke under asan: a 16-GPU ring with the host MMU sharded 4
+# ways exercises the topology router and the shard crossbar with the
+# strict obs watchdog armed.
+./build-asan/examples/simulate --app MT --transfw --topology ring \
+    --gpus 16 --shards 4 --cus 4 --scale 0.05 >/dev/null
+echo "asan pod smoke OK (16-GPU ring, 4 shards)"
 
 echo "== thread sanitizer build (lane kernel data races) =="
 # TSan is the gate for the per-GPU lane kernel: the parallel-vs-serial
@@ -238,4 +257,11 @@ else
     echo "== thread sanitizer lane soak (TRANSFW_STRESS_ROUNDS=24) =="
     TRANSFW_STRESS_ROUNDS=24 ctest --test-dir build-tsan \
         --output-on-failure -R "ParallelKernel.RandomizedLatencyLaneStress"
+    # Pod smoke under tsan: the same 16-GPU ring x 4-shard config with
+    # the lane kernel on, racing the shard crossbar against the per-GPU
+    # lane workers.
+    TRANSFW_JOBS="${TRANSFW_JOBS:-4}" ./build-tsan/examples/simulate \
+        --app MT --transfw --topology ring --gpus 16 --shards 4 \
+        --cus 4 --lanes 4 --scale 0.05 >/dev/null
+    echo "tsan pod smoke OK (16-GPU ring, 4 shards, 4 lanes)"
 fi

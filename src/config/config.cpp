@@ -7,7 +7,7 @@ namespace transfw::cfg {
 std::string
 SystemConfig::summary() const
 {
-    return sim::strfmt(
+    std::string s = sim::strfmt(
         "%d GPUs x %d CUs, %d-level PT, %u KB pages, "
         "PW-cache %zu (%s), walkers %d/%d, %s faults%s",
         numGpus, cusPerGpu, pageTableLevels,
@@ -19,6 +19,12 @@ SystemConfig::summary() const
         gmmuWalkers, hostWalkers,
         faultMode == FaultMode::HostMmu ? "host-MMU" : "UVM-driver",
         transFw.enabled ? ", Trans-FW" : "");
+    if (peerTopology != ic::Topology::AllToAll)
+        s += sim::strfmt(", %s fabric", ic::topologyName(peerTopology));
+    if (hostShards > 1)
+        s += sim::strfmt(", %d host shards%s", hostShards,
+                         transFw.ftReplicated ? " (replicated FT)" : "");
+    return s;
 }
 
 std::string
@@ -67,6 +73,9 @@ SystemConfig::key() const
         d(l->bytesPerCycle);
     }
     u(static_cast<std::uint64_t>(peerTopology));
+    u(static_cast<std::uint64_t>(meshCols));
+    u(static_cast<std::uint64_t>(switchRadix));
+    u(static_cast<std::uint64_t>(hostShards));
     u(prewarmPlacement);
     u(static_cast<std::uint64_t>(faultMode));
     u(static_cast<std::uint64_t>(migrationPolicy));
@@ -90,6 +99,7 @@ SystemConfig::key() const
     u(transFw.ftSlotsPerBucket);
     u(transFw.ftFingerprintBits);
     u(transFw.vpnMaskBits);
+    u(transFw.ftReplicated);
     u(asap.enabled);
     d(asap.accuracy);
     u(leastTlb.enabled);
@@ -130,6 +140,20 @@ SystemConfig::validate() const
         sim::fatal("forwardThreshold must be non-negative");
     if (sim.lanes < 0)
         sim::fatal("sim.lanes must be non-negative (0 = serial)");
+    if (hostShards < 1 || hostShards > 64)
+        sim::fatal("hostShards must be in [1, 64]");
+    if (hostShards > 1 && faultMode == FaultMode::UvmDriver)
+        sim::fatal("hostShards > 1 models sharded IOMMU hardware; the "
+                   "software UVM driver path is unsharded");
+    if (meshCols < 0)
+        sim::fatal("meshCols must be non-negative (0 = auto)");
+    if (peerTopology == ic::Topology::Mesh2D && meshCols > 0 &&
+        meshCols > numGpus)
+        sim::fatal("meshCols exceeds numGpus");
+    if (switchRadix < 1)
+        sim::fatal("switchRadix must be positive");
+    if (transFw.ftReplicated && hostShards == 1)
+        sim::warn("ftReplicated has no effect with a single host shard");
     if (numGpus > 32 && faultMode == FaultMode::UvmDriver)
         sim::warn("UVM driver beyond 32 GPUs is far outside the "
                   "calibrated range");

@@ -80,6 +80,18 @@ struct TransFwConfig
      * per fingerprint — the same effective coverage as the paper.
      */
     unsigned vpnMaskBits = 9;
+
+    /**
+     * FT placement across host-MMU shards (hostShards > 1). Default
+     * (false): partitioned — each shard owns the FT slice for its VPN
+     * range (ftBuckets split evenly), no cross-shard coherence needed,
+     * but a fault can only consult the home shard's slice. true:
+     * every shard keeps a full FT replica and faults round-robin
+     * across shards for load balance; keeping replicas coherent costs
+     * an explicit update/invalidation broadcast per page-residency
+     * change (counted in ft.replicaUpdates / ft.replicaInvalidations).
+     */
+    bool ftReplicated = false;
 };
 
 /** ASAP-style PW-cache prefetching (Section V-H comparison). */
@@ -200,6 +212,19 @@ struct SystemConfig
     ic::LinkConfig hostLink{150, 256.0};  ///< PCIe-class CPU-GPU star
     ic::LinkConfig peerLink{150, 256.0};  ///< NVLink-class GPU-GPU links
     ic::Topology peerTopology = ic::Topology::AllToAll;
+    int meshCols = 0;    ///< Mesh2D grid width (0 = near-square auto)
+    int switchRadix = 8; ///< GPUs per leaf switch (Switch topology)
+
+    /**
+     * Host MMU/IOMMU shards: the paper's single IOMMU serializes every
+     * far fault behind one walk queue; pods shard it. Each shard is a
+     * full host-MMU instance (own TLB, PW-cache, walk queue, walker
+     * pool) owning a slice of the VPN space by hash — with the FT
+     * partitioned the same way, or replicated per shard (see
+     * transFw.ftReplicated). 1 = the paper's single-IOMMU baseline,
+     * event-for-event identical to the pre-shard implementation.
+     */
+    int hostShards = 1;
 
     // --- fault handling / migration ---------------------------------------
     /**

@@ -1,6 +1,8 @@
 #ifndef TRANSFW_INTERCONNECT_NETWORK_HPP
 #define TRANSFW_INTERCONNECT_NETWORK_HPP
 
+#include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -14,23 +16,48 @@ enum class Topology
 {
     AllToAll, ///< a direct link between every ordered GPU pair
     Ring,     ///< neighbour links only; traffic hops the shorter arc
+    Mesh2D,   ///< near-square grid; dimension-order (X-then-Y) routing
+    Switch,   ///< two-level switch tree: GPU → leaf → root → leaf → GPU
 };
+
+/** Short lowercase name for config keys and CLI parsing. */
+inline const char *
+topologyName(Topology t)
+{
+    switch (t) {
+    case Topology::AllToAll: return "a2a";
+    case Topology::Ring: return "ring";
+    case Topology::Mesh2D: return "mesh";
+    case Topology::Switch: return "switch";
+    }
+    return "?";
+}
 
 /**
  * The system interconnect: a PCIe-class star between the host and every
  * GPU (one uplink + one downlink per GPU, so fault traffic from
- * different GPUs does not serialize on one shared pipe) plus GPU-GPU
- * peer links (NVLink-class) in either an all-to-all mesh or a ring.
- * Page migration and Trans-FW's remote forwarding use the routed
- * sendPeer* API, which traverses every hop of a ring path.
+ * different GPUs does not serialize on one shared pipe) plus a
+ * topology-parameterized GPU-GPU fabric (NVLink-class): all-to-all,
+ * ring, 2D mesh, or a two-level switch hierarchy. Page migration and
+ * Trans-FW's remote forwarding use the routed sendPeer* API, which
+ * traverses — and occupies — every hop of the topology path, so
+ * per-hop propagation latency and per-link bandwidth contention are
+ * both modeled.
+ *
+ * Links are allocated per topology edge only: a 64-GPU ring owns 128
+ * directed peer links, not 64² slots. Node ids 0..numGpus-1 are GPUs;
+ * the Switch topology appends leaf-switch nodes and one root node
+ * after them (internal to routing — the public API still speaks GPU
+ * indices).
  */
 class Network
 {
   public:
     Network(sim::EventQueue &eq, int num_gpus, const LinkConfig &host,
-            const LinkConfig &peer, Topology topology = Topology::AllToAll)
+            const LinkConfig &peer, Topology topology = Topology::AllToAll,
+            int mesh_cols = 0, int switch_radix = 8)
         : eq_(eq), numGpus_(num_gpus), topology_(topology),
-          peerConfig_(peer)
+          peerConfig_(peer), switchRadix_(switch_radix)
     {
         for (int g = 0; g < num_gpus; ++g) {
             up_.push_back(std::make_unique<Link>(
@@ -38,15 +65,7 @@ class Network
             down_.push_back(std::make_unique<Link>(
                 eq, sim::strfmt("net.host.to_gpu%d", g), host));
         }
-        peers_.resize(static_cast<std::size_t>(num_gpus) * num_gpus);
-        for (int a = 0; a < num_gpus; ++a) {
-            for (int b = 0; b < num_gpus; ++b) {
-                if (a == b || !directLink(a, b))
-                    continue;
-                peers_[peerIdx(a, b)] = std::make_unique<Link>(
-                    eq, sim::strfmt("net.gpu%d.to_gpu%d", a, b), peer);
-            }
-        }
+        buildFabric(mesh_cols);
     }
 
     /** GPU @p gpu → host link. */
@@ -63,7 +82,7 @@ class Network
      * clock (curTick / busyUntil accounting) and its default delivery
      * target, so it must belong to the one lane that calls its send
      * methods: GPU @p g's uplink is driven by lane g (far faults,
-     * remote-lookup notifications), while downlinks and every peer
+     * remote-lookup notifications), while downlinks and every fabric
      * link are driven by the host lane (replies, forwards, page
      * transfers, migration routing). Call once, before any traffic.
      */
@@ -77,14 +96,14 @@ class Network
             down_[static_cast<std::size_t>(g)]->rebindEventQueue(
                 host_lane);
         }
-        for (auto &link : peers_)
-            if (link)
-                link->rebindEventQueue(host_lane);
+        for (auto &node : adj_)
+            for (auto &edge : node)
+                edge.link->rebindEventQueue(host_lane);
     }
 
     /**
-     * Routed bulk transfer GPU @p from → GPU @p to; on a ring the
-     * payload traverses (and occupies) every hop of the shorter arc.
+     * Routed bulk transfer GPU @p from → GPU @p to; the payload
+     * traverses (and occupies) every hop of the topology path.
      * @p done fires at final delivery.
      */
     void
@@ -108,10 +127,13 @@ class Network
     {
         if (from == to)
             return 0;
-        if (topology_ == Topology::AllToAll)
-            return 1;
-        int d = std::abs(from - to);
-        return std::min(d, numGpus_ - d);
+        int hops = 0;
+        int node = from;
+        while (node != to) {
+            node = nextNode(node, to);
+            ++hops;
+        }
+        return hops;
     }
 
     /** End-to-end propagation latency of the peer route. */
@@ -124,6 +146,18 @@ class Network
 
     int numGpus() const { return numGpus_; }
     Topology topology() const { return topology_; }
+    int meshCols() const { return meshCols_; }
+    int switchRadix() const { return switchRadix_; }
+
+    /** Directed fabric links actually allocated (per-edge, not N²). */
+    std::size_t
+    fabricLinkCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &node : adj_)
+            n += node.size();
+        return n;
+    }
 
     /**
      * Topology-aware GPU ordering for lane-group assignment: GPUs
@@ -132,31 +166,44 @@ class Network
      * sequence is the right set to co-schedule on one worker (their
      * mutual traffic has the smallest lower-bound latencies, and
      * block-partitioning keeps each worker walking a compact slice of
-     * per-GPU state). On a ring this is the ring walk itself; on
-     * all-to-all every pair is equidistant and index order is already
-     * optimal. Future hierarchical topologies (mesh, switch trees)
-     * supply their own traversal here without the scheduler changing.
+     * per-GPU state). Ring: identity is the adjacency walk. Mesh: the
+     * boustrophedon (snake) walk — consecutive entries are always grid
+     * neighbours. Switch: identity keeps each leaf's GPU group
+     * index-contiguous. All-to-all: every pair is equidistant, index
+     * order is already optimal.
      */
     std::vector<int>
     laneAffinityOrder() const
     {
-        std::vector<int> order(static_cast<std::size_t>(numGpus_));
-        for (int g = 0; g < numGpus_; ++g)
-            order[static_cast<std::size_t>(g)] = g;
-        // Ring: identity *is* the adjacency walk (g and g+1 share a
-        // link). All-to-all: any order is an adjacency walk.
+        std::vector<int> order;
+        order.reserve(static_cast<std::size_t>(numGpus_));
+        if (topology_ == Topology::Mesh2D) {
+            int rows = (numGpus_ + meshCols_ - 1) / meshCols_;
+            for (int r = 0; r < rows; ++r) {
+                for (int i = 0; i < meshCols_; ++i) {
+                    int c = (r % 2 == 0) ? i : meshCols_ - 1 - i;
+                    int g = r * meshCols_ + c;
+                    if (g < numGpus_)
+                        order.push_back(g);
+                }
+            }
+        } else {
+            for (int g = 0; g < numGpus_; ++g)
+                order.push_back(g);
+        }
         return order;
     }
 
-    /** Direct link accessor (tests; neighbours only on a ring). */
+    /** Direct link accessor (tests; only actual topology edges). */
     Link &
     peer(int from, int to)
     {
         if (from == to)
             sim::panic("peer link to self");
-        Link *link = peers_[peerIdx(from, to)].get();
+        Link *link = findEdge(from, to);
         if (!link)
-            sim::panic("no direct link between these GPUs (ring)");
+            sim::panic("no direct link between these GPUs "
+                       "(ring/mesh/switch topologies route hop-by-hop)");
         return *link;
     }
 
@@ -168,9 +215,9 @@ class Network
             l->registerMetrics(reg);
         for (const auto &l : down_)
             l->registerMetrics(reg);
-        for (const auto &l : peers_)
-            if (l)
-                l->registerMetrics(reg);
+        for (const auto &node : adj_)
+            for (const auto &edge : node)
+                edge.link->registerMetrics(reg);
     }
 
     /** Total bytes moved over every link (for traffic accounting). */
@@ -182,29 +229,148 @@ class Network
             total += l->bytesSent();
         for (const auto &l : down_)
             total += l->bytesSent();
-        for (const auto &l : peers_)
-            total += l ? l->bytesSent() : 0;
+        for (const auto &node : adj_)
+            for (const auto &edge : node)
+                total += edge.link->bytesSent();
         return total;
     }
 
   private:
-    bool
-    directLink(int a, int b) const
+    struct Edge
     {
-        if (topology_ == Topology::AllToAll)
-            return true;
-        int d = std::abs(a - b);
-        return d == 1 || d == numGpus_ - 1;
+        int to;
+        std::unique_ptr<Link> link;
+    };
+
+    /** Leaf-switch node id serving GPU @p gpu (Switch topology). */
+    int leafNode(int gpu) const { return numGpus_ + gpu / switchRadix_; }
+    int rootNode() const { return numGpus_ + numLeaves_; }
+
+    void
+    buildFabric(int mesh_cols)
+    {
+        int num_nodes = numGpus_;
+        if (topology_ == Topology::Mesh2D) {
+            meshCols_ = mesh_cols > 0
+                            ? mesh_cols
+                            : static_cast<int>(std::ceil(
+                                  std::sqrt(static_cast<double>(numGpus_))));
+            if (meshCols_ < 1)
+                meshCols_ = 1;
+        }
+        if (topology_ == Topology::Switch) {
+            if (switchRadix_ < 1)
+                sim::panic("switch radix must be >= 1");
+            numLeaves_ = (numGpus_ + switchRadix_ - 1) / switchRadix_;
+            num_nodes = numGpus_ + numLeaves_ +
+                        (numLeaves_ > 1 ? 1 : 0); // + root
+        }
+        adj_.resize(static_cast<std::size_t>(num_nodes));
+
+        auto add = [this](int a, int b, std::string name) {
+            adj_[static_cast<std::size_t>(a)].push_back(Edge{
+                b, std::make_unique<Link>(eq_, std::move(name),
+                                          peerConfig_)});
+        };
+        auto addGpuPair = [&](int a, int b) {
+            add(a, b, sim::strfmt("net.gpu%d.to_gpu%d", a, b));
+        };
+
+        switch (topology_) {
+        case Topology::AllToAll:
+            for (int a = 0; a < numGpus_; ++a)
+                for (int b = 0; b < numGpus_; ++b)
+                    if (a != b)
+                        addGpuPair(a, b);
+            break;
+        case Topology::Ring:
+            for (int a = 0; a < numGpus_; ++a)
+                for (int b = 0; b < numGpus_; ++b) {
+                    int d = std::abs(a - b);
+                    if (a != b && (d == 1 || d == numGpus_ - 1))
+                        addGpuPair(a, b);
+                }
+            break;
+        case Topology::Mesh2D:
+            for (int g = 0; g < numGpus_; ++g) {
+                int r = g / meshCols_;
+                int c = g % meshCols_;
+                if (c + 1 < meshCols_ && g + 1 < numGpus_)
+                    addGpuPair(g, g + 1);
+                if (c > 0)
+                    addGpuPair(g, g - 1);
+                if (g + meshCols_ < numGpus_)
+                    addGpuPair(g, g + meshCols_);
+                if (r > 0)
+                    addGpuPair(g, g - meshCols_);
+            }
+            break;
+        case Topology::Switch:
+            for (int g = 0; g < numGpus_; ++g) {
+                int leaf = g / switchRadix_;
+                add(g, leafNode(g),
+                    sim::strfmt("net.gpu%d.to_sw%d", g, leaf));
+                add(leafNode(g), g,
+                    sim::strfmt("net.sw%d.to_gpu%d", leaf, g));
+            }
+            for (int l = 0; l < numLeaves_ && numLeaves_ > 1; ++l) {
+                add(numGpus_ + l, rootNode(),
+                    sim::strfmt("net.sw%d.to_root", l));
+                add(rootNode(), numGpus_ + l,
+                    sim::strfmt("net.root.to_sw%d", l));
+            }
+            break;
+        }
     }
 
-    /** Next GPU on the shorter ring arc from @p from toward @p to. */
-    int
-    nextHop(int from, int to) const
+    Link *
+    findEdge(int from, int to) const
     {
-        int forward = (to - from + numGpus_) % numGpus_;
-        int backward = (from - to + numGpus_) % numGpus_;
-        return forward <= backward ? (from + 1) % numGpus_
-                                   : (from - 1 + numGpus_) % numGpus_;
+        for (const auto &edge : adj_.at(static_cast<std::size_t>(from)))
+            if (edge.to == to)
+                return edge.link.get();
+        return nullptr;
+    }
+
+    /**
+     * Next node on the route toward GPU @p to. @p from may be an
+     * internal switch node mid-route; @p to is always a GPU.
+     */
+    int
+    nextNode(int from, int to) const
+    {
+        switch (topology_) {
+        case Topology::AllToAll:
+            return to;
+        case Topology::Ring: {
+            int forward = (to - from + numGpus_) % numGpus_;
+            int backward = (from - to + numGpus_) % numGpus_;
+            return forward <= backward ? (from + 1) % numGpus_
+                                       : (from - 1 + numGpus_) % numGpus_;
+        }
+        case Topology::Mesh2D: {
+            int r1 = from / meshCols_, c1 = from % meshCols_;
+            int r2 = to / meshCols_, c2 = to % meshCols_;
+            if (c1 != c2) {
+                // X first; fall through to Y only when the X step would
+                // leave the populated grid (ragged last row).
+                int cand = r1 * meshCols_ + c1 + (c2 > c1 ? 1 : -1);
+                if (cand < numGpus_)
+                    return cand;
+            }
+            return (r1 + (r2 > r1 ? 1 : -1)) * meshCols_ + c1;
+        }
+        case Topology::Switch: {
+            if (from < numGpus_)
+                return leafNode(from); // GPU → its leaf switch
+            if (from == rootNode() && numLeaves_ > 1)
+                return leafNode(to); // root → destination leaf
+            // Leaf switch: down to the GPU if local, else up to root.
+            return leafNode(to) == from ? to : rootNode();
+        }
+        }
+        sim::panic("unknown topology");
+        return to;
     }
 
     void
@@ -213,9 +379,10 @@ class Network
     {
         if (from == to)
             sim::panic("peer route to self");
-        int hop = topology_ == Topology::AllToAll ? to
-                                                  : nextHop(from, to);
-        Link &link = *peers_[peerIdx(from, hop)];
+        int hop = nextNode(from, to);
+        Link *link = findEdge(from, hop);
+        if (!link)
+            sim::panic("missing fabric link on route");
         auto forward_rest = [this, hop, to, bytes, ctrl,
                              done = std::move(done)]() mutable {
             if (hop == to) {
@@ -225,25 +392,22 @@ class Network
             }
         };
         if (ctrl)
-            link.sendCtrl(bytes, std::move(forward_rest));
+            link->sendCtrl(bytes, std::move(forward_rest));
         else
-            link.send(bytes, std::move(forward_rest));
-    }
-
-    std::size_t
-    peerIdx(int from, int to) const
-    {
-        return static_cast<std::size_t>(from) * numGpus_ +
-               static_cast<std::size_t>(to);
+            link->send(bytes, std::move(forward_rest));
     }
 
     sim::EventQueue &eq_;
     int numGpus_;
     Topology topology_;
     LinkConfig peerConfig_;
+    int meshCols_ = 0;    ///< resolved grid width (Mesh2D only)
+    int switchRadix_ = 8; ///< GPUs per leaf switch (Switch only)
+    int numLeaves_ = 0;   ///< leaf-switch count (Switch only)
     std::vector<std::unique_ptr<Link>> up_;
     std::vector<std::unique_ptr<Link>> down_;
-    std::vector<std::unique_ptr<Link>> peers_;
+    /** Adjacency lists over node ids; owns every fabric link. */
+    std::vector<std::vector<Edge>> adj_;
 };
 
 } // namespace transfw::ic

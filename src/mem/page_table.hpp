@@ -21,7 +21,7 @@ struct PageInfo
 {
     Ppn ppn = 0;               ///< frame number on the owning device
     DeviceId owner = kCpuDevice; ///< device whose memory backs the page
-    std::uint32_t replicaMask = 0; ///< GPUs holding read replicas (bit per GPU)
+    std::uint64_t replicaMask = 0; ///< GPUs holding read replicas (bit per GPU)
     bool writable = true;
     bool remote = false;       ///< local PTE maps a peer GPU's memory
                                ///  (remote-mapping mode, Section V-E)

@@ -9,15 +9,24 @@ namespace transfw::mmu {
 HostMmu::HostMmu(sim::EventQueue &eq, const cfg::SystemConfig &config,
                  mem::PageTable &central, uvm::MigrationEngine &engine,
                  core::ForwardingTable *ft, std::vector<GpuIface *> gpus,
-                 sim::Rng &rng)
-    : SimObject(eq, "host_mmu"), cfg_(config), central_(central),
-      engine_(engine), ft_(ft), gpus_(std::move(gpus)), rng_(rng),
-      tlb_("host_mmu.tlb", config.hostTlb),
+                 sim::Rng &rng, int shard, int num_shards)
+    : SimObject(eq, num_shards > 1 ? sim::strfmt("host_mmu.s%d", shard)
+                                   : "host_mmu"),
+      cfg_(config), central_(central), engine_(engine), ft_(ft),
+      gpus_(std::move(gpus)), rng_(rng),
+      tlb_(num_shards > 1 ? sim::strfmt("host_mmu.s%d.tlb", shard)
+                          : "host_mmu.tlb",
+           config.hostTlb),
       pwc_(pwc::makePwc(config.oracle.infinitePwc ? pwc::PwcKind::Infinite
                                                   : config.pwcKind,
                         config.pwcEntries, config.geometry()))
 {
-    engine_.onOwnerChanged = [this](mem::Vpn vpn) { tlb_.invalidate(vpn); };
+    // Single-IOMMU mode wires the shootdown directly; a cluster routes
+    // owner-change shootdowns to the responsible shard(s) itself.
+    if (num_shards == 1)
+        engine_.onOwnerChanged = [this](mem::Vpn vpn) {
+            tlb_.invalidate(vpn);
+        };
 }
 
 void

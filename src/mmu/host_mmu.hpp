@@ -59,10 +59,18 @@ class HostMmu : public sim::SimObject
         stats::BucketHistogram remoteProbeLevels{8};
     };
 
+    /**
+     * @p shard / @p num_shards: position within a sharded IOMMU (see
+     * HostMmuCluster). The defaults build the paper's single IOMMU:
+     * the historical "host_mmu" name and the owner-change → host-TLB
+     * shootdown wired directly to the engine. With num_shards > 1 the
+     * cluster owns that wiring (it must fan the shootdown out to the
+     * right shard TLBs) and shards get distinct names.
+     */
     HostMmu(sim::EventQueue &eq, const cfg::SystemConfig &config,
             mem::PageTable &central, uvm::MigrationEngine &engine,
             core::ForwardingTable *ft, std::vector<GpuIface *> gpus,
-            sim::Rng &rng);
+            sim::Rng &rng, int shard = 0, int num_shards = 1);
 
     /** A far fault arrived over the CPU-GPU interconnect. */
     void handleFault(XlatPtr req);

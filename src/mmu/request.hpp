@@ -26,6 +26,7 @@ struct XlatRequest : public sim::Pooled<XlatRequest>
     mem::Vpn vpn = 0;   ///< in system page units (4 KB or 2 MB)
     int gpu = 0;        ///< requesting GPU
     int cu = 0;         ///< requesting CU (for L1 fill)
+    int hostShard = 0;  ///< host-MMU shard handling the far fault
     bool isWrite = false;
     bool protectionFault = false; ///< write hit on a read-only replica
 

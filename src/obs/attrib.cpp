@@ -24,6 +24,8 @@ bucketName(AttribBucket b)
         return "network";
       case AttribBucket::HostTlb:
         return "hostTlb";
+      case AttribBucket::HostRoute:
+        return "hostRoute";
       case AttribBucket::HostQueue:
         return "hostQueue";
       case AttribBucket::HostWalkMem:

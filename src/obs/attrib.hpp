@@ -35,6 +35,7 @@ enum class AttribBucket : std::uint8_t
     LeastTlbProbe, ///< sibling-L2 probe (Least-TLB comparison mode)
     Network,       ///< CPU-GPU / GPU-GPU interconnect hops
     HostTlb,       ///< host MMU TLB lookup on fault admission
+    HostRoute,     ///< IOMMU shard-steering crossbar (hostShards > 1)
     HostQueue,     ///< host PW-queue / driver walk-queue wait
     HostWalkMem,   ///< host walk memory accesses (hardware or software)
     FtProbe,       ///< driver-side Forwarding Table probe (CPU memory)
@@ -72,6 +73,7 @@ fieldOf(AttribBucket b)
         return LatField::GmmuQueue;
       case AttribBucket::GmmuWalkMem:
         return LatField::GmmuMem;
+      case AttribBucket::HostRoute:
       case AttribBucket::HostQueue:
         return LatField::HostQueue;
       case AttribBucket::HostWalkMem:

@@ -233,6 +233,32 @@ toRegistry(const SimResults &results)
         registry.set(std::string("attrib.") + obs::bucketName(bucket),
                      results.attribution.bucket[b]);
     }
+    // Host-MMU sharding: these keys exist only when the run actually
+    // sharded (hostShards > 1), so single-shard registries — and the
+    // golden ledger built from them — keep the pre-shard key set.
+    if (!results.hostShardWalks.empty()) {
+        registry.set("shard.count",
+                     static_cast<double>(results.hostShardWalks.size()));
+        registry.set("shard.routedFaults",
+                     static_cast<double>(results.hostRoutedFaults));
+        registry.set(
+            "shard.ftReplicaUpdates",
+            static_cast<double>(results.ftReplicaUpdates));
+        registry.set(
+            "shard.ftReplicaInvalidations",
+            static_cast<double>(results.ftReplicaInvalidations));
+        for (std::size_t s = 0; s < results.hostShardWalks.size();
+             ++s) {
+            registry.set(
+                sim::strfmt("shard.s%zu.walks", s),
+                static_cast<double>(results.hostShardWalks[s]));
+            registry.set(sim::strfmt("shard.s%zu.queueWaitMean", s),
+                         results.hostShardQueueWaitMean[s]);
+            registry.set(
+                sim::strfmt("shard.s%zu.maxQueueDepth", s),
+                static_cast<double>(results.hostShardMaxQueueDepth[s]));
+        }
+    }
     return registry;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/attrib.hpp"
 #include "obs/histogram.hpp"
@@ -64,7 +65,7 @@ struct SimResults
 
     // --- page sharing (Figs. 7, 24): bucket k = accesses to pages
     //     touched by exactly k GPUs ------------------------------------------
-    stats::BucketHistogram sharingAccesses{33};
+    stats::BucketHistogram sharingAccesses{65};
     std::uint64_t sharedPageReads = 0;  ///< reads to >=2-GPU pages
     std::uint64_t sharedPageWrites = 0;
 
@@ -84,6 +85,19 @@ struct SimResults
     std::uint64_t gmmuRemoteMemAccesses = 0;///< serving remote lookups
     std::uint64_t hostWalks = 0;
     std::uint64_t hostWalkMemAccesses = 0;
+
+    // --- host-MMU sharding (pod scale-out; empty when hostShards == 1) -------
+    /** Faults that crossed the shard-steering crossbar. */
+    std::uint64_t hostRoutedFaults = 0;
+    /** Per-shard walk counts (size == hostShards when sharded). */
+    std::vector<std::uint64_t> hostShardWalks;
+    /** Per-shard PW-queue wait means — the study's occupancy signal. */
+    std::vector<double> hostShardQueueWaitMean;
+    /** Per-shard peak PW-queue depth. */
+    std::vector<std::uint64_t> hostShardMaxQueueDepth;
+    /** Replicated-FT coherence traffic (0 under partitioning). */
+    std::uint64_t ftReplicaUpdates = 0;
+    std::uint64_t ftReplicaInvalidations = 0;
 
     // --- page movement --------------------------------------------------------
     std::uint64_t migrations = 0;

@@ -16,7 +16,7 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
       central_(config.geometry()),
       cpuFrames_(256ULL << 30, config.pageShift),
       net_(hostEq_, config.numGpus, config.hostLink, config.peerLink,
-           config.peerTopology),
+           config.peerTopology, config.meshCols, config.switchRadix),
       scheduler_(workload, config.numGpus)
 {
     cfg_.validate();
@@ -42,7 +42,8 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
                                 laneWindows_.end());
 
     if (cfg_.transFw.enabled)
-        ft_ = std::make_unique<core::ForwardingTable>(cfg_.transFw);
+        ft_ = std::make_unique<core::FtCluster>(cfg_.transFw,
+                                                cfg_.hostShards);
 
     for (int g = 0; g < cfg_.numGpus; ++g) {
         gpuQs_.push_back(std::make_unique<sim::EventQueue>());
@@ -70,7 +71,7 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
         hostEq_, cfg_, central_, ifaces, net_, ft_.get());
 
     if (cfg_.faultMode == cfg::FaultMode::HostMmu) {
-        hostMmu_ = std::make_unique<mmu::HostMmu>(
+        hostMmu_ = std::make_unique<mmu::HostMmuCluster>(
             hostEq_, cfg_, central_, *engine_, ft_.get(), ifaces, rng_);
         hostMmu_->onResolved = [this](mmu::XlatPtr req) {
             int g = req->gpu;
@@ -345,7 +346,7 @@ MultiGpuSystem::wireGpu(int g)
         // Runs on GPU lane g: update this lane's shard only.
         PageSharing &ps =
             sharingShards_[static_cast<std::size_t>(g)].map[vpn];
-        ps.gpuMask |= 1u << from;
+        ps.gpuMask |= std::uint64_t{1} << from;
         if (write)
             ++ps.writes;
         else
@@ -456,7 +457,7 @@ MultiGpuSystem::placeInitialPages()
             for (auto &g : gpus_) {
                 g->localPageTable().map(
                     vpn, mem::PageInfo{g->frames().allocate(), g->id(),
-                                       1u << g->id(), true, false});
+                                       std::uint64_t{1} << g->id(), true, false});
             }
             continue;
         }
@@ -476,8 +477,8 @@ MultiGpuSystem::placeInitialPages()
         gpu::Gpu &g = *gpus_[static_cast<std::size_t>(owner)];
         mem::Ppn ppn = g.frames().allocate();
         g.localPageTable().map(
-            vpn, mem::PageInfo{ppn, owner, 1u << owner, true, false});
-        central_.map(vpn, mem::PageInfo{ppn, owner, 1u << owner, true,
+            vpn, mem::PageInfo{ppn, owner, std::uint64_t{1} << owner, true, false});
+        central_.map(vpn, mem::PageInfo{ppn, owner, std::uint64_t{1} << owner, true,
                                         false});
         if (auto *prt = g.prt())
             prt->pageArrived(vpn);
@@ -823,22 +824,51 @@ MultiGpuSystem::collect()
                      : 0.0;
 
     if (hostMmu_) {
-        const mmu::HostMmu::Stats &hs = hostMmu_->stats();
-        r.hostTlbHitRate = hostMmu_->tlb().hitRate();
-        r.hostWalks = hs.walks;
-        r.hostWalkMemAccesses = hs.memAccesses;
-        r.forwards = hs.forwards;
-        r.forwardSuccess = hs.forwardSuccess;
-        r.forwardFail = hs.forwardFail;
-        r.duplicateWalks = hs.duplicateWalks;
-        r.removedFromQueue = hs.removedFromQueue;
-        r.hostQueueWaitMean = hs.queueWait.mean();
-        r.hostQueueOverflows = hs.queueOverflows;
-        const pwc::PageWalkCache &pwc = hostMmu_->pwc();
-        for (std::size_t b = 0; b < pwc.hitLevels().buckets(); ++b)
-            r.hostPwcLevels.record(b, pwc.hitLevels().bucket(b));
-        for (std::size_t b = 0; b < hs.remoteProbeLevels.buckets(); ++b)
-            r.remoteProbeLevels.record(b, hs.remoteProbeLevels.bucket(b));
+        // Sum over the IOMMU shards (one iteration, the exact pre-shard
+        // values, when hostShards == 1). The per-shard vectors stay
+        // empty in that case so K = 1 reports are byte-identical.
+        const int shards = hostMmu_->shards();
+        r.hostTlbHitRate = hostMmu_->tlbHitRate();
+        r.hostRoutedFaults = hostMmu_->routedFaults();
+        double host_wait_sum = 0;
+        std::uint64_t host_wait_n = 0;
+        for (int s = 0; s < shards; ++s) {
+            mmu::HostMmu &shard = hostMmu_->shard(s);
+            const mmu::HostMmu::Stats &hs = shard.stats();
+            r.hostWalks += hs.walks;
+            r.hostWalkMemAccesses += hs.memAccesses;
+            r.forwards += hs.forwards;
+            r.forwardSuccess += hs.forwardSuccess;
+            r.forwardFail += hs.forwardFail;
+            r.duplicateWalks += hs.duplicateWalks;
+            r.removedFromQueue += hs.removedFromQueue;
+            r.hostQueueOverflows += hs.queueOverflows;
+            host_wait_sum += hs.queueWait.sum();
+            host_wait_n += hs.queueWait.count();
+            const pwc::PageWalkCache &pwc = shard.pwc();
+            for (std::size_t b = 0; b < pwc.hitLevels().buckets(); ++b)
+                r.hostPwcLevels.record(b, pwc.hitLevels().bucket(b));
+            for (std::size_t b = 0; b < hs.remoteProbeLevels.buckets();
+                 ++b)
+                r.remoteProbeLevels.record(
+                    b, hs.remoteProbeLevels.bucket(b));
+            if (shards > 1) {
+                r.hostShardWalks.push_back(hs.walks);
+                r.hostShardQueueWaitMean.push_back(hs.queueWait.mean());
+                r.hostShardMaxQueueDepth.push_back(
+                    static_cast<std::uint64_t>(hs.maxQueueDepth));
+            }
+        }
+        // K = 1 must report the shard's own Welford mean bit-for-bit
+        // (sum/count reconstruction differs in the last ulp); the
+        // cross-shard aggregate only exists when there are shards to
+        // aggregate.
+        r.hostQueueWaitMean =
+            shards == 1
+                ? hostMmu_->shard(0).stats().queueWait.mean()
+                : (host_wait_n ? host_wait_sum /
+                                     static_cast<double>(host_wait_n)
+                               : 0.0);
     }
     if (driver_) {
         const uvm::UvmDriver::Stats &ds = driver_->stats();
@@ -854,6 +884,8 @@ MultiGpuSystem::collect()
         r.ftLookups = ft_->lookups();
         r.ftHits = ft_->hits();
         r.ftOverflows = ft_->overflowEvictions();
+        r.ftReplicaUpdates = ft_->replicaUpdates();
+        r.ftReplicaInvalidations = ft_->replicaInvalidations();
     }
 
     const uvm::MigrationEngine::Stats &es = engine_->stats();

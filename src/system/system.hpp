@@ -9,14 +9,14 @@
 #include "gpu/cta_scheduler.hpp"
 #include "gpu/gpu.hpp"
 #include "interconnect/network.hpp"
-#include "mmu/host_mmu.hpp"
+#include "mmu/host_mmu_cluster.hpp"
 #include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/flat_map.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/random.hpp"
 #include "system/results.hpp"
-#include "transfw/forwarding_table.hpp"
+#include "transfw/ft_cluster.hpp"
 #include "uvm/migration.hpp"
 #include "uvm/uvm_driver.hpp"
 #include "workload/workload.hpp"
@@ -67,10 +67,21 @@ class MultiGpuSystem
 
     // --- component access (tests, characterization probes) ----------------
     gpu::Gpu &gpuAt(int gpu) { return *gpus_[static_cast<std::size_t>(gpu)]; }
-    mmu::HostMmu *hostMmu() { return hostMmu_.get(); }
+    /** Shard 0 of the host MMU (the whole MMU when hostShards == 1). */
+    mmu::HostMmu *hostMmu()
+    {
+        return hostMmu_ ? &hostMmu_->shard(0) : nullptr;
+    }
+    mmu::HostMmuCluster *hostMmuCluster() { return hostMmu_.get(); }
     uvm::UvmDriver *uvmDriver() { return driver_.get(); }
     uvm::MigrationEngine &migrationEngine() { return *engine_; }
-    core::ForwardingTable *forwardingTable() { return ft_.get(); }
+    /** Shard 0's FT slice (the whole FT when hostShards == 1). */
+    core::ForwardingTable *forwardingTable()
+    {
+        return ft_ ? &ft_->table(0) : nullptr;
+    }
+    core::FtCluster *ftCluster() { return ft_.get(); }
+    ic::Network &network() { return net_; }
     mem::PageTable &centralPageTable() { return central_; }
     /** The host lane's queue (runs in host-exclusive single-tick
      *  stretches between parallel GPU segments). */
@@ -101,7 +112,7 @@ class MultiGpuSystem
   private:
     struct PageSharing
     {
-        std::uint32_t gpuMask = 0;
+        std::uint64_t gpuMask = 0;
         std::uint64_t reads = 0;
         std::uint64_t writes = 0;
     };
@@ -191,10 +202,10 @@ class MultiGpuSystem
     mem::FrameAllocator cpuFrames_;
     ic::Network net_;
 
-    std::unique_ptr<core::ForwardingTable> ft_;
+    std::unique_ptr<core::FtCluster> ft_;
     std::vector<std::unique_ptr<gpu::Gpu>> gpus_;
     std::unique_ptr<uvm::MigrationEngine> engine_;
-    std::unique_ptr<mmu::HostMmu> hostMmu_;
+    std::unique_ptr<mmu::HostMmuCluster> hostMmu_;
     std::unique_ptr<uvm::UvmDriver> driver_;
     gpu::CtaScheduler scheduler_;
     std::vector<std::unique_ptr<gpu::ComputeUnit>> cus_;

@@ -48,6 +48,8 @@ class ForwardingTable
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t bits() const { return filter_.bits(); }
+    std::uint64_t kicks() const { return filter_.kicks(); }
+    std::uint64_t probes() const { return probes_; }
     double loadFactor() const { return filter_.loadFactor(); }
     std::uint64_t overflowEvictions() const
     {

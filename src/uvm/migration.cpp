@@ -11,7 +11,7 @@ MigrationEngine::MigrationEngine(sim::EventQueue &eq,
                                  mem::PageTable &central,
                                  std::vector<mmu::GpuIface *> gpus,
                                  ic::Network &net,
-                                 core::ForwardingTable *ft)
+                                 core::FtCluster *ft)
     : SimObject(eq, "uvm.migration"), cfg_(config), central_(central),
       gpus_(std::move(gpus)), net_(net), ft_(ft)
 {}
@@ -125,7 +125,7 @@ MigrationEngine::mapLocal(int gpu, mem::Vpn vpn, bool writable)
     mmu::GpuIface &gi = *gpus_[static_cast<std::size_t>(gpu)];
     mem::Ppn ppn = gi.frames().allocate();
     gi.localPageTable().map(
-        vpn, mem::PageInfo{ppn, gpu, 1u << gpu, writable, false});
+        vpn, mem::PageInfo{ppn, gpu, std::uint64_t{1} << gpu, writable, false});
     if (auto *prt = gi.prt())
         prt->pageArrived(vpn);
     if (ft_)
@@ -227,7 +227,7 @@ MigrationEngine::migrate(mmu::XlatPtr req, mem::PageInfo &info,
             mem::PageInfo *info = central_.lookup(req->vpn);
             info->owner = dst;
             info->ppn = entry.ppn;
-            info->replicaMask = 1u << dst;
+            info->replicaMask = std::uint64_t{1} << dst;
             info->writable = true;
             complete(req->vpn, entry, std::move(done));
         });
@@ -251,7 +251,7 @@ MigrationEngine::replicate(mmu::XlatPtr req, mem::PageInfo &info,
         }
     }
     info.writable = false;
-    info.replicaMask |= 1u << dst;
+    info.replicaMask |= std::uint64_t{1} << dst;
     if (onOwnerChanged)
         onOwnerChanged(req->vpn);
 
@@ -305,7 +305,7 @@ MigrationEngine::writeUpgrade(mmu::XlatPtr req, mem::PageInfo &info,
         mem::PageInfo *info = central_.lookup(req->vpn);
         info->owner = dst;
         info->ppn = entry.ppn;
-        info->replicaMask = 1u << dst;
+        info->replicaMask = std::uint64_t{1} << dst;
         info->writable = true;
         complete(req->vpn, entry, std::move(done));
     };
@@ -339,7 +339,7 @@ MigrationEngine::remoteMap(mmu::XlatPtr req, mem::PageInfo &info,
 {
     ++stats_.remoteMappings;
     int dst = req->gpu;
-    info.replicaMask |= 1u << dst;
+    info.replicaMask |= std::uint64_t{1} << dst;
     mmu::charge(*req, attrib_, obs::AttribBucket::PteInstall,
                 static_cast<double>(cfg_.memLatency), curTick());
     schedule(cfg_.memLatency, [this, req, done = std::move(done)]() mutable {
@@ -390,7 +390,7 @@ MigrationEngine::counterMigrate(mem::Vpn vpn, int gpu)
             mem::PageInfo *info = central_.lookup(vpn);
             info->owner = gpu;
             info->ppn = entry.ppn;
-            info->replicaMask = 1u << gpu;
+            info->replicaMask = std::uint64_t{1} << gpu;
             info->writable = true;
             releasePage(vpn);
         });

@@ -14,7 +14,7 @@
 #include "obs/self_profiler.hpp"
 #include "sim/flat_map.hpp"
 #include "sim/sim_object.hpp"
-#include "transfw/forwarding_table.hpp"
+#include "transfw/ft_cluster.hpp"
 
 namespace transfw::uvm {
 
@@ -51,7 +51,7 @@ class MigrationEngine : public sim::SimObject
     MigrationEngine(sim::EventQueue &eq, const cfg::SystemConfig &config,
                     mem::PageTable &central,
                     std::vector<mmu::GpuIface *> gpus, ic::Network &net,
-                    core::ForwardingTable *ft);
+                    core::FtCluster *ft);
 
     /**
      * Resolve the placement side of a fault whose central-table entry
@@ -156,7 +156,7 @@ class MigrationEngine : public sim::SimObject
     mem::PageTable &central_;
     std::vector<mmu::GpuIface *> gpus_;
     ic::Network &net_;
-    core::ForwardingTable *ft_;
+    core::FtCluster *ft_;
     Stats stats_;
     obs::AttribSink *attrib_ = nullptr;
     obs::SelfProfiler *profiler_ = nullptr;

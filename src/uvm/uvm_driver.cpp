@@ -7,7 +7,7 @@ namespace transfw::uvm {
 
 UvmDriver::UvmDriver(sim::EventQueue &eq, const cfg::SystemConfig &config,
                      mem::PageTable &central, MigrationEngine &engine,
-                     core::ForwardingTable *ft, sim::Rng &rng)
+                     core::FtCluster *ft, sim::Rng &rng)
     : SimObject(eq, "uvm_driver"), cfg_(config), central_(central),
       engine_(engine), ft_(ft), rng_(rng),
       pwc_(pwc::makePwc(config.oracle.infinitePwc ? pwc::PwcKind::Infinite

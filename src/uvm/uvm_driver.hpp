@@ -15,7 +15,7 @@
 #include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 #include "sim/sim_object.hpp"
-#include "transfw/forwarding_table.hpp"
+#include "transfw/ft_cluster.hpp"
 #include "uvm/migration.hpp"
 
 namespace transfw::uvm {
@@ -49,7 +49,7 @@ class UvmDriver : public sim::SimObject
 
     UvmDriver(sim::EventQueue &eq, const cfg::SystemConfig &config,
               mem::PageTable &central, MigrationEngine &engine,
-              core::ForwardingTable *ft, sim::Rng &rng);
+              core::FtCluster *ft, sim::Rng &rng);
 
     /** A far fault arrived over the CPU-GPU interconnect. */
     void handleFault(mmu::XlatPtr req);
@@ -96,7 +96,7 @@ class UvmDriver : public sim::SimObject
     const cfg::SystemConfig &cfg_;
     mem::PageTable &central_;
     MigrationEngine &engine_;
-    core::ForwardingTable *ft_;
+    core::FtCluster *ft_;
     sim::Rng &rng_;
     /** The CPU's caches hold hot page-table lines; modeled as a walk
      *  cache for the driver's software walks. */

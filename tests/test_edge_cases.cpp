@@ -26,9 +26,10 @@ TEST(EdgeCases, HostWalkWinsRaceAgainstRemoteLookup)
         gpus.push_back(std::make_unique<test::FakeGpu>(config, g));
         ifaces.push_back(gpus.back().get());
     }
-    core::ForwardingTable ft(config.transFw);
+    core::FtCluster ft(config.transFw);
     uvm::MigrationEngine engine(eq, config, central, ifaces, net, &ft);
-    mmu::HostMmu host(eq, config, central, engine, &ft, ifaces, rng);
+    mmu::HostMmu host(eq, config, central, engine, &ft.table(0), ifaces,
+                      rng);
     int resolutions = 0;
     host.onResolved = [&](mmu::XlatPtr) { ++resolutions; };
     host.forwardToGpu = [](mmu::RemoteLookupPtr) {};

@@ -16,7 +16,7 @@ struct HostHarness
     mem::PageTable central;
     ic::Network net;
     std::vector<std::unique_ptr<test::FakeGpu>> gpus;
-    std::unique_ptr<core::ForwardingTable> ft;
+    std::unique_ptr<core::FtCluster> ft;
     std::unique_ptr<uvm::MigrationEngine> engine;
     std::unique_ptr<mmu::HostMmu> host;
 
@@ -33,11 +33,12 @@ struct HostHarness
             ifaces.push_back(gpus.back().get());
         }
         if (config.transFw.enabled)
-            ft = std::make_unique<core::ForwardingTable>(config.transFw);
+            ft = std::make_unique<core::FtCluster>(config.transFw);
         engine = std::make_unique<uvm::MigrationEngine>(
             eq, config, central, ifaces, net, ft.get());
-        host = std::make_unique<mmu::HostMmu>(eq, config, central, *engine,
-                                              ft.get(), ifaces, rng);
+        host = std::make_unique<mmu::HostMmu>(
+            eq, config, central, *engine,
+            ft ? &ft->table(0) : nullptr, ifaces, rng);
         host->onResolved = [this](mmu::XlatPtr r) {
             resolved.push_back(std::move(r));
         };

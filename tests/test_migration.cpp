@@ -16,7 +16,7 @@ struct EngineHarness
     mem::PageTable central;
     ic::Network net;
     std::vector<std::unique_ptr<test::FakeGpu>> gpus;
-    std::unique_ptr<core::ForwardingTable> ft;
+    std::unique_ptr<core::FtCluster> ft;
     std::unique_ptr<uvm::MigrationEngine> engine;
 
     std::vector<tlb::TlbEntry> results;
@@ -33,7 +33,7 @@ struct EngineHarness
         }
         if (with_ft) {
             config.transFw.enabled = true;
-            ft = std::make_unique<core::ForwardingTable>(config.transFw);
+            ft = std::make_unique<core::FtCluster>(config.transFw);
         }
         engine = std::make_unique<uvm::MigrationEngine>(
             eq, config, central, ifaces, net, ft.get());

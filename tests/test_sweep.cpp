@@ -176,6 +176,32 @@ TEST(Sweep, KeyCoversConfigFields)
     c.oracle.infinitePwc = true;
     EXPECT_TRUE(differs(c));
 
+    // Pod scale-out parameters: fabric topology shape and host-MMU
+    // sharding both change the simulated machine.
+    c = ref;
+    c.peerTopology = ic::Topology::Mesh2D;
+    EXPECT_TRUE(differs(c));
+
+    c = ref;
+    c.peerTopology = ic::Topology::Mesh2D;
+    cfg::SystemConfig c2 = c;
+    c2.meshCols = 2;
+    EXPECT_NE(c.key(), c2.key());
+
+    c = ref;
+    c.peerTopology = ic::Topology::Switch;
+    c2 = c;
+    c2.switchRadix = 4;
+    EXPECT_NE(c.key(), c2.key());
+
+    c = ref;
+    c.hostShards = 4;
+    EXPECT_TRUE(differs(c));
+
+    c = ref;
+    c.transFw.ftReplicated = true;
+    EXPECT_TRUE(differs(c));
+
     c = ref;
     c.seed += 1;
     EXPECT_TRUE(differs(c));

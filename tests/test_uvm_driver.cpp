@@ -16,7 +16,7 @@ struct DriverHarness
     mem::PageTable central;
     ic::Network net;
     std::vector<std::unique_ptr<test::FakeGpu>> gpus;
-    std::unique_ptr<core::ForwardingTable> ft;
+    std::unique_ptr<core::FtCluster> ft;
     std::unique_ptr<uvm::MigrationEngine> engine;
     std::unique_ptr<uvm::UvmDriver> driver;
 
@@ -34,7 +34,7 @@ struct DriverHarness
             ifaces.push_back(gpus.back().get());
         }
         if (config.transFw.enabled)
-            ft = std::make_unique<core::ForwardingTable>(config.transFw);
+            ft = std::make_unique<core::FtCluster>(config.transFw);
         engine = std::make_unique<uvm::MigrationEngine>(
             eq, config, central, ifaces, net, ft.get());
         driver = std::make_unique<uvm::UvmDriver>(eq, config, central,
