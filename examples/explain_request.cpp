@@ -45,8 +45,25 @@ kindName(obs::AttribEvent::Kind kind)
         return "duplicate host walk";
       case Kind::Finish:
         return "finish";
+      case Kind::NetworkHop:
+        return "network hop";
     }
     return "?";
+}
+
+/** Human name of an attribution-hop node id (see obs::AttribHop). */
+std::string
+nodeName(int node, int num_gpus)
+{
+    char buf[32];
+    if (node < 0)
+        return "host";
+    if (node < num_gpus) {
+        std::snprintf(buf, sizeof buf, "gpu%d", node);
+        return buf;
+    }
+    std::snprintf(buf, sizeof buf, "sw%d", node - num_gpus);
+    return buf;
 }
 
 } // namespace
@@ -117,6 +134,30 @@ main(int argc, char **argv)
                     obs::bucketName(static_cast<obs::AttribBucket>(b)),
                     tl->bucket[b],
                     tl->total ? 100.0 * tl->bucket[b] / tl->total : 0.0);
+    }
+
+    // The actual route this request's messages took, edge by edge,
+    // with each hop's queue-wait / serialization / propagation split —
+    // per-hop attribution is what turns "Network: N cycles" into
+    // "N cycles, and here is the congested edge".
+    bool any_hop = false;
+    for (const obs::AttribEvent &ev : tl->events)
+        any_hop |= ev.kind == obs::AttribEvent::Kind::NetworkHop;
+    if (any_hop) {
+        std::printf("\n[route]\n");
+        for (const obs::AttribEvent &ev : tl->events) {
+            if (ev.kind != obs::AttribEvent::Kind::NetworkHop)
+                continue;
+            std::printf("  @%-10llu %-6s -> %-6s %-10s wait %7.0f  "
+                        "ser %5.0f  prop %6.0f\n",
+                        static_cast<unsigned long long>(ev.tick),
+                        nodeName(ev.hopFrom, config.numGpus).c_str(),
+                        nodeName(ev.hopTo, config.numGpus).c_str(),
+                        obs::bucketName(ev.bucket),
+                        static_cast<double>(ev.hopWait),
+                        static_cast<double>(ev.hopSer),
+                        static_cast<double>(ev.hopProp));
+        }
     }
 
     std::printf("\n[timeline]\n");

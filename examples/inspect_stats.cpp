@@ -3,7 +3,7 @@
  * simulator collects — TLBs, PW-caches, queues, faults, migrations,
  * Trans-FW tables — for debugging and model exploration.
  *
- * Usage: inspect_stats [APP] [baseline|transfw|sw|sw-transfw] [PAD]
+ * Usage: inspect_stats [--shards N] [APP] [baseline|transfw|sw|sw-transfw] [PAD]
  *        inspect_stats --json [APP] [mode] [PAD]
  *        inspect_stats --ledger FILE
  *
@@ -15,6 +15,7 @@
  * printed instead of running a simulation: identity, every deterministic
  * metric, and a [host profile] section from the wall-clock fields.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -89,6 +90,18 @@ main(int argc, char **argv)
     if (json)
         args.erase(args.begin());
 
+    // Shard override so the [shard skew] section is reachable without
+    // editing a preset (UvmDriver modes reject shards > 1 downstream).
+    int shards = 0;
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == "--shards") {
+            shards = std::atoi(args[i + 1].c_str());
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i + 2));
+            break;
+        }
+    }
+
     std::string app = args.size() > 0 ? args[0] : "MT";
     std::string mode = args.size() > 1 ? args[1] : "baseline";
 
@@ -97,6 +110,8 @@ main(int argc, char **argv)
                                    : sys::baselineConfig();
     if (mode == "sw" || mode == "sw-transfw")
         config.faultMode = cfg::FaultMode::UvmDriver;
+    if (shards > 0)
+        config.hostShards = shards;
     // Optional third argument: multiply per-op compute (density knob).
     std::uint32_t pad =
         args.size() > 2
@@ -174,6 +189,48 @@ main(int argc, char **argv)
     dump("watchdog violations", r.obsCheckViolations);
     dump("dropped spans", r.droppedSpans);
 
+    // Per-link congestion: where on the fabric routed traffic queued.
+    {
+        std::size_t fabric_edges = 0;
+        for (const auto &fl : r.fabricLinks)
+            if (fl.fabric)
+                ++fabric_edges;
+        std::printf("[fabric]\n");
+        dump("fabric edges", static_cast<std::uint64_t>(fabric_edges));
+        if (!r.fabricWorstLink.empty()) {
+            std::printf("  %-32s %s\n", "worst edge (p99 queue wait)",
+                        r.fabricWorstLink.c_str());
+            dump("worst edge p99 wait", r.fabricWorstQueueWaitP99);
+            dump("mean fabric utilization", r.fabricMeanUtilization);
+        }
+        for (const auto &hd : r.fabricHopDist)
+            std::printf("  %2d-hop routes %12llu msgs %12llu bytes "
+                        "%10.2f wait/msg\n",
+                        hd.hops,
+                        static_cast<unsigned long long>(hd.messages),
+                        static_cast<unsigned long long>(hd.bytes),
+                        hd.waitPerMsg);
+        // Busiest edges by moved bytes — the heatmap's top rows.
+        std::vector<const sys::SimResults::FabricLinkStats *> busy;
+        for (const auto &fl : r.fabricLinks)
+            if (fl.fabric && fl.messages)
+                busy.push_back(&fl);
+        std::stable_sort(busy.begin(), busy.end(),
+                         [](const auto *a, const auto *b) {
+                             return a->bytes > b->bytes;
+                         });
+        if (busy.size() > 8)
+            busy.resize(8);
+        for (const auto *fl : busy)
+            std::printf("  %-28s %10llu msgs  wait p99 %8.1f  util "
+                        "%5.3f  peakQ %llu\n",
+                        fl->name.c_str(),
+                        static_cast<unsigned long long>(fl->messages),
+                        fl->queueWaitP99, fl->utilization,
+                        static_cast<unsigned long long>(
+                            fl->peakQueueDepth));
+    }
+
     if (r.hostProfile.stride != 0) {
         std::printf("[host profile, wall seconds]\n");
         for (std::size_t b = 0; b < obs::kNumProfBuckets; ++b) {
@@ -208,6 +265,35 @@ main(int argc, char **argv)
         dump("avg batch size", r.driverAvgBatchSize);
     }
 
+    if (!r.hostShardWalks.empty()) {
+        std::printf("[shard skew]\n");
+        dump("shards", static_cast<std::uint64_t>(
+                           r.hostShardWalks.size()));
+        dump("routed faults", r.hostRoutedFaults);
+        dump("wait ratio (worst/mean)", r.shardSkewWaitRatio);
+        dump("load share (hottest)", r.shardSkewLoadShareMax);
+        dump("load cv", r.shardSkewLoadCv);
+        for (std::size_t s = 0; s < r.hostShardWalks.size(); ++s)
+            std::printf("  shard %-2zu %12llu walks  wait mean %10.2f  "
+                        "peakQ %llu\n",
+                        s,
+                        static_cast<unsigned long long>(
+                            r.hostShardWalks[s]),
+                        r.hostShardQueueWaitMean[s],
+                        static_cast<unsigned long long>(
+                            r.hostShardMaxQueueDepth[s]));
+#if TRANSFW_OBS
+        for (const auto &hg : r.hotVpnGroups)
+            std::printf("  hot group %#14llx -> shard %-2d %10llu "
+                        "lookups (err %llu, %5.1f%%)\n",
+                        static_cast<unsigned long long>(hg.group),
+                        hg.shard,
+                        static_cast<unsigned long long>(hg.count),
+                        static_cast<unsigned long long>(hg.error),
+                        100.0 * hg.share);
+#endif
+    }
+
     std::printf("[page movement]\n");
     dump("migrations", r.migrations);
     dump("replications", r.replications);
@@ -228,6 +314,14 @@ main(int argc, char **argv)
         dump("forward fail", r.forwardFail);
         dump("duplicate walks", r.duplicateWalks);
         dump("removed from queue", r.removedFromQueue);
+#if TRANSFW_OBS
+        if (!r.hotVpnGroups.empty()) {
+            double top8 = 0;
+            for (const auto &hg : r.hotVpnGroups)
+                top8 += hg.share;
+            dump("hot-group top-8 share", top8 > 1.0 ? 1.0 : top8);
+        }
+#endif
     }
 
     std::printf("[pw-cache hit levels, %% of lookups]\n");

@@ -4,12 +4,19 @@
  * Trans-FW, on one application — the design-space tour of Sections
  * V-D and V-E.
  *
- * Usage: policy_explorer [APP] [--ledger PATH]   (APP defaults to KM)
+ * Usage: policy_explorer [APP] [--ledger PATH]
+ *            [--topology ring|mesh|switch|a2a] [--mesh-cols N]
+ *            [--switch-radix N] [--shards K] [--ft-mode repl|part]
+ *        (APP defaults to KM)
+ *
+ * The fabric/shard flags mirror simulate's, so the policy tour can run
+ * on the same pod-scale machine shapes the scaling study uses.
  *
  * Every run appends a transfw-ledger-v1 record to --ledger (or
  * $TRANSFW_LEDGER when set).
  */
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "system/report.hpp"
@@ -40,12 +47,57 @@ main(int argc, char **argv)
 {
     std::string app = "KM";
     std::string ledger = obs::RunLedger::envPath();
+    // Machine-shape overrides, applied to every grid point (-1 / unset:
+    // keep the preset's value).
+    bool topologySet = false;
+    ic::Topology topology = ic::Topology::AllToAll;
+    int meshCols = 0;
+    int switchRadix = 0;
+    int shards = 0;
+    int ftReplicated = -1;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--ledger" && i + 1 < argc)
+        if (arg == "--ledger" && i + 1 < argc) {
             ledger = argv[++i];
-        else
+        } else if (arg == "--topology" && i + 1 < argc) {
+            std::string t = argv[++i];
+            topologySet = true;
+            if (t == "ring")
+                topology = ic::Topology::Ring;
+            else if (t == "mesh")
+                topology = ic::Topology::Mesh2D;
+            else if (t == "switch")
+                topology = ic::Topology::Switch;
+            else if (t == "a2a" || t == "all-to-all")
+                topology = ic::Topology::AllToAll;
+            else {
+                std::fprintf(stderr,
+                             "unknown topology '%s' (want ring|mesh|"
+                             "switch|a2a)\n",
+                             t.c_str());
+                return 2;
+            }
+        } else if (arg == "--mesh-cols" && i + 1 < argc) {
+            meshCols = std::atoi(argv[++i]);
+        } else if (arg == "--switch-radix" && i + 1 < argc) {
+            switchRadix = std::atoi(argv[++i]);
+        } else if (arg == "--shards" && i + 1 < argc) {
+            shards = std::atoi(argv[++i]);
+        } else if (arg == "--ft-mode" && i + 1 < argc) {
+            std::string m = argv[++i];
+            if (m == "repl" || m == "replicated")
+                ftReplicated = 1;
+            else if (m == "part" || m == "partitioned")
+                ftReplicated = 0;
+            else {
+                std::fprintf(stderr,
+                             "unknown ft mode '%s' (want repl|part)\n",
+                             m.c_str());
+                return 2;
+            }
+        } else {
             app = arg;
+        }
     }
     std::printf("placement policy exploration: %s\n\n", app.c_str());
     std::printf("%-12s %-9s %12s %10s %10s %12s\n", "policy", "trans-fw",
@@ -58,6 +110,16 @@ main(int argc, char **argv)
             cfg::SystemConfig config =
                 transfw ? sys::transFwConfig() : sys::baselineConfig();
             config.migrationPolicy = policy;
+            if (topologySet)
+                config.peerTopology = topology;
+            if (meshCols > 0)
+                config.meshCols = meshCols;
+            if (switchRadix > 0)
+                config.switchRadix = switchRadix;
+            if (shards > 0)
+                config.hostShards = shards;
+            if (ftReplicated >= 0)
+                config.transFw.ftReplicated = ftReplicated == 1;
             sys::SimResults r = sys::runApp(app, config);
             if (!ledger.empty())
                 obs::RunLedger::append(

@@ -99,7 +99,7 @@ apply(cfg::SystemConfig &config, const std::string &dim, double value)
  */
 int
 podStudy(const std::string &app, int jobs, bool ledger_set,
-         const std::string &ledger)
+         const std::string &ledger, const std::string &heatmap_path)
 {
     const std::pair<ic::Topology, const char *> kTopos[] = {
         {ic::Topology::AllToAll, "a2a"},
@@ -129,11 +129,29 @@ podStudy(const std::string &app, int jobs, bool ledger_set,
         runner.setLedgerPath(ledger);
     std::vector<sys::SimResults> results = runner.run(specs);
 
+    // Optional per-link heatmap: one row per (grid point, link with
+    // traffic) — the fabric congestion picture behind the headline
+    // columns. Zero-traffic links are skipped (a 64-GPU all-to-all has
+    // 4k+ of them, all silent).
+    std::FILE *heat = nullptr;
+    if (!heatmap_path.empty()) {
+        heat = std::fopen(heatmap_path.c_str(), "w");
+        if (!heat)
+            sim::fatal("cannot open heatmap file: " + heatmap_path);
+        std::fprintf(heat,
+                     "topology,gpus,shards,link,fabric,bytes,messages,"
+                     "ctrlMessages,queueWaitMean,queueWaitP99,"
+                     "peakQueueDepth,utilization\n");
+    }
+
     std::printf("topology,gpus,shards,exec.cycles,xlat.avgLatency,"
                 "xlat.p99,fault.count,walk.host,transfw.forwards,"
                 "transfw.forwardSuccess,queue.hostWaitMean,"
                 "shard.maxQueueWaitMean,shard.routedFaults,"
-                "attrib.hostQueue,attrib.hostRoute,obs.checkViolations"
+                "attrib.hostQueue,attrib.hostRoute,"
+                "fabric.worstLinkP99,fabric.meanUtilization,"
+                "shard.skew.waitRatio,shard.skew.loadShareMax,"
+                "obs.checkViolations"
                 "\n");
     std::size_t idx = 0;
     for (const auto &[topo, name] : kTopos) {
@@ -146,7 +164,8 @@ podStudy(const std::string &app, int jobs, bool ledger_set,
                 const auto &attr = r.attribution.bucket;
                 std::printf(
                     "%s,%d,%d,%llu,%.1f,%.1f,%llu,%llu,%llu,%llu,"
-                    "%.2f,%.2f,%llu,%.0f,%.0f,%llu\n",
+                    "%.2f,%.2f,%llu,%.0f,%.0f,%.1f,%.4f,%.3f,%.3f,"
+                    "%llu\n",
                     name, gpus, shards,
                     static_cast<unsigned long long>(r.execTime),
                     r.avgXlatLatency, r.xlatLatencyHist.quantile(0.99),
@@ -160,12 +179,37 @@ podStudy(const std::string &app, int jobs, bool ledger_set,
                         obs::AttribBucket::HostQueue)],
                     attr[static_cast<std::size_t>(
                         obs::AttribBucket::HostRoute)],
+                    r.fabricWorstQueueWaitP99, r.fabricMeanUtilization,
+                    r.shardSkewWaitRatio, r.shardSkewLoadShareMax,
                     static_cast<unsigned long long>(
                         r.obsCheckViolations));
                 std::fflush(stdout);
+                if (heat) {
+                    for (const auto &fl : r.fabricLinks) {
+                        if (!fl.messages)
+                            continue;
+                        std::fprintf(
+                            heat,
+                            "%s,%d,%d,%s,%d,%llu,%llu,%llu,%.2f,%.1f,"
+                            "%llu,%.4f\n",
+                            name, gpus, shards, fl.name.c_str(),
+                            fl.fabric ? 1 : 0,
+                            static_cast<unsigned long long>(fl.bytes),
+                            static_cast<unsigned long long>(
+                                fl.messages),
+                            static_cast<unsigned long long>(
+                                fl.ctrlMessages),
+                            fl.queueWaitMean, fl.queueWaitP99,
+                            static_cast<unsigned long long>(
+                                fl.peakQueueDepth),
+                            fl.utilization);
+                    }
+                }
             }
         }
     }
+    if (heat)
+        std::fclose(heat);
     return 0;
 }
 
@@ -180,6 +224,7 @@ main(int argc, char **argv)
     std::vector<Dimension> dims;
     int jobs = 0; // 0: SweepRunner default (TRANSFW_JOBS / hardware)
     bool pod_study = false;
+    std::string heatmap; // --pod-study only: per-link CSV path
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--app" && i + 1 < argc) {
@@ -188,6 +233,8 @@ main(int argc, char **argv)
             dims.push_back(makeDimension(argv[++i]));
         } else if (arg == "--pod-study") {
             pod_study = true;
+        } else if (arg == "--heatmap" && i + 1 < argc) {
+            heatmap = argv[++i];
         } else if (arg == "--ledger" && i + 1 < argc) {
             ledger = argv[++i];
             ledgerSet = true;
@@ -200,13 +247,14 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--app ABBR] --dim NAME [--dim NAME] "
-                         "[--pod-study] [-j N] [--ledger PATH]\n",
+                         "[--pod-study [--heatmap PATH]] [-j N] "
+                         "[--ledger PATH]\n",
                          argv[0]);
             return 2;
         }
     }
     if (pod_study)
-        return podStudy(app, jobs, ledgerSet, ledger);
+        return podStudy(app, jobs, ledgerSet, ledger, heatmap);
     if (dims.empty())
         dims.push_back(makeDimension("walkers"));
     if (dims.size() > 2)

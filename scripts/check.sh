@@ -218,6 +218,59 @@ EOF
     rm -f "$LEDGER_NEW"
 fi
 
+echo "== fabric invariant gate (per-hop sums == buckets) =="
+# Per-hop attribution must balance: every request's hop charges sum to
+# its Network + HostRoute buckets, watchdog-verified per request inside
+# obs::Checks. Any imbalance anywhere in these runs shows up as
+# obs.checkViolations != 0 in the ledger record. The matrix crosses
+# every fabric topology with sharded and unsharded host MMUs plus the
+# software-fault path.
+FABRIC_LEDGER=$(mktemp /tmp/transfw_fabric.XXXXXX.jsonl)
+rm -f "$FABRIC_LEDGER"
+FABRIC_MATRIX=(
+    "--app MT --transfw --topology ring --gpus 16 --shards 4 --cus 4"
+    "--app MT --transfw --topology mesh --gpus 8 --shards 2 --cus 4"
+    "--app MT --transfw --topology switch --gpus 16 --shards 2 --cus 4"
+    "--app MT --transfw --topology a2a --gpus 8 --cus 4"
+    "--app KM --fault-mode sw --transfw --cus 4"
+)
+for args in "${FABRIC_MATRIX[@]}"; do
+    # shellcheck disable=SC2086
+    ./build/examples/simulate $args --scale 0.05 \
+        --ledger "$FABRIC_LEDGER" >/dev/null
+done
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$FABRIC_LEDGER" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 5, f"expected 5 records, got {len(lines)}"
+fabric_records = 0
+for n, line in enumerate(lines, 1):
+    m = json.loads(line)["metrics"]
+    assert m.get("obs.checkedRequests", 0) > 0, \
+        f"record {n}: watchdog checked nothing"
+    assert m.get("obs.checkViolations", 1) == 0, \
+        f"record {n}: {m['obs.checkViolations']} per-hop imbalances"
+    if "fabric.links" in m:
+        fabric_records += 1
+        assert m["fabric.links"] > 0, f"record {n}: no fabric links"
+        assert m.get("fabric.maxRouteHops", 0) >= 1, \
+            f"record {n}: no routed traffic"
+assert fabric_records >= 3, \
+    f"only {fabric_records} records carry fabric.* keys"
+print(f"fabric invariant gate OK (5 records, "
+      f"{fabric_records} with fabric telemetry)")
+EOF
+else
+    [[ "$(wc -l < "$FABRIC_LEDGER")" == "5" ]]
+    if grep -q '"obs.checkViolations": *[1-9]' "$FABRIC_LEDGER"; then
+        echo "fabric invariant gate FAILED (violations in ledger)" >&2
+        exit 1
+    fi
+    echo "fabric invariant gate OK (grep fallback)"
+fi
+rm -f "$FABRIC_LEDGER"
+
 if [[ "$FAST" == "1" ]]; then
     exit 0
 fi

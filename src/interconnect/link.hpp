@@ -1,11 +1,16 @@
 #ifndef TRANSFW_INTERCONNECT_LINK_HPP
 #define TRANSFW_INTERCONNECT_LINK_HPP
 
+#include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <utility>
 
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/sim_object.hpp"
 
@@ -16,6 +21,24 @@ struct LinkConfig
 {
     sim::Tick latency = 150;     ///< propagation latency (Table II: PCIe 150)
     double bytesPerCycle = 32.0; ///< bulk serialization bandwidth
+};
+
+/**
+ * Send-side decomposition of one link traversal. Every message spends
+ * its time in exactly three places: waiting behind earlier traffic for
+ * the wire (queue wait), occupying the wire (serialization), and in
+ * flight (propagation). The split is what per-hop attribution and the
+ * fabric heatmaps consume; wait + ser + prop always equals
+ * arrive - send tick by construction.
+ */
+struct HopTiming
+{
+    sim::Tick wait = 0; ///< cycles queued behind earlier traffic
+    sim::Tick ser = 0;  ///< cycles serializing onto the wire
+    sim::Tick prop = 0; ///< propagation latency
+    sim::Tick arrive = 0;
+
+    sim::Tick total() const { return wait + ser + prop; }
 };
 
 /**
@@ -81,14 +104,19 @@ class Link : public sim::SimObject
     /**
      * Send @p bytes on the bulk data channel; @p deliver fires at the
      * receiver when the whole payload has arrived. @return that tick.
+     * When @p timing is non-null it receives the queue-wait /
+     * serialization / propagation split of this traversal.
      */
     sim::Tick
-    send(std::uint64_t bytes, sim::EventQueue::Callback deliver)
+    send(std::uint64_t bytes, sim::EventQueue::Callback deliver,
+         HopTiming *timing = nullptr)
     {
-        sim::Tick depart = std::max(curTick(), busyUntil_);
+        sim::Tick now = curTick();
+        sim::Tick depart = std::max(now, busyUntil_);
         sim::Tick ser = static_cast<sim::Tick>(
             static_cast<double>(bytes) / config_.bytesPerCycle);
-        busyUntil_ = depart + std::max<sim::Tick>(ser, 1);
+        ser = std::max<sim::Tick>(ser, 1);
+        busyUntil_ = depart + ser;
         sim::Tick arrive = busyUntil_ + config_.latency;
         if (dataDeliver_)
             dataDeliver_(arrive, std::move(deliver));
@@ -96,16 +124,23 @@ class Link : public sim::SimObject
             eventq().scheduleAt(arrive, std::move(deliver));
         bytesSent_ += bytes;
         ++messages_;
+#if TRANSFW_OBS
+        noteData(now, depart - now, ser);
+#endif
+        if (timing)
+            *timing = HopTiming{depart - now, ser, config_.latency, arrive};
         return arrive;
     }
 
     /**
      * Send a control message on the priority channel: propagation
      * latency plus a fixed 2-cycle serialization token, independent of
-     * in-flight bulk transfers.
+     * in-flight bulk transfers. The priority channel never queues, so
+     * a control traversal's timing split is always {0, 2, latency}.
      */
     sim::Tick
-    sendCtrl(std::uint64_t bytes, sim::EventQueue::Callback deliver)
+    sendCtrl(std::uint64_t bytes, sim::EventQueue::Callback deliver,
+             HopTiming *timing = nullptr)
     {
         sim::Tick arrive = curTick() + 2 + config_.latency;
         if (ctrlMailbox_)
@@ -118,6 +153,11 @@ class Link : public sim::SimObject
             eventq().scheduleAt(arrive, std::move(deliver));
         bytesSent_ += bytes;
         ++messages_;
+#if TRANSFW_OBS
+        ++ctrlMessages_;
+#endif
+        if (timing)
+            *timing = HopTiming{0, 2, config_.latency, arrive};
         return arrive;
     }
 
@@ -125,7 +165,62 @@ class Link : public sim::SimObject
     std::uint64_t bytesSent() const { return bytesSent_; }
     std::uint64_t messages() const { return messages_; }
 
-    /** Register "<link name>.bytes"/".messages" gauges. */
+#if TRANSFW_OBS
+    /** Control-channel share of messages() (never queues). */
+    std::uint64_t ctrlMessages() const { return ctrlMessages_; }
+    /** Cumulative data-channel serialization cycles (wire occupancy). */
+    std::uint64_t busyCycles() const { return busyCycles_; }
+    /** High-water mark of the data-channel send queue. */
+    std::uint64_t peakQueueDepth() const { return peakQueueDepth_; }
+
+    /** Data-channel messages queued or serializing right now. */
+    std::size_t
+    queueDepth() const
+    {
+        // Departure ticks are monotonic, so one binary search finds
+        // the still-pending suffix without mutating any state (the
+        // gauge may be probed from the sampler at a lane barrier).
+        sim::Tick now = curTick();
+        auto it =
+            std::upper_bound(inflight_.begin(), inflight_.end(), now);
+        return static_cast<std::size_t>(inflight_.end() - it);
+    }
+
+    /** Fraction of elapsed cycles the data wire was occupied. */
+    double
+    utilization() const
+    {
+        sim::Tick now = curTick();
+        return now ? std::min(1.0, static_cast<double>(busyCycles_) /
+                                       static_cast<double>(now))
+                   : 0.0;
+    }
+
+    double
+    queueWaitMean() const
+    {
+        return waitHist_ ? waitHist_->mean() : 0.0;
+    }
+
+    /**
+     * Queue-wait histogram of the data channel. Zero-traffic links
+     * never allocate one (the full grid at 64 GPUs all-to-all is 4k+
+     * links × ~16 KB); they share a static empty instance so callers
+     * always get a valid, zero-count histogram.
+     */
+    const obs::LogHistogram &
+    queueWaitHistogram() const
+    {
+        static const obs::LogHistogram kEmpty;
+        return waitHist_ ? *waitHist_ : kEmpty;
+    }
+#endif
+
+    /**
+     * Register "<link name>.bytes"/".messages" gauges, plus — in
+     * observability builds — ".queueWaitMean", ".peakQueueDepth",
+     * ".queueDepth" and ".utilization".
+     */
     void
     registerMetrics(obs::MetricRegistry &reg) const
     {
@@ -135,13 +230,48 @@ class Link : public sim::SimObject
         reg.registerGauge(name() + ".messages", [this] {
             return static_cast<double>(messages_);
         });
+#if TRANSFW_OBS
+        reg.registerGauge(name() + ".queueWaitMean",
+                          [this] { return queueWaitMean(); });
+        reg.registerGauge(name() + ".peakQueueDepth", [this] {
+            return static_cast<double>(peakQueueDepth_);
+        });
+        reg.registerGauge(name() + ".queueDepth", [this] {
+            return static_cast<double>(queueDepth());
+        });
+        reg.registerGauge(name() + ".utilization",
+                          [this] { return utilization(); });
+#endif
     }
 
   private:
+#if TRANSFW_OBS
+    void
+    noteData(sim::Tick now, sim::Tick wait, sim::Tick ser)
+    {
+        busyCycles_ += ser;
+        if (!waitHist_)
+            waitHist_ = std::make_unique<obs::LogHistogram>();
+        waitHist_->record(static_cast<double>(wait));
+        while (!inflight_.empty() && inflight_.front() <= now)
+            inflight_.pop_front();
+        inflight_.push_back(busyUntil_);
+        peakQueueDepth_ =
+            std::max<std::uint64_t>(peakQueueDepth_, inflight_.size());
+    }
+#endif
+
     LinkConfig config_;
     sim::Tick busyUntil_ = 0;
     std::uint64_t bytesSent_ = 0;
     std::uint64_t messages_ = 0;
+#if TRANSFW_OBS
+    std::uint64_t ctrlMessages_ = 0;
+    std::uint64_t busyCycles_ = 0;
+    std::uint64_t peakQueueDepth_ = 0;
+    std::deque<sim::Tick> inflight_; ///< departure ticks of queued sends
+    std::unique_ptr<obs::LogHistogram> waitHist_; ///< lazy, data channel
+#endif
     Deliver dataDeliver_;
     Deliver ctrlDeliver_;
     sim::Mailbox *ctrlMailbox_ = nullptr;

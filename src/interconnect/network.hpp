@@ -102,6 +102,14 @@ class Network
     }
 
     /**
+     * Per-hop observer for traced routes: called at send time of every
+     * edge on the path with the node pair and that hop's queue-wait /
+     * serialization / propagation split. Node ids < numGpus are GPUs;
+     * larger ids are internal switch nodes.
+     */
+    using HopHook = std::function<void(int from, int to, const HopTiming &)>;
+
+    /**
      * Routed bulk transfer GPU @p from → GPU @p to; the payload
      * traverses (and occupies) every hop of the topology path.
      * @p done fires at final delivery.
@@ -110,7 +118,8 @@ class Network
     sendPeer(int from, int to, std::uint64_t bytes,
              sim::EventQueue::Callback done)
     {
-        routePeer(from, to, bytes, /*ctrl=*/false, std::move(done));
+        routePeer(from, to, bytes, /*ctrl=*/false, std::move(done),
+                  HopHook{});
     }
 
     /** Routed control message GPU @p from → GPU @p to. */
@@ -118,7 +127,21 @@ class Network
     sendPeerCtrl(int from, int to, std::uint64_t bytes,
                  sim::EventQueue::Callback done)
     {
-        routePeer(from, to, bytes, /*ctrl=*/true, std::move(done));
+        routePeer(from, to, bytes, /*ctrl=*/true, std::move(done),
+                  HopHook{});
+    }
+
+    /**
+     * Like sendPeer, but @p hook observes every traversed edge — this
+     * is how a routed message that carries a request gets its per-hop
+     * timing onto the request's attribution timeline.
+     */
+    void
+    sendPeerTraced(int from, int to, std::uint64_t bytes, HopHook hook,
+                   sim::EventQueue::Callback done)
+    {
+        routePeer(from, to, bytes, /*ctrl=*/false, std::move(done),
+                  std::move(hook));
     }
 
     /** Hop count of the peer route (1 on all-to-all). */
@@ -211,14 +234,49 @@ class Network
     void
     registerMetrics(obs::MetricRegistry &reg) const
     {
+        forEachLink(
+            [&reg](const Link &link, bool) { link.registerMetrics(reg); });
+    }
+
+    /**
+     * Visit every link as fn(link, is_fabric): the host star first
+     * (uplinks then downlinks, is_fabric=false), then every fabric
+     * edge in adjacency order — a stable ordering the fabric report
+     * and heatmap rely on.
+     */
+    template <typename Fn>
+    void
+    forEachLink(Fn &&fn) const
+    {
         for (const auto &l : up_)
-            l->registerMetrics(reg);
+            fn(*l, false);
         for (const auto &l : down_)
-            l->registerMetrics(reg);
+            fn(*l, false);
         for (const auto &node : adj_)
             for (const auto &edge : node)
-                edge.link->registerMetrics(reg);
+                fn(*edge.link, true);
     }
+
+#if TRANSFW_OBS
+    /**
+     * Aggregate traffic by route length: element h describes every
+     * routed sendPeer* message whose path was h hops long. waitSum is
+     * the total queue-wait accumulated across all hops of those
+     * routes, so waitSum / (messages * h) is the mean wait per edge at
+     * that distance. Element 0 is always empty (routes are >= 1 hop).
+     */
+    struct HopDistAgg
+    {
+        std::uint64_t messages = 0;
+        std::uint64_t bytes = 0;
+        double waitSum = 0.0;
+    };
+
+    const std::vector<HopDistAgg> &hopDistances() const
+    {
+        return hopDist_;
+    }
+#endif
 
     /** Total bytes moved over every link (for traffic accounting). */
     std::uint64_t
@@ -375,27 +433,57 @@ class Network
 
     void
     routePeer(int from, int to, std::uint64_t bytes, bool ctrl,
-              sim::EventQueue::Callback done)
+              sim::EventQueue::Callback done, HopHook hook,
+              int route_hops = -1)
     {
         if (from == to)
             sim::panic("peer route to self");
+#if TRANSFW_OBS
+        if (route_hops < 0) {
+            route_hops = peerHops(from, to);
+            HopDistAgg &agg = hopDistFor(route_hops);
+            ++agg.messages;
+            agg.bytes += bytes;
+        }
+#endif
         int hop = nextNode(from, to);
         Link *link = findEdge(from, hop);
         if (!link)
             sim::panic("missing fabric link on route");
-        auto forward_rest = [this, hop, to, bytes, ctrl,
-                             done = std::move(done)]() mutable {
+        // The hook is copied (not moved) into the continuation: it
+        // observes this hop after the send and rides along for the
+        // remaining ones.
+        auto forward_rest = [this, hop, to, bytes, ctrl, route_hops,
+                             hook, done = std::move(done)]() mutable {
             if (hop == to) {
                 done();
             } else {
-                routePeer(hop, to, bytes, ctrl, std::move(done));
+                routePeer(hop, to, bytes, ctrl, std::move(done),
+                          std::move(hook), route_hops);
             }
         };
+        HopTiming timing;
         if (ctrl)
-            link->sendCtrl(bytes, std::move(forward_rest));
+            link->sendCtrl(bytes, std::move(forward_rest), &timing);
         else
-            link->send(bytes, std::move(forward_rest));
+            link->send(bytes, std::move(forward_rest), &timing);
+#if TRANSFW_OBS
+        hopDistFor(route_hops).waitSum +=
+            static_cast<double>(timing.wait);
+#endif
+        if (hook)
+            hook(from, hop, timing);
     }
+
+#if TRANSFW_OBS
+    HopDistAgg &
+    hopDistFor(int hops)
+    {
+        if (hopDist_.size() <= static_cast<std::size_t>(hops))
+            hopDist_.resize(static_cast<std::size_t>(hops) + 1);
+        return hopDist_[static_cast<std::size_t>(hops)];
+    }
+#endif
 
     sim::EventQueue &eq_;
     int numGpus_;
@@ -408,6 +496,9 @@ class Network
     std::vector<std::unique_ptr<Link>> down_;
     /** Adjacency lists over node ids; owns every fabric link. */
     std::vector<std::vector<Edge>> adj_;
+#if TRANSFW_OBS
+    std::vector<HopDistAgg> hopDist_; ///< indexed by route hop count
+#endif
 };
 
 } // namespace transfw::ic

@@ -1,6 +1,8 @@
 #ifndef TRANSFW_MMU_HOST_MMU_CLUSTER_HPP
 #define TRANSFW_MMU_HOST_MMU_CLUSTER_HPP
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -101,8 +103,16 @@ class HostMmuCluster
         const int s = routeShard(req->vpn);
         req->hostShard = s;
         ++routedFaults_;
-        charge(*req, attrib_, obs::AttribBucket::HostRoute,
-               static_cast<double>(kRouteCycles), eq_.now());
+        // The crossbar traversal is one edge of the request's route:
+        // host front end (-1) → shard s, pure serialization. Tagging
+        // it (instead of a plain charge) is what lets the watchdog
+        // prove HostRoute == sum of traversed crossbar edges.
+        obs::AttribHop hop;
+        hop.from = -1;
+        hop.to = static_cast<std::int16_t>(s);
+        hop.ser = static_cast<double>(kRouteCycles);
+        chargeHop(*req, attrib_, obs::AttribBucket::HostRoute, hop,
+                  eq_.now());
         eq_.scheduleAt(eq_.now() + kRouteCycles,
                        [this, s, req = std::move(req)]() mutable {
                            shards_[static_cast<std::size_t>(s)]
@@ -125,6 +135,63 @@ class HostMmuCluster
 
     /** Faults that crossed the steering crossbar (0 when K == 1). */
     std::uint64_t routedFaults() const { return routedFaults_; }
+
+    // --- shard-skew metrics (gauges, collect(), pod study) ------------------
+
+    /** Largest single shard's share of all host walks (1/K = even). */
+    double
+    shardLoadShareMax() const
+    {
+        std::uint64_t total = 0, worst = 0;
+        for (const auto &s : shards_) {
+            total += s->stats().walks;
+            worst = std::max(worst, s->stats().walks);
+        }
+        return total ? static_cast<double>(worst) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Coefficient of variation of per-shard walk counts (0 = even). */
+    double
+    shardLoadCv() const
+    {
+        const std::size_t k = shards_.size();
+        if (k <= 1)
+            return 0.0;
+        double mean = 0;
+        for (const auto &s : shards_)
+            mean += static_cast<double>(s->stats().walks);
+        mean /= static_cast<double>(k);
+        if (mean <= 0)
+            return 0.0;
+        double var = 0;
+        for (const auto &s : shards_) {
+            double d = static_cast<double>(s->stats().walks) - mean;
+            var += d * d;
+        }
+        return std::sqrt(var / static_cast<double>(k)) / mean;
+    }
+
+    /** Worst shard's mean queue wait over the mean of per-shard means
+     *  — the "worst shard is 3-4x the mean" pod-study headline. */
+    double
+    shardWaitRatio() const
+    {
+        if (shards_.size() <= 1)
+            return shards_.empty() ? 0.0 : 1.0;
+        double worst = 0, sum = 0;
+        for (const auto &s : shards_) {
+            const auto &w = s->stats().queueWait;
+            double m = w.count() ? w.sum() / static_cast<double>(
+                                                 w.count())
+                                 : 0.0;
+            worst = std::max(worst, m);
+            sum += m;
+        }
+        double mean = sum / static_cast<double>(shards_.size());
+        return mean > 0 ? worst / mean : 0.0;
+    }
 
     // --- aggregated views (collect(), report) ------------------------------
     double
@@ -239,6 +306,23 @@ class HostMmuCluster
         reg.registerGauge(prefix + ".routedFaults", [this] {
             return static_cast<double>(routedFaults_);
         });
+        // The steering crossbar as its own component: traffic, the
+        // cycles it charged to HostRoute, and how evenly its hash is
+        // spreading the load — without these a sharded run's host
+        // section reported nothing about the crossbar at all.
+        reg.registerGauge(prefix + ".crossbar.routedFaults", [this] {
+            return static_cast<double>(routedFaults_);
+        });
+        reg.registerGauge(prefix + ".crossbar.routeCycles", [this] {
+            return static_cast<double>(routedFaults_) *
+                   static_cast<double>(kRouteCycles);
+        });
+        reg.registerGauge(prefix + ".crossbar.loadShareMax",
+                          [this] { return shardLoadShareMax(); });
+        reg.registerGauge(prefix + ".crossbar.loadCv",
+                          [this] { return shardLoadCv(); });
+        reg.registerGauge(prefix + ".crossbar.waitRatio",
+                          [this] { return shardWaitRatio(); });
         reg.registerGauge(prefix + ".tlb.hitRate",
                           [this] { return tlbHitRate(); });
         reg.registerGauge(prefix + ".pwc.hitRate", [this] {

@@ -103,6 +103,54 @@ charge(XlatRequest &req, obs::AttribSink *attrib,
 #endif
 }
 
+/**
+ * Edge-tagged variant of charge() for interconnect traversals: the
+ * breakdown update is identical (the hop's wait + ser + prop total
+ * lands in the bucket's field), but the attribution mirror records
+ * *which* edge the cycles came from, accumulating per-record hop sums
+ * that obs::Checks proves equal the Network/HostRoute buckets. Every
+ * Network and HostRoute charge site must use this form — a plain
+ * charge() into those buckets alongside tagged hops trips the
+ * watchdog's per-hop balance check.
+ */
+inline void
+chargeHop(XlatRequest &req, obs::AttribSink *attrib,
+          obs::AttribBucket bucket, const obs::AttribHop &hop,
+          sim::Tick now)
+{
+    double cycles = hop.total();
+    switch (obs::fieldOf(bucket)) {
+      case obs::LatField::GmmuQueue:
+        req.lat.gmmuQueue += cycles;
+        break;
+      case obs::LatField::GmmuMem:
+        req.lat.gmmuMem += cycles;
+        break;
+      case obs::LatField::HostQueue:
+        req.lat.hostQueue += cycles;
+        break;
+      case obs::LatField::HostMem:
+        req.lat.hostMem += cycles;
+        break;
+      case obs::LatField::Migration:
+        req.lat.migration += cycles;
+        break;
+      case obs::LatField::Network:
+        req.lat.network += cycles;
+        break;
+      default:
+        req.lat.other += cycles;
+        break;
+    }
+#if TRANSFW_OBS
+    if (attrib)
+        attrib->hop(req.gpu, req.id, bucket, hop, /*counted=*/true, now);
+#else
+    (void)attrib;
+    (void)now;
+#endif
+}
+
 /** Allocate a fresh (default-initialised) request from this thread's pool. */
 inline XlatPtr
 makeRequest()

@@ -147,6 +147,55 @@ AttributionEngine::charge(int gpu, std::uint64_t id, AttribBucket bucket,
 }
 
 void
+AttributionEngine::noteHop(Record &rec, sim::Tick tick,
+                           AttribBucket bucket, const AttribHop &h)
+{
+    if (!keepTimelines_)
+        return;
+    AttribEvent ev;
+    ev.tick = tick;
+    ev.kind = AttribEvent::Kind::NetworkHop;
+    ev.bucket = bucket;
+    ev.cycles = h.total();
+    ev.hopFrom = h.from;
+    ev.hopTo = h.to;
+    ev.hopWait = static_cast<float>(h.wait);
+    ev.hopSer = static_cast<float>(h.ser);
+    ev.hopProp = static_cast<float>(h.prop);
+    rec.tl.events.push_back(ev);
+}
+
+void
+AttributionEngine::hop(int gpu, std::uint64_t id, AttribBucket bucket,
+                       const AttribHop &h, bool counted, sim::Tick now)
+{
+    if (!enabled_)
+        return;
+    Record *rec = lookup(gpu, id);
+    if (!rec)
+        return;
+    double cycles = h.total();
+    if (counted) {
+        if (rec->finished) {
+            // Same quarantine as charge(): race losers still in flight
+            // stay off the critical-path buckets (and the hop sums, so
+            // the two sides of the invariant move together).
+            ++table_.lateCharges;
+            table_.lateCycles += cycles;
+            noteHop(*rec, now, bucket, h);
+            return;
+        }
+        rec->tl.bucket[static_cast<std::size_t>(bucket)] += cycles;
+        rec->tl.sawCountedHop = true;
+        if (bucket == AttribBucket::Network)
+            rec->tl.netHopCycles += cycles;
+        else if (bucket == AttribBucket::HostRoute)
+            rec->tl.routeHopCycles += cycles;
+    }
+    noteHop(*rec, now, bucket, h);
+}
+
+void
 AttributionEngine::shortCircuited(int gpu, std::uint64_t id,
                                   double est_saved, sim::Tick now)
 {
@@ -344,6 +393,12 @@ AttributionEngine::charge(int, std::uint64_t, AttribBucket, double,
 }
 
 void
+AttributionEngine::hop(int, std::uint64_t, AttribBucket,
+                       const AttribHop &, bool, sim::Tick)
+{
+}
+
+void
 AttributionEngine::shortCircuited(int, std::uint64_t, double, sim::Tick)
 {
 }
@@ -403,6 +458,12 @@ AttributionEngine::lookup(int, std::uint64_t)
 void
 AttributionEngine::note(Record &, sim::Tick, AttribEvent::Kind,
                         AttribBucket, double)
+{
+}
+
+void
+AttributionEngine::noteHop(Record &, sim::Tick, AttribBucket,
+                           const AttribHop &)
 {
 }
 

@@ -138,6 +138,23 @@ struct AttributionTable
     double fieldTotal(LatField field) const;
 };
 
+/**
+ * One traversed edge of a routed message, as reported to the
+ * attribution engine: the node pair plus the queue-wait /
+ * serialization / propagation split of that hop. Node id -1 is the
+ * host; ids >= numGpus are internal switch nodes.
+ */
+struct AttribHop
+{
+    std::int16_t from = -1;
+    std::int16_t to = -1;
+    double wait = 0;
+    double ser = 0;
+    double prop = 0;
+
+    double total() const { return wait + ser + prop; }
+};
+
 /** One step of a request's causal timeline (kept on demand). */
 struct AttribEvent
 {
@@ -154,8 +171,15 @@ struct AttribEvent
         HostWalkCancelled,
         DuplicateHostWalk,
         Finish,
+        NetworkHop, ///< one traversed edge (hop fields below are valid)
     } kind = Kind::Charge;
     double cycles = 0;
+    // --- NetworkHop only ---------------------------------------------------
+    std::int16_t hopFrom = 0;
+    std::int16_t hopTo = 0;
+    float hopWait = 0;
+    float hopSer = 0;
+    float hopProp = 0;
 };
 
 /**
@@ -176,6 +200,17 @@ class AttribSink
                        sim::Tick now) = 0;
     virtual void charge(int gpu, std::uint64_t id, AttribBucket bucket,
                         double cycles, sim::Tick now) = 0;
+    /**
+     * One traversed edge of a routed message carrying this request.
+     * When @p counted is true this *is* the charge — the hop's total
+     * lands in @p bucket exactly like charge(), and additionally
+     * accumulates into the record's per-hop sum so the watchdog can
+     * prove sum-of-edges == bucket. When false the hop is
+     * timeline-only (e.g. migration payload hops, which stay charged
+     * as one Migration lump).
+     */
+    virtual void hop(int gpu, std::uint64_t id, AttribBucket bucket,
+                     const AttribHop &h, bool counted, sim::Tick now) = 0;
     virtual void shortCircuited(int gpu, std::uint64_t id,
                                 double est_saved, sim::Tick now) = 0;
     virtual void forwardLaunched(int gpu, std::uint64_t id,
@@ -222,6 +257,8 @@ class AttributionEngine : public AttribSink
                sim::Tick now) override;
     void charge(int gpu, std::uint64_t id, AttribBucket bucket,
                 double cycles, sim::Tick now) override;
+    void hop(int gpu, std::uint64_t id, AttribBucket bucket,
+             const AttribHop &h, bool counted, sim::Tick now) override;
     void shortCircuited(int gpu, std::uint64_t id, double est_saved,
                         sim::Tick now) override;
     void forwardLaunched(int gpu, std::uint64_t id,
@@ -260,6 +297,11 @@ class AttributionEngine : public AttribSink
         sim::Tick tFinish = 0;
         double total = 0; ///< LatencyBreakdown::total() at finish
         double bucket[kNumAttribBuckets] = {};
+        /** Cycles that arrived via counted hops, split by bucket — the
+         *  watchdog proves these equal the buckets themselves. */
+        double netHopCycles = 0;
+        double routeHopCycles = 0;
+        bool sawCountedHop = false;
         std::vector<AttribEvent> events;
     };
 
@@ -293,6 +335,8 @@ class AttributionEngine : public AttribSink
     Record *lookup(int gpu, std::uint64_t id);
     void note(Record &rec, sim::Tick tick, AttribEvent::Kind kind,
               AttribBucket bucket, double cycles);
+    void noteHop(Record &rec, sim::Tick tick, AttribBucket bucket,
+                 const AttribHop &h);
     /** Drop the record once it can no longer receive events. */
     void maybeRelease(int gpu, std::uint64_t id, Record &rec);
 
@@ -336,6 +380,15 @@ class AttribRelay : public AttribSink
         Op &op = push(Op::Kind::Charge, gpu, id, now);
         op.bucket = bucket;
         op.cycles = cycles;
+    }
+
+    void hop(int gpu, std::uint64_t id, AttribBucket bucket,
+             const AttribHop &h, bool counted, sim::Tick now) override
+    {
+        Op &op = push(Op::Kind::Hop, gpu, id, now);
+        op.bucket = bucket;
+        op.hop = h;
+        op.flag1 = counted;
     }
 
     void shortCircuited(int gpu, std::uint64_t id, double est_saved,
@@ -396,6 +449,10 @@ class AttribRelay : public AttribSink
               case Op::Kind::Charge:
                 sink.charge(op.gpu, op.id, op.bucket, op.cycles, op.now);
                 break;
+              case Op::Kind::Hop:
+                sink.hop(op.gpu, op.id, op.bucket, op.hop, op.flag1,
+                         op.now);
+                break;
               case Op::Kind::ShortCircuit:
                 sink.shortCircuited(op.gpu, op.id, op.cycles, op.now);
                 break;
@@ -429,6 +486,7 @@ class AttribRelay : public AttribSink
         {
             Begin,
             Charge,
+            Hop,
             ShortCircuit,
             ForwardLaunched,
             ForwardOutcome,
@@ -446,6 +504,7 @@ class AttribRelay : public AttribSink
         std::uint64_t a = 0; ///< vpn for Begin
         double cycles = 0;
         sim::Tick now = 0;
+        AttribHop hop;               ///< Hop only
         stats::LatencyBreakdown lat; ///< Finish only
     };
 

@@ -92,6 +92,33 @@ Checks::onFinish(int gpu, std::uint64_t id,
         }
     }
 
+    // Per-hop attribution: once any counted hop touched this record,
+    // every Network/HostRoute cycle must have arrived edge-tagged, so
+    // the buckets equal their per-edge sums — sum-of-edges == bucket
+    // by construction, and a call site that slips a plain charge into
+    // either bucket breaks the balance and fires here.
+    if (tl.sawCountedHop) {
+        double net =
+            tl.bucket[static_cast<std::size_t>(AttribBucket::Network)];
+        double route =
+            tl.bucket[static_cast<std::size_t>(AttribBucket::HostRoute)];
+        if (std::abs(net - tl.netHopCycles) > kTol) {
+            violation(sim::strfmt(
+                "gpu%d req %llu: network bucket %.1f != per-hop sum %.1f",
+                gpu, static_cast<unsigned long long>(id), net,
+                tl.netHopCycles));
+            return;
+        }
+        if (std::abs(route - tl.routeHopCycles) > kTol) {
+            violation(sim::strfmt(
+                "gpu%d req %llu: hostRoute bucket %.1f != per-hop sum "
+                "%.1f",
+                gpu, static_cast<unsigned long long>(id), route,
+                tl.routeHopCycles));
+            return;
+        }
+    }
+
     // PRT-negative short circuit skips the local walk entirely, so no
     // local-queue or local-walk cycles may have been charged.
     if (short_circuit) {

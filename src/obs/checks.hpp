@@ -26,7 +26,11 @@ namespace transfw::obs {
  *   1. bucket sums == LatencyBreakdown::total() within one tick;
  *   2. per-field grouped sums match each breakdown field (so buckets
  *      are not just exhaustive but correctly classified);
- *   3. PRT-negative short circuit => no local walk or local-queue
+ *   3. per-hop balance: when the request's interconnect cycles arrived
+ *      via edge-tagged hops, the Network and HostRoute buckets must
+ *      equal the sums of their traversed edges (sum-of-edges ==
+ *      bucket — a plain charge sneaking into either bucket fires);
+ *   4. PRT-negative short circuit => no local walk or local-queue
  *      cycles were charged (the walk really was skipped).
  *
  * Plus a post-run structural pass, verifySpanNesting(): within each

@@ -258,6 +258,38 @@ toRegistry(const SimResults &results)
                 sim::strfmt("shard.s%zu.maxQueueDepth", s),
                 static_cast<double>(results.hostShardMaxQueueDepth[s]));
         }
+        // Skew summary of the per-shard series above: who is hottest,
+        // by how much, and how lopsided the whole spread is.
+        registry.set("shard.skew.waitRatio", results.shardSkewWaitRatio);
+        registry.set("shard.skew.loadShareMax",
+                     results.shardSkewLoadShareMax);
+        registry.set("shard.skew.loadCv", results.shardSkewLoadCv);
+    }
+    // Fabric telemetry: fabricLinks is populated only in observability
+    // builds, so TRANSFW_OBS=0 registries — and ledgers diffed against
+    // them — keep their key set, the same gating rule as shard.*.
+    if (!results.fabricLinks.empty()) {
+        std::size_t fabric_edges = 0;
+        for (const auto &fl : results.fabricLinks)
+            if (fl.fabric)
+                ++fabric_edges;
+        registry.set("fabric.links",
+                     static_cast<double>(fabric_edges));
+        registry.set("fabric.worstQueueWaitP99",
+                     results.fabricWorstQueueWaitP99);
+        registry.set("fabric.meanUtilization",
+                     results.fabricMeanUtilization);
+        if (!results.fabricHopDist.empty())
+            registry.set(
+                "fabric.maxRouteHops",
+                static_cast<double>(results.fabricHopDist.back().hops));
+    }
+    if (!results.hotVpnGroups.empty()) {
+        double top8 = 0;
+        for (const auto &hg : results.hotVpnGroups)
+            top8 += hg.share;
+        registry.set("fabric.hotGroups.top8Share",
+                     top8 > 1.0 ? 1.0 : top8);
     }
     return registry;
 }

@@ -99,6 +99,51 @@ struct SimResults
     std::uint64_t ftReplicaUpdates = 0;
     std::uint64_t ftReplicaInvalidations = 0;
 
+    // --- fabric telemetry (per-link; empty under TRANSFW_OBS=0) --------------
+    /** One interconnect edge's traffic summary, read off ic::Link. */
+    struct FabricLinkStats
+    {
+        std::string name;            ///< registry prefix ("peer3to4", ...)
+        bool fabric = false;         ///< peer/switch edge (vs host star leg)
+        std::uint64_t bytes = 0;
+        std::uint64_t messages = 0;  ///< data-channel messages
+        std::uint64_t ctrlMessages = 0;
+        double queueWaitMean = 0.0;  ///< data-channel serialization queue
+        double queueWaitP99 = 0.0;
+        double queueWaitMax = 0.0;
+        std::uint64_t peakQueueDepth = 0;
+        double utilization = 0.0;    ///< busy serialization cycles / execTime
+    };
+    /** Routed peer traffic grouped by route length (hop-distance mix). */
+    struct FabricHopDist
+    {
+        int hops = 0;
+        std::uint64_t messages = 0;
+        std::uint64_t bytes = 0;
+        double waitPerMsg = 0.0;     ///< mean summed queue wait over the route
+    };
+    /** One heavy-hitter VPN group from the FT skew sketch. */
+    struct HotVpnGroup
+    {
+        std::uint64_t group = 0;     ///< vpn >> vpnMaskBits
+        std::uint64_t count = 0;     ///< estimate (over-counts by <= error)
+        std::uint64_t error = 0;
+        double share = 0.0;          ///< count / total lookups
+        int shard = 0;               ///< home shard under the partition hash
+    };
+
+    std::vector<FabricLinkStats> fabricLinks; ///< every link, stable order
+    std::vector<FabricHopDist> fabricHopDist; ///< index != hops; sparse list
+    std::string fabricWorstLink;       ///< fabric edge with the worst p99 wait
+    double fabricWorstQueueWaitP99 = 0.0;
+    double fabricMeanUtilization = 0.0;///< mean over fabric edges
+    std::vector<HotVpnGroup> hotVpnGroups; ///< top-8 by estimated count
+
+    // --- shard skew (always-on; neutral values when hostShards == 1) ---------
+    double shardSkewWaitRatio = 0.0;   ///< worst / mean shard queue-wait mean
+    double shardSkewLoadShareMax = 0.0;///< hottest shard's walk share
+    double shardSkewLoadCv = 0.0;      ///< coefficient of variation of walks
+
     // --- page movement --------------------------------------------------------
     std::uint64_t migrations = 0;
     std::uint64_t replications = 0;

@@ -10,6 +10,29 @@
 
 namespace transfw::sys {
 
+namespace {
+
+/**
+ * Decompose a measured host-star control traversal (total = deliver
+ * tick - send tick) into the edge-tagged hop chargeHop() wants: the
+ * ctrl channel's fixed 2-cycle token, the link's propagation latency,
+ * and whatever is left as wait (mailbox/window slack — 0 on the direct
+ * paths). Node -1 is the host side of the star.
+ */
+obs::AttribHop
+starHop(int from, int to, sim::Tick latency, double total)
+{
+    obs::AttribHop hop;
+    hop.from = static_cast<std::int16_t>(from);
+    hop.to = static_cast<std::int16_t>(to);
+    hop.ser = 2.0;
+    hop.prop = static_cast<double>(latency);
+    hop.wait = total - hop.ser - hop.prop;
+    return hop;
+}
+
+} // namespace
+
 MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
                                const wl::Workload &workload)
     : cfg_(config), workload_(workload), rng_(config.seed),
@@ -94,9 +117,12 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
                     gpuQs_[static_cast<std::size_t>(g)]->now();
                 obs::ProfScope prof(laneProfiler(g),
                                     obs::ProfBucket::Interconnect);
-                mmu::charge(*req, laneAttrib(g),
-                            obs::AttribBucket::Network,
-                            static_cast<double>(now - t0), now);
+                mmu::chargeHop(*req, laneAttrib(g),
+                               obs::AttribBucket::Network,
+                               starHop(-1, g,
+                                       net_.fromHost(g).latency(),
+                                       static_cast<double>(now - t0)),
+                               now);
                 gpus_[static_cast<std::size_t>(g)]->translationReturned(
                     req);
             });
@@ -111,9 +137,13 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
                         gpuQs_[static_cast<std::size_t>(target)]->now();
                     obs::ProfScope prof(laneProfiler(target),
                                         obs::ProfBucket::Interconnect);
-                    mmu::charge(*rl->req, laneAttrib(target),
-                                obs::AttribBucket::Network,
-                                static_cast<double>(now - t0), now);
+                    mmu::chargeHop(
+                        *rl->req, laneAttrib(target),
+                        obs::AttribBucket::Network,
+                        starHop(-1, target,
+                                net_.fromHost(target).latency(),
+                                static_cast<double>(now - t0)),
+                        now);
                     gpus_[static_cast<std::size_t>(target)]
                         ->remoteLookupRequest(rl);
                 });
@@ -138,9 +168,12 @@ MultiGpuSystem::MultiGpuSystem(const cfg::SystemConfig &config,
                     gpuQs_[static_cast<std::size_t>(g)]->now();
                 obs::ProfScope prof(laneProfiler(g),
                                     obs::ProfBucket::Interconnect);
-                mmu::charge(*req, laneAttrib(g),
-                            obs::AttribBucket::Network,
-                            static_cast<double>(now - t0), now);
+                mmu::chargeHop(*req, laneAttrib(g),
+                               obs::AttribBucket::Network,
+                               starHop(-1, g,
+                                       net_.fromHost(g).latency(),
+                                       static_cast<double>(now - t0)),
+                               now);
                 gpus_[static_cast<std::size_t>(g)]->translationReturned(
                     req);
             });
@@ -330,6 +363,20 @@ MultiGpuSystem::setupObservability()
                                       prefix + ".prt.observedFpRate");
         }
     }
+#if TRANSFW_OBS
+    // Fabric heat as counter tracks: every fabric edge's instantaneous
+    // queue depth and utilization ride the same deterministic sample
+    // grid as the columns above (the trace viewer renders each as its
+    // own counter track). The host-star legs are skipped — their
+    // pressure already shows up in host.mmu.queueDepth, and a 64-GPU
+    // pod has 128 of them.
+    net_.forEachLink([&](const ic::Link &link, bool is_fabric) {
+        if (!is_fabric)
+            return;
+        sampler.addRegistryColumn(reg, link.name() + ".queueDepth");
+        sampler.addRegistryColumn(reg, link.name() + ".utilization");
+    });
+#endif
 }
 
 void
@@ -394,14 +441,15 @@ MultiGpuSystem::wireGpu(int g)
         // remote -> requester reply is folded into the host-side
         // resolution (see DESIGN.md, remote forwarding approximation).
         sim::Tick t0 = gpuQs_[static_cast<std::size_t>(g)]->now();
-        net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, rl, t0]() {
+        net_.toHost(g).sendCtrl(kCtrlMsgBytes, [this, rl, t0, g]() {
             // Delivered on the host lane after the mailbox drain.
             obs::ProfScope prof(profiler(),
                                 obs::ProfBucket::Interconnect);
-            mmu::charge(*rl->req, attribEngine(),
-                        obs::AttribBucket::Network,
-                        static_cast<double>(hostEq_.now() - t0),
-                        hostEq_.now());
+            mmu::chargeHop(
+                *rl->req, attribEngine(), obs::AttribBucket::Network,
+                starHop(g, -1, net_.toHost(g).latency(),
+                        static_cast<double>(hostEq_.now() - t0)),
+                hostEq_.now());
             if (hostMmu_)
                 hostMmu_->remoteLookupDone(rl);
             else
@@ -421,9 +469,11 @@ MultiGpuSystem::sendFaultToHost(mmu::XlatPtr req)
         // Delivered on the host lane after the mailbox drain.
         obs::ProfScope prof(profiler(),
                             obs::ProfBucket::Interconnect);
-        mmu::charge(*req, attribEngine(), obs::AttribBucket::Network,
-                    static_cast<double>(hostEq_.now() - t0),
-                    hostEq_.now());
+        mmu::chargeHop(
+            *req, attribEngine(), obs::AttribBucket::Network,
+            starHop(req->gpu, -1, net_.toHost(req->gpu).latency(),
+                    static_cast<double>(hostEq_.now() - t0)),
+            hostEq_.now());
         req->tHostArrive = hostEq_.now();
         if (hostMmu_)
             hostMmu_->handleFault(std::move(req));
@@ -887,6 +937,82 @@ MultiGpuSystem::collect()
         r.ftReplicaUpdates = ft_->replicaUpdates();
         r.ftReplicaInvalidations = ft_->replicaInvalidations();
     }
+
+    // Shard skew scalars — derived from the always-on per-shard stats,
+    // so they exist (as neutral values) in no-observability builds too.
+    if (hostMmu_) {
+        r.shardSkewWaitRatio = hostMmu_->shardWaitRatio();
+        r.shardSkewLoadShareMax = hostMmu_->shardLoadShareMax();
+        r.shardSkewLoadCv = hostMmu_->shardLoadCv();
+    }
+
+#if TRANSFW_OBS
+    // Fabric telemetry: one row per link in forEachLink's stable order,
+    // the worst-fabric-edge scalars the ledger keys summarize, and the
+    // routed-traffic hop-distance mix. Utilization is busy wire cycles
+    // over the run's final tick so links living on different lanes are
+    // comparable.
+    {
+        double util_sum = 0.0;
+        std::size_t fabric_n = 0;
+        net_.forEachLink([&](const ic::Link &link, bool is_fabric) {
+            SimResults::FabricLinkStats fl;
+            fl.name = link.name();
+            fl.fabric = is_fabric;
+            fl.bytes = link.bytesSent();
+            fl.messages = link.messages();
+            fl.ctrlMessages = link.ctrlMessages();
+            const obs::LogHistogram &h = link.queueWaitHistogram();
+            fl.queueWaitMean = h.mean();
+            fl.queueWaitP99 = h.count() ? h.quantile(0.99) : 0.0;
+            fl.queueWaitMax = h.count() ? h.maximum() : 0.0;
+            fl.peakQueueDepth = link.peakQueueDepth();
+            fl.utilization =
+                r.execTime ? std::min(1.0,
+                                      static_cast<double>(
+                                          link.busyCycles()) /
+                                          static_cast<double>(r.execTime))
+                           : 0.0;
+            if (is_fabric) {
+                ++fabric_n;
+                util_sum += fl.utilization;
+                if (r.fabricWorstLink.empty() ||
+                    fl.queueWaitP99 > r.fabricWorstQueueWaitP99) {
+                    r.fabricWorstLink = fl.name;
+                    r.fabricWorstQueueWaitP99 = fl.queueWaitP99;
+                }
+            }
+            r.fabricLinks.push_back(std::move(fl));
+        });
+        r.fabricMeanUtilization =
+            fabric_n ? util_sum / static_cast<double>(fabric_n) : 0.0;
+        const auto &hd = net_.hopDistances();
+        for (std::size_t hops = 1; hops < hd.size(); ++hops) {
+            if (!hd[hops].messages)
+                continue;
+            SimResults::FabricHopDist d;
+            d.hops = static_cast<int>(hops);
+            d.messages = hd[hops].messages;
+            d.bytes = hd[hops].bytes;
+            d.waitPerMsg =
+                hd[hops].waitSum / static_cast<double>(hd[hops].messages);
+            r.fabricHopDist.push_back(d);
+        }
+    }
+    if (ft_) {
+        const obs::TopK &hot = ft_->hotGroups();
+        for (const obs::TopK::Entry &e : hot.top(8)) {
+            SimResults::HotVpnGroup hg;
+            hg.group = e.key;
+            hg.count = e.count;
+            hg.error = e.error;
+            hg.share = static_cast<double>(e.count) /
+                       static_cast<double>(hot.total());
+            hg.shard = ft_->shardOfGroup(e.key);
+            r.hotVpnGroups.push_back(hg);
+        }
+    }
+#endif
 
     const uvm::MigrationEngine::Stats &es = engine_->stats();
     r.migrations = es.migrations;

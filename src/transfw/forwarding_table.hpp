@@ -8,6 +8,8 @@
 #include "filter/cuckoo_filter.hpp"
 #include "mem/address.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/topk.hpp"
 #include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 
@@ -55,6 +57,16 @@ class ForwardingTable
     {
         return filter_.overflowEvictions();
     }
+#if TRANSFW_OBS
+    /**
+     * Tap every findOwner into a frequency sketch at VPN-group
+     * granularity. The sketch outlives the table (FtCluster owns
+     * both); the skew tracker hangs here because shard MMUs probe
+     * their table slice directly, below any cluster-level routing.
+     */
+    void setHotGroupSketch(obs::TopK *sketch) { hotGroups_ = sketch; }
+#endif
+
     /** Per-GPU-id probes where the filter hit with no live reference. */
     std::uint64_t observedFalsePositives() const { return falsePositives_; }
     double observedFpRate() const
@@ -113,6 +125,9 @@ class ForwardingTable
     std::uint64_t hits_ = 0;
     std::uint64_t probes_ = 0;
     std::uint64_t falsePositives_ = 0;
+#if TRANSFW_OBS
+    obs::TopK *hotGroups_ = nullptr; ///< cluster-owned lookup sketch
+#endif
 };
 
 } // namespace transfw::core

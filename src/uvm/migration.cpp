@@ -6,6 +6,26 @@
 
 namespace transfw::uvm {
 
+#if TRANSFW_OBS
+namespace {
+
+/** Edge-tag a link traversal's timing split for the attribution
+ *  timeline (node -1 is the host; ids >= numGpus are switch nodes). */
+obs::AttribHop
+toAttribHop(int from, int to, const ic::HopTiming &t)
+{
+    obs::AttribHop hop;
+    hop.from = static_cast<std::int16_t>(from);
+    hop.to = static_cast<std::int16_t>(to);
+    hop.wait = static_cast<double>(t.wait);
+    hop.ser = static_cast<double>(t.ser);
+    hop.prop = static_cast<double>(t.prop);
+    return hop;
+}
+
+} // namespace
+#endif
+
 MigrationEngine::MigrationEngine(sim::EventQueue &eq,
                                  const cfg::SystemConfig &config,
                                  mem::PageTable &central,
@@ -159,7 +179,8 @@ MigrationEngine::transfer(int from_owner, int to_gpu,
 void
 MigrationEngine::transfer(int from_owner, int to_gpu,
                           bool latency_overlapped,
-                          sim::EventQueue::Callback cb)
+                          sim::EventQueue::Callback cb,
+                          mmu::XlatPtr traced)
 {
     if (cfg_.oracle.zeroMigrationCost) {
         schedule(0, std::move(cb));
@@ -177,10 +198,45 @@ MigrationEngine::transfer(int from_owner, int to_gpu,
         schedule(ser, std::move(cb));
         return;
     }
-    if (from_owner == mem::kCpuDevice)
+    if (from_owner == mem::kCpuDevice) {
+#if TRANSFW_OBS
+        if (traced && attrib_) {
+            ic::HopTiming t;
+            net_.fromHost(to_gpu).send(bytes, std::move(cb), &t);
+            attrib_->hop(traced->gpu, traced->id,
+                         obs::AttribBucket::Migration,
+                         toAttribHop(-1, to_gpu, t), /*counted=*/false,
+                         curTick());
+            return;
+        }
+#endif
         net_.fromHost(to_gpu).send(bytes, std::move(cb));
-    else
+    } else {
+#if TRANSFW_OBS
+        if (traced && attrib_) {
+            // The payload's fabric route, edge by edge, onto the
+            // request's timeline. Uncounted: the Migration bucket is
+            // still charged as the lump `arrival - start` by the
+            // caller, and these hops only say where on the fabric the
+            // payload spent it (the hook runs on the host lane, so the
+            // engine's sink is safe to call directly).
+            obs::AttribSink *sink = attrib_;
+            mmu::XlatPtr req = traced;
+            net_.sendPeerTraced(
+                from_owner, to_gpu, bytes,
+                [this, sink, req](int from, int to,
+                                  const ic::HopTiming &t) {
+                    sink->hop(req->gpu, req->id,
+                              obs::AttribBucket::Migration,
+                              toAttribHop(from, to, t),
+                              /*counted=*/false, curTick());
+                },
+                std::move(cb));
+            return;
+        }
+#endif
         net_.sendPeer(from_owner, to_gpu, bytes, std::move(cb));
+    }
 }
 
 void
@@ -230,7 +286,7 @@ MigrationEngine::migrate(mmu::XlatPtr req, mem::PageInfo &info,
             info->replicaMask = std::uint64_t{1} << dst;
             info->writable = true;
             complete(req->vpn, entry, std::move(done));
-        });
+        }, req);
     });
 }
 
@@ -256,13 +312,14 @@ MigrationEngine::replicate(mmu::XlatPtr req, mem::PageInfo &info,
         onOwnerChanged(req->vpn);
 
     sim::Tick start = curTick();
-    transfer(src, dst, [this, req, done = std::move(done), dst,
-                        start]() mutable {
+    transfer(src, dst, /*latency_overlapped=*/false,
+             [this, req, done = std::move(done), dst,
+              start]() mutable {
         mmu::charge(*req, attrib_, obs::AttribBucket::Migration,
                     static_cast<double>(curTick() - start), curTick());
         tlb::TlbEntry entry = mapLocal(dst, req->vpn, false);
         complete(req->vpn, entry, std::move(done));
-    });
+    }, req);
 }
 
 void
@@ -318,7 +375,7 @@ MigrationEngine::writeUpgrade(mmu::XlatPtr req, mem::PageInfo &info,
         schedule(cfg_.shootdownCost,
                  [this, src, dst, start, req,
                   finish = std::move(finish)]() mutable {
-                     transfer(src, dst,
+                     transfer(src, dst, /*latency_overlapped=*/false,
                               [this, req, start,
                                finish = std::move(finish)]() mutable {
                                   mmu::charge(
@@ -328,7 +385,8 @@ MigrationEngine::writeUpgrade(mmu::XlatPtr req, mem::PageInfo &info,
                                                           start),
                                       curTick());
                                   finish();
-                              });
+                              },
+                              req);
                  });
     }
 }

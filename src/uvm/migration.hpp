@@ -147,10 +147,17 @@ class MigrationEngine : public sim::SimObject
     /** Timed page transfer; @p cb fires on arrival. */
     void transfer(int from_owner, int to_gpu,
                   sim::EventQueue::Callback cb);
-    /** As above; @p latency_overlapped models owner-push transfers
-     *  whose propagation overlapped the host notification hop. */
+    /**
+     * As above; @p latency_overlapped models owner-push transfers
+     * whose propagation overlapped the host notification hop. When
+     * @p traced names the request the payload serves, every traversed
+     * edge is reported to the attribution timeline as an *uncounted*
+     * hop (the Migration bucket keeps its lump-sum charge — the hops
+     * localize it on the fabric without double-charging).
+     */
     void transfer(int from_owner, int to_gpu, bool latency_overlapped,
-                  sim::EventQueue::Callback cb);
+                  sim::EventQueue::Callback cb,
+                  mmu::XlatPtr traced = {});
 
     const cfg::SystemConfig &cfg_;
     mem::PageTable &central_;
